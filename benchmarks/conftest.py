@@ -1,0 +1,33 @@
+"""Shared helpers for the figure/table benchmarks.
+
+Each benchmark module regenerates one artifact of the paper's
+evaluation.  The experiments are full simulations, so every benchmark
+runs exactly once (``rounds=1``) and reports its wall-clock time; the
+paper's shape claims are asserted on the result.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.report import ExperimentResult
+
+
+def run_once(benchmark, experiment, scale: str = "quick") -> ExperimentResult:
+    """Execute one experiment under pytest-benchmark timing."""
+    result = benchmark.pedantic(
+        experiment.run, kwargs={"scale": scale}, rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    return result
+
+
+def assert_claims(result: ExperimentResult) -> None:
+    """Fail the benchmark if any paper-shape claim did not hold."""
+    failed = [claim for claim, ok in result.claims.items() if not ok]
+    assert not failed, "claims failed: %s" % "; ".join(failed)

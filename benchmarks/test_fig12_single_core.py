@@ -1,0 +1,19 @@
+"""Figure 12 — single-core runtime normalized to no-encryption.
+
+Paper: SCA averages 1.117x no-encryption, 6.3% faster than FCA; the
+co-located design without a counter cache is by far the slowest; the
+co-located + counter-cache variant is within a point of SCA.
+"""
+
+from conftest import assert_claims, run_once
+
+from repro.bench.experiments import Fig12SingleCore
+
+
+def test_fig12_normalized_runtime(benchmark):
+    result = run_once(benchmark, Fig12SingleCore())
+    assert_claims(result)
+    # Sanity: every normalized runtime is >= 1 (encryption never helps).
+    for series in result.series:
+        for value in series.points.values():
+            assert value >= 0.99

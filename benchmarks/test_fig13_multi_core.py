@@ -1,0 +1,22 @@
+"""Figure 13 — multicore throughput, normalized to 1-core no-encryption.
+
+Paper: SCA beats FCA by 6/11/22/40% at 1/2/4/8 cores and stays within
+4.7% of the ideal design.  This reproduction checks the ordering and
+the growth trend (magnitudes are compressed; see EXPERIMENTS.md).
+
+The benchmark-sized run uses 1/2/4 cores and three workloads; run
+``repro-bench fig13 --scale full`` for the full 1/2/4/8-core sweep over
+all five workloads.
+"""
+
+from conftest import assert_claims, run_once
+
+from repro.bench.experiments import Fig13MultiCore
+
+
+def test_fig13_throughput_scaling(benchmark):
+    experiment = Fig13MultiCore(
+        core_counts=(1, 2, 4), workloads=("array", "queue", "hash")
+    )
+    result = run_once(benchmark, experiment)
+    assert_claims(result)

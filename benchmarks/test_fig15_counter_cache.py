@@ -1,0 +1,21 @@
+"""Figure 15 — SCA sensitivity to counter cache size and footprint.
+
+Paper: larger counter caches improve speedup and miss rate; larger
+workload footprints blunt the benefit (8 MB cache gains 9% on a 100 MB
+footprint but 2.4% on 1000 MB).  The sweep here shrinks both axes by
+the same ratio (pure-Python tracing cannot touch hundreds of MB).
+"""
+
+from conftest import assert_claims, run_once
+
+from repro.bench.experiments import Fig15CounterCache
+
+
+def test_fig15_counter_cache_sensitivity(benchmark):
+    result = run_once(benchmark, Fig15CounterCache())
+    assert_claims(result)
+    # Miss rate decreases monotonically with cache size per footprint.
+    for series in result.series:
+        if series.name.startswith("missrate@"):
+            values = list(series.points.values())
+            assert values == sorted(values, reverse=True)

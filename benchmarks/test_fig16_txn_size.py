@@ -1,0 +1,15 @@
+"""Figure 16 — SCA overhead versus transaction size.
+
+Paper: SCA's overhead over the ideal design is ~7.5% for tiny
+transactions and under 1% for page-sized (4 KB / 64-line) transactions,
+because the counter-atomic fraction of writes shrinks with size.
+"""
+
+from conftest import assert_claims, run_once
+
+from repro.bench.experiments import Fig16TxnSize
+
+
+def test_fig16_transaction_size_sensitivity(benchmark):
+    result = run_once(benchmark, Fig16TxnSize())
+    assert_claims(result)

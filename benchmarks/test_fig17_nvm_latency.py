@@ -1,0 +1,16 @@
+"""Figure 17 — SCA speedup over the co-located design vs NVM latency.
+
+Paper: SCA is 29-76% faster than co-located across the read-latency
+sweep, with the advantage growing as reads get *faster* (the serialized
+40 ns decrypt looms larger), and 39-74% faster across the write sweep.
+"""
+
+from conftest import assert_claims, run_once
+
+from repro.bench.experiments import Fig17NvmLatency
+
+
+def test_fig17_nvm_latency_sensitivity(benchmark):
+    experiment = Fig17NvmLatency(workloads=("array", "hash", "btree"))
+    result = run_once(benchmark, experiment)
+    assert_claims(result)

@@ -1,0 +1,86 @@
+"""Figure 4 — inconsistency while adding a node to a persistent list.
+
+Reproduces the paper's walkthrough: a linked-list insert writes the new
+node (item + next pointer), then updates the head pointer.  If the head
+pointer's data persists but its counter does not, recovery decrypts the
+head with a stale counter and reads a garbage pointer.  The head is
+therefore annotated ``CounterAtomic`` under SCA; the unsafe design
+shows the failure.
+"""
+
+import pytest
+
+from repro.config import CACHE_LINE_SIZE, fast_config
+from repro.crash.injector import CrashInjector
+from repro.crash.recovery import RecoveryManager
+from repro.errors import DecryptionFailure
+from repro.sim.machine import Machine
+from repro.sim.trace import TraceBuilder
+
+HEAD = 0x1000
+NODE1 = 0x2000
+NODE2 = 0x3000
+
+
+def insert_two_nodes(design):
+    """head -> node2 -> node1, following the paper's three steps."""
+    builder = TraceBuilder("fig4")
+    for node, item, next_ptr in ((NODE1, 3, 0), (NODE2, 4, NODE1)):
+        # Steps 1-2: create the node and set its next pointer.
+        builder.store_u64(node, item)
+        builder.store_u64(node + 8, next_ptr)
+        builder.clwb(node)
+        builder.ccwb(node)
+        builder.persist_barrier()
+        # Step 3: the head update immediately affects recoverability.
+        builder.store_u64(HEAD, node, counter_atomic=True)
+        builder.clwb(HEAD)
+        builder.persist_barrier()
+    return Machine(fast_config(), design).run([builder.build()])
+
+
+def walk_list(recovered):
+    """Walk the recovered list; returns the items seen."""
+    items = []
+    pointer = recovered.read_u64(HEAD)
+    hops = 0
+    while pointer != 0 and hops < 10:
+        if pointer not in (NODE1, NODE2):
+            raise AssertionError("head/next points at garbage: 0x%x" % pointer)
+        items.append(recovered.read_u64(pointer))
+        pointer = recovered.read_u64(pointer + 8)
+        hops += 1
+    return items
+
+
+def sweep(design):
+    result = insert_two_nodes(design)
+    injector = CrashInjector(result)
+    manager = RecoveryManager(result.config.encryption)
+    valid_states = ([], [3], [4, 3])
+    consistent = inconsistent = 0
+    for crash_ns in injector.interesting_times() + injector.midpoint_times():
+        recovered = manager.recover(injector.crash_at(crash_ns))
+        try:
+            items = walk_list(recovered)
+            if items in list(valid_states):
+                consistent += 1
+            else:
+                inconsistent += 1
+        except (AssertionError, DecryptionFailure):
+            inconsistent += 1
+    return consistent, inconsistent
+
+
+def run_experiment():
+    return {design: sweep(design) for design in ("sca", "unsafe")}
+
+
+def test_fig4_linked_list_insert(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print()
+    for design, (good, bad) in rows.items():
+        print("  %-8s consistent=%d inconsistent=%d" % (design, good, bad))
+    good, bad = rows["sca"]
+    assert bad == 0 and good > 0
+    assert rows["unsafe"][1] > 0

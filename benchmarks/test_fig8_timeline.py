@@ -1,0 +1,47 @@
+"""Figures 7/8 — write timelines under full vs selective atomicity.
+
+Figure 7/8's point: FCA pairs every data write with a counter write,
+inflating queue traffic through the three transaction stages, while SCA
+lets prepare/mutate writes relax and pays the pairing only at the
+commit record.  We measure a burst of undo transactions and compare
+counter-queue entries and total runtime.
+"""
+
+import pytest
+
+from repro.config import KB, bench_config
+from repro.bench.harness import run_workload
+from repro.workloads.base import WorkloadParams
+
+
+def run_burst(design):
+    params = WorkloadParams(operations=60, footprint_bytes=32 * KB, ops_per_txn=4)
+    return run_workload(design, "array", config=bench_config(), params=params)
+
+
+def run_experiment():
+    outcomes = {design: run_burst(design) for design in ("sca", "fca", "ideal")}
+    return {
+        design: {
+            "runtime_ns": outcome.stats.runtime_ns,
+            "counter_entries": outcome.result.controller.counter_queue.accepted,
+            "paired_writes": outcome.result.controller.stats.paired_writes,
+        }
+        for design, outcome in outcomes.items()
+    }
+
+
+def test_fig8_stage_timeline(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print()
+    for design, row in rows.items():
+        print(
+            "  %-6s runtime=%.0fns counter-queue-entries=%d paired=%d"
+            % (design, row["runtime_ns"], row["counter_entries"], row["paired_writes"])
+        )
+    # FCA pairs every write; SCA pairs only commit records.
+    assert rows["fca"]["paired_writes"] > rows["sca"]["paired_writes"]
+    assert rows["fca"]["counter_entries"] >= rows["sca"]["counter_entries"]
+    # SCA is never slower than FCA, and ideal bounds both from below.
+    assert rows["sca"]["runtime_ns"] <= rows["fca"]["runtime_ns"] * 1.001
+    assert rows["ideal"]["runtime_ns"] <= rows["sca"]["runtime_ns"] * 1.001

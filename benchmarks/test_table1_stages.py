@@ -1,0 +1,14 @@
+"""Table 1 — which transaction stages need counter-atomicity.
+
+Static rules plus crash sweeps: SCA and FCA recover from every injected
+crash; the unsafe design (no counter-atomicity anywhere) does not.
+"""
+
+from conftest import assert_claims, run_once
+
+from repro.bench.experiments import Table1Stages
+
+
+def test_table1_stage_requirements(benchmark):
+    result = run_once(benchmark, Table1Stages())
+    assert_claims(result)

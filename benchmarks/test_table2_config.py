@@ -1,0 +1,10 @@
+"""Table 2 — the evaluated system configuration."""
+
+from conftest import assert_claims, run_once
+
+from repro.bench.experiments import Table2Config
+
+
+def test_table2_system_configuration(benchmark):
+    result = run_once(benchmark, Table2Config())
+    assert_claims(result)

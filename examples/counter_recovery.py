@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Beyond the paper: recovering lost counters with integrity tags.
+
+The paper prevents data/counter desync at run time (counter-atomicity).
+The follow-on research direction it opened asks: what if we instead
+*repair* the desync at recovery time?  Persist a small MAC with every
+data line (atomic via the ECC lanes); after a crash, for each line that
+fails to decrypt, search forward from the stale persisted counter until
+the MAC verifies — the verifying candidate *is* the lost counter.
+
+This example crashes the `unsafe` design (encryption with no
+counter-atomicity) mid-run, shows the undecryptable lines, then runs
+the bounded counter search and re-reads the repaired memory.
+
+Run:  python examples/counter_recovery.py
+"""
+
+from repro import Machine, TraceBuilder, fast_config
+from repro.crash.counter_recovery import CounterRecoverer
+from repro.crash.injector import CrashInjector
+from repro.crash.recovery import RecoveryManager
+
+BASE = 0x4000
+LINES = 8
+
+
+def build_program() -> TraceBuilder:
+    builder = TraceBuilder("unsafe-writes")
+    builder.txn_begin()
+    for i in range(LINES):
+        builder.store_u64(BASE + i * 64, 0x1000 + i)
+        builder.clwb(BASE + i * 64)
+    builder.ccwb(BASE)  # no-op under the unsafe design
+    builder.persist_barrier()
+    builder.txn_end()
+    return builder
+
+
+def main() -> None:
+    config = fast_config()
+    result = Machine(config, "unsafe").run([build_program().build()])
+    injector = CrashInjector(result)
+    manager = RecoveryManager(config.encryption)
+
+    image = injector.crash_at(result.stats.runtime_ns + 1e9)
+    memory = manager.recover(image)
+    print("crash under the unsafe design:")
+    print("  %d of %d lines undecryptable (stale persisted counters)"
+          % (len(memory.garbage_lines), LINES))
+    sample = sorted(memory.garbage_lines)[0]
+    print("  e.g. line 0x%x reads %s instead of its value"
+          % (sample, memory.read(sample, 8, strict=False).hex()))
+
+    recoverer = CounterRecoverer(config.encryption, max_lag=64)
+    report = recoverer.recover_image(image)
+    print("\nbounded counter search (max lag %d):" % recoverer.max_lag)
+    print("  checked %d lines: %d already consistent, %d recovered, %d unrecoverable"
+          % (report.lines_checked, report.already_consistent,
+             report.recovered, report.unrecoverable))
+    print("  candidates tried: %d" % report.candidates_tried)
+
+    repaired = manager.recover(image)
+    print("\nafter repair:")
+    print("  undecryptable lines: %d" % len(repaired.garbage_lines))
+    for i in (0, LINES - 1):
+        value = repaired.read_u64(BASE + i * 64)
+        assert value == 0x1000 + i
+    print("  line values verified: 0x%x ... 0x%x"
+          % (repaired.read_u64(BASE), repaired.read_u64(BASE + (LINES - 1) * 64)))
+    print("\nThis is the trade the Osiris line of work makes: no run-time")
+    print("pairing, a bounded search at recovery time instead.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Sweep the design space and regenerate mini versions of the figures.
+
+Uses the benchmark harness directly (the same code path as
+``repro-bench``) to produce a compact report: normalized runtime,
+normalized write traffic, counter-cache behaviour and the NVM-latency
+sensitivity — a condensed tour of the paper's evaluation section.
+
+Run:  python examples/design_space_sweep.py
+"""
+
+from repro.bench.harness import run_workload
+from repro.config import KB, bench_config
+from repro.utils.tables import format_table
+from repro.workloads.base import WorkloadParams
+
+WORKLOADS = ("array", "queue", "hash", "btree", "rbtree")
+DESIGNS = ("ideal", "sca", "fca", "co-located", "co-located-cc")
+PARAMS = WorkloadParams(operations=30, footprint_bytes=48 * KB)
+
+
+def normalized_runtimes():
+    rows = []
+    for workload in WORKLOADS:
+        config = bench_config()
+        base = run_workload("no-encryption", workload, config=config, params=PARAMS)
+        row = [workload]
+        for design in DESIGNS:
+            outcome = run_workload(design, workload, config=config, params=PARAMS)
+            row.append(outcome.stats.runtime_ns / base.stats.runtime_ns)
+        rows.append(row)
+    return rows
+
+
+def traffic_and_cache(workload="hash"):
+    rows = []
+    config = bench_config()
+    base = run_workload("no-encryption", workload, config=config, params=PARAMS)
+    for design in DESIGNS:
+        outcome = run_workload(design, workload, config=config, params=PARAMS)
+        stats = outcome.stats
+        rows.append(
+            [
+                design,
+                stats.bytes_written / base.stats.bytes_written,
+                stats.counter_cache_miss_rate or 0.0,
+                stats.paired_writes,
+            ]
+        )
+    return rows
+
+
+def latency_sensitivity(workload="array"):
+    rows = []
+    for label, scale in (("3x-slower", 3.0), ("pcm", 1.0), ("4x-faster", 0.25)):
+        config = bench_config().with_nvm(read_latency_scale=scale)
+        colocated = run_workload("co-located", workload, config=config, params=PARAMS)
+        sca = run_workload("sca", workload, config=config, params=PARAMS)
+        rows.append([label, colocated.stats.runtime_ns / sca.stats.runtime_ns])
+    return rows
+
+
+def main() -> None:
+    print(format_table(
+        ["workload"] + list(DESIGNS),
+        normalized_runtimes(),
+        title="Runtime normalized to no-encryption (mini Figure 12)",
+    ))
+    print()
+    print(format_table(
+        ["design", "write traffic", "C$ miss rate", "paired writes"],
+        traffic_and_cache(),
+        title="Traffic and counter-cache behaviour, hash workload (mini Figure 14)",
+    ))
+    print()
+    print(format_table(
+        ["read latency", "SCA speedup over co-located"],
+        latency_sensitivity(),
+        title="NVM read-latency sensitivity (mini Figure 17)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

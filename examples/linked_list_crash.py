@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""The paper's Figure 4 walkthrough: an encrypted persistent linked list.
+
+Inserting a node takes three steps — create the node, set its next
+pointer, update the head pointer.  The head pointer is the write that
+immediately affects recoverability: if its encrypted data persists but
+its counter does not, a rebooted controller decrypts the head with the
+stale counter and gets a *random* pointer (paper Eq. 4).
+
+This example runs the insert twice:
+
+* under the ``unsafe`` design (counter-mode encryption, no
+  counter-atomicity) — and finds crash points where the head pointer
+  decrypts to garbage, printing the actual bytes;
+* under ``sca`` with the head annotated ``CounterAtomic`` — and shows
+  every crash point recovers a valid list.
+
+Run:  python examples/linked_list_crash.py
+"""
+
+from repro import CounterAtomic, Machine, TraceBuilder, fast_config
+from repro.crash.injector import CrashInjector
+from repro.crash.recovery import RecoveryManager
+from repro.errors import DecryptionFailure
+
+HEAD = CounterAtomic(0x1000, name="head")
+NODE_OLD = 0x2000  # pre-existing node
+NODE_NEW = 0x3000  # the node being inserted
+VALID_NODES = {0, NODE_OLD, NODE_NEW}
+
+
+def build_insert() -> TraceBuilder:
+    builder = TraceBuilder("list-insert")
+    # Setup: one existing node, head -> NODE_OLD.
+    builder.store_u64(NODE_OLD, 7)          # item
+    builder.store_u64(NODE_OLD + 8, 0)      # next = null
+    builder.clwb(NODE_OLD)
+    builder.store_var(HEAD, NODE_OLD)
+    builder.clwb(HEAD.address)
+    builder.ccwb(NODE_OLD)
+    builder.ccwb(HEAD.address)
+    builder.persist_barrier()
+
+    # Figure 4 steps 1-2: create the new node, point it at the old head.
+    builder.txn_begin("insert")
+    builder.store_u64(NODE_NEW, 3)          # item = 3
+    builder.store_u64(NODE_NEW + 8, NODE_OLD)  # next = old head
+    builder.clwb(NODE_NEW)
+    builder.ccwb(NODE_NEW)
+    builder.persist_barrier()
+    # Step 3: the head update — CounterAtomic under SCA.
+    builder.store_var(HEAD, NODE_NEW)
+    builder.clwb(HEAD.address)
+    builder.persist_barrier()
+    builder.txn_end("insert")
+    return builder
+
+
+def walk(memory):
+    """Walk the list; returns items or raises on a garbage pointer."""
+    items = []
+    pointer = memory.read_u64(HEAD.address)
+    while pointer:
+        if pointer not in VALID_NODES:
+            raise DecryptionFailure(pointer, "head/next decrypted to garbage "
+                                    "pointer 0x%x" % pointer)
+        items.append(memory.read_u64(pointer))
+        pointer = memory.read_u64(pointer + 8)
+    return items
+
+
+def sweep(design: str) -> None:
+    config = fast_config()
+    result = Machine(config, design).run([build_insert().build()])
+    injector = CrashInjector(result)
+    recovery = RecoveryManager(config.encryption)
+    good = bad = 0
+    first_failure = None
+    for crash_ns in injector.interesting_times() + injector.midpoint_times():
+        memory = recovery.recover(injector.crash_at(crash_ns))
+        try:
+            items = walk(memory)
+            assert items in ([], [7], [3, 7]), "torn list: %r" % items
+            good += 1
+        except (DecryptionFailure, AssertionError) as failure:
+            bad += 1
+            if first_failure is None:
+                raw = memory.read(HEAD.address, 8, strict=False)
+                first_failure = (crash_ns, failure, raw)
+    print("%-8s %3d consistent, %3d inconsistent crash points" % (design, good, bad))
+    if first_failure:
+        crash_ns, failure, raw = first_failure
+        print("         first failure at %.1f ns: %s" % (crash_ns, failure))
+        print("         head pointer bytes after bad decryption: %s" % raw.hex())
+
+
+def main() -> None:
+    print("Inserting a node into an encrypted persistent linked list")
+    print("and crashing at every interesting instant (paper Figure 4):\n")
+    sweep("unsafe")
+    sweep("sca")
+    print("\nThe CounterAtomic annotation on the head pointer (plus the")
+    print("counter_cache_writeback barrier protocol) is exactly what turns")
+    print("the unsafe failures into consistent recoveries.")
+
+
+if __name__ == "__main__":
+    main()

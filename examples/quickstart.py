@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Quickstart: encrypted NVMM, a counter-atomic write, a crash, recovery.
+
+Walks through the library's core loop in ~60 lines:
+
+1. build a tiny persistent program with the paper's primitives
+   (``CounterAtomic`` stores, ``clwb``, ``counter_cache_writeback()``,
+   ``persist_barrier()``),
+2. run it on the simulated machine under selective counter-atomicity,
+3. inject a power failure at every interesting instant,
+4. decrypt each crash image the way a rebooted memory controller would,
+   and show that every image is consistent.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import CounterAtomic, Machine, Plain, TraceBuilder, fast_config
+from repro.crash.injector import CrashInjector
+from repro.crash.recovery import RecoveryManager
+
+BALANCE_A = Plain(0x1000, name="account_a")
+BALANCE_B = Plain(0x1040, name="account_b")
+COMMITTED = CounterAtomic(0x1080, name="committed")  # the recoverability pivot
+
+
+def build_transfer(amount: int) -> TraceBuilder:
+    """Move `amount` from A to B with an (intentionally simple) protocol:
+    write both balances, flush data and counters, then flip the commit
+    flag counter-atomically."""
+    builder = TraceBuilder("transfer")
+    builder.txn_begin("transfer")
+    builder.store_var(BALANCE_A, 100 - amount)
+    builder.store_var(BALANCE_B, amount)
+    builder.clwb(BALANCE_A.address)
+    builder.clwb(BALANCE_B.address)
+    builder.ccwb(BALANCE_A.address)  # counter_cache_writeback()
+    builder.ccwb(BALANCE_B.address)
+    builder.persist_barrier()
+    builder.store_var(COMMITTED, 1)  # CounterAtomic: data+counter pair
+    builder.clwb(COMMITTED.address)
+    builder.persist_barrier()
+    builder.txn_end("transfer")
+    return builder
+
+
+def main() -> None:
+    config = fast_config()
+    result = Machine(config, "sca").run([build_transfer(30).build()])
+    print("ran under SCA: %.0f ns, %d bytes written to NVM" % (
+        result.stats.runtime_ns, result.stats.bytes_written))
+
+    injector = CrashInjector(result)
+    recovery = RecoveryManager(config.encryption)
+    crash_points = injector.interesting_times() + injector.midpoint_times()
+
+    consistent = 0
+    for crash_ns in crash_points:
+        image = injector.crash_at(crash_ns)
+        memory = recovery.recover(image)
+        committed = memory.read_u64(COMMITTED.address)  # raises on garbage
+        if committed == 1:
+            # Commit flag visible => balances must be the new ones.
+            assert memory.read_u64(BALANCE_A.address) == 70
+            assert memory.read_u64(BALANCE_B.address) == 30
+        consistent += 1
+    print("injected %d crashes: every recovered state was consistent"
+          % consistent)
+
+    final = recovery.recover(injector.crash_at(result.stats.runtime_ns + 1e9))
+    print("final state: A=%d B=%d committed=%d" % (
+        final.read_u64(BALANCE_A.address),
+        final.read_u64(BALANCE_B.address),
+        final.read_u64(COMMITTED.address)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The offline evaluation environment ships setuptools without the
+``wheel`` package, so PEP 517 editable installs fail with
+``invalid command 'bdist_wheel'``.  This shim lets
+``pip install -e .`` fall back to the classic ``setup.py develop``
+path.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

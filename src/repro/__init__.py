@@ -1,0 +1,61 @@
+"""repro — reproduction of "Crash Consistency in Encrypted Non-Volatile
+Main Memory Systems" (HPCA 2018).
+
+The library simulates an encrypted NVMM system with counter-mode
+encryption and implements the paper's contribution — counter-atomicity
+and its selective enforcement — end to end: the six evaluated design
+points, the programmer primitives (``CounterAtomic`` and
+``counter_cache_writeback()``), crash injection with ADR/ready-bit
+semantics, transactional recovery, the five evaluation workloads, and a
+benchmark harness that regenerates every table and figure.
+
+Quickstart::
+
+    from repro import default_config, Machine, TraceBuilder
+
+    config = default_config()
+    builder = TraceBuilder("hello")
+    builder.txn_begin()
+    builder.store_u64(0x1000, 42)
+    builder.clwb(0x1000).ccwb(0x1000).persist_barrier()
+    builder.txn_end()
+    result = Machine(config, "sca").run([builder.build()])
+    print(result.stats.runtime_ns)
+"""
+
+from .config import (
+    CACHE_LINE_SIZE,
+    SystemConfig,
+    bench_config,
+    default_config,
+    fast_config,
+)
+from .core.designs import ALL_DESIGNS, DesignPolicy, get_design, list_designs
+from .core.primitives import CounterAtomic, PersistentVar, Plain
+from .errors import ReproError
+from .sim.machine import Machine, SimulationResult, run_design
+from .sim.trace import Trace, TraceBuilder
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CACHE_LINE_SIZE",
+    "SystemConfig",
+    "bench_config",
+    "default_config",
+    "fast_config",
+    "ALL_DESIGNS",
+    "DesignPolicy",
+    "get_design",
+    "list_designs",
+    "CounterAtomic",
+    "PersistentVar",
+    "Plain",
+    "ReproError",
+    "Machine",
+    "SimulationResult",
+    "run_design",
+    "Trace",
+    "TraceBuilder",
+    "__version__",
+]

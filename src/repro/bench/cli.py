@@ -1,0 +1,98 @@
+"""Command-line entry point: ``repro-bench``.
+
+Runs one or all experiments and prints the paper-style tables::
+
+    repro-bench --list
+    repro-bench fig12
+    repro-bench all --scale full
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .experiments import EXPERIMENTS, get_experiment
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description=(
+            "Regenerate the tables and figures of 'Crash Consistency in "
+            "Encrypted Non-Volatile Main Memory Systems' (HPCA 2018)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        default="all",
+        help="experiment name (%s) or 'all'" % ", ".join(EXPERIMENTS),
+    )
+    parser.add_argument(
+        "--scale",
+        choices=("quick", "full"),
+        default="quick",
+        help="quick = small CI-sized runs; full = closer to paper working sets",
+    )
+    parser.add_argument("--list", action="store_true", help="list experiments and exit")
+    parser.add_argument(
+        "--chart",
+        action="store_true",
+        help="render each result as an ASCII chart in addition to the table",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write all results as a JSON document to PATH ('-' = stdout)",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list:
+        for name, cls in EXPERIMENTS.items():
+            print("%-8s %s" % (name, (cls.__doc__ or "").strip().splitlines()[0]))
+        return 0
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    failed_claims = 0
+    documents = []
+    for name in names:
+        experiment = get_experiment(name)
+        started = time.time()
+        result = experiment.run(scale=args.scale)
+        elapsed = time.time() - started
+        print(result.render())
+        if args.chart:
+            from .charts import render_chart
+
+            print()
+            print(render_chart(result))
+        print("  (%.1f s)" % elapsed)
+        print()
+        document = result.as_dict()
+        document["elapsed_s"] = round(elapsed, 3)
+        document["scale"] = args.scale
+        documents.append(document)
+        failed_claims += sum(1 for ok in result.claims.values() if not ok)
+    if args.json is not None:
+        import json
+
+        payload = json.dumps({"results": documents}, indent=2, sort_keys=True)
+        if args.json == "-":
+            print(payload)
+        else:
+            with open(args.json, "w", encoding="utf-8") as stream:
+                stream.write(payload + "\n")
+    if failed_claims:
+        print("%d claim(s) did not hold" % failed_claims, file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

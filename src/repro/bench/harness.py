@@ -1,0 +1,111 @@
+"""Run workloads under design points and collect results.
+
+The harness is what every figure bench and most integration tests call:
+it wires workload -> transaction mechanism -> trace -> machine for each
+core and hands back the simulation result plus the per-core bookkeeping
+needed for crash validation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..config import SystemConfig, fast_config
+from ..sim.machine import Machine, SimulationResult
+from ..sim.trace import Trace, TraceBuilder
+from ..txn.heap import MemoryLayout
+from ..txn.manager import make_transactions
+from ..workloads.base import PrefixValidator, WorkloadParams, WorkloadRun
+from ..workloads.registry import get_workload
+
+
+@dataclass
+class WorkloadRunOutcome:
+    """One finished (workload, design, machine) combination."""
+
+    design: str
+    workload: str
+    result: SimulationResult
+    runs: List[WorkloadRun]
+    layout: MemoryLayout
+
+    @property
+    def stats(self):
+        return self.result.stats
+
+    def validator(self, core: int = 0) -> PrefixValidator:
+        """A crash validator for one core's transaction history."""
+        return PrefixValidator(
+            self.runs[core],
+            txn_end_times=self.result.txn_end_times[core],
+        )
+
+
+def build_traces(
+    workload_name: str,
+    config: SystemConfig,
+    mechanism: str = "undo",
+    params: Optional[WorkloadParams] = None,
+    log_capacity: Optional[int] = None,
+) -> tuple:
+    """Generate one trace per core; returns (traces, runs, layout)."""
+    if log_capacity is None:
+        effective_params = params or WorkloadParams()
+        # Each batched op can touch a handful of lines; size the log to
+        # the worst batch with headroom for tree splits and rotations.
+        log_capacity = max(160, effective_params.ops_per_txn * 12 + 16)
+    layout = MemoryLayout.build(config, log_capacity=log_capacity)
+    traces: List[Trace] = []
+    runs: List[WorkloadRun] = []
+    for core in range(config.num_cores):
+        workload = get_workload(workload_name, params)
+        builder = TraceBuilder(
+            name="%s-core%d" % (workload_name, core), functional=config.functional
+        )
+        arena = layout.arena(core)
+        txns = make_transactions(mechanism, builder, arena)
+        run = workload.generate(builder, txns, arena, mechanism=mechanism)
+        traces.append(builder.build())
+        runs.append(run)
+    return traces, runs, layout
+
+
+def run_workload(
+    design: str,
+    workload_name: str,
+    config: Optional[SystemConfig] = None,
+    mechanism: str = "undo",
+    params: Optional[WorkloadParams] = None,
+) -> WorkloadRunOutcome:
+    """Run one workload on every core of a machine under one design."""
+    if config is None:
+        config = fast_config()
+    traces, runs, layout = build_traces(workload_name, config, mechanism, params)
+    result = Machine(config, design).run(traces)
+    return WorkloadRunOutcome(
+        design=design,
+        workload=workload_name,
+        result=result,
+        runs=runs,
+        layout=layout,
+    )
+
+
+def run_workload_multicore(
+    design: str,
+    workload_name: str,
+    core_counts: Sequence[int],
+    base_config: Optional[SystemConfig] = None,
+    mechanism: str = "undo",
+    params: Optional[WorkloadParams] = None,
+) -> Dict[int, WorkloadRunOutcome]:
+    """Run the same workload at several core counts (Figure 13)."""
+    outcomes: Dict[int, WorkloadRunOutcome] = {}
+    for cores in core_counts:
+        if base_config is None:
+            config = fast_config(num_cores=cores)
+        else:
+            config = base_config.scaled(num_cores=cores)
+        outcomes[cores] = run_workload(design, workload_name, config, mechanism, params)
+    return outcomes

@@ -1,0 +1,38 @@
+"""The paper's primary contribution: counter-atomicity designs.
+
+* :mod:`repro.core.designs` — the six evaluated design points
+  (no-encryption, ideal, co-located, co-located + counter cache, full
+  counter-atomicity, selective counter-atomicity) expressed as policy
+  objects the memory controller consults,
+* :mod:`repro.core.primitives` — the programmer-visible primitives
+  (``CounterAtomic`` annotation and ``counter_cache_writeback()``),
+* :mod:`repro.core.atomicity` — the formal counter-atomicity property
+  and per-write classification,
+* :mod:`repro.core.invariants` — checkers that verify a (post-crash)
+  NVM image satisfies Eq. 4's decryptability condition.
+"""
+
+from .atomicity import AtomicityClass, classify_write
+from .designs import (
+    ALL_DESIGNS,
+    BASELINE_DESIGNS,
+    DesignPolicy,
+    get_design,
+    list_designs,
+)
+from .invariants import AtomicityViolation, check_counter_atomicity
+from .primitives import CounterAtomic, PersistentVar
+
+__all__ = [
+    "AtomicityClass",
+    "classify_write",
+    "DesignPolicy",
+    "ALL_DESIGNS",
+    "BASELINE_DESIGNS",
+    "get_design",
+    "list_designs",
+    "AtomicityViolation",
+    "check_counter_atomicity",
+    "CounterAtomic",
+    "PersistentVar",
+]

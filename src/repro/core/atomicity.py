@@ -1,0 +1,115 @@
+"""Formal classification of writes under selective counter-atomicity.
+
+The paper's key insight (Section 4.2) is that crash-consistency
+mechanisms maintain two versions of data, and at any instant only one of
+them is the *recoverable* version.  Writes to the version being mutated
+do not immediately affect recoverability; only the writes that *switch*
+which version is recoverable (commit records, valid flags, head
+pointers) do.  The former may relax counter-atomicity inside a window
+bounded by ``counter_cache_writeback()`` + ``persist_barrier()``; the
+latter must be counter-atomic.
+
+This module names those classes and provides the per-stage table the
+paper gives for undo logging (Table 1).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+
+class AtomicityClass(enum.Enum):
+    """How a write relates to the recoverable state."""
+
+    #: Mutates the non-recoverable version: counter-atomicity may relax.
+    RELAXABLE = "relaxable"
+    #: Flips which version is recoverable: must be counter-atomic.
+    COMMIT_POINT = "commit-point"
+
+
+class TxnStage(enum.Enum):
+    """The three stages of an undo-logging transaction (Table 1)."""
+
+    PREPARE = "prepare"
+    MUTATE = "mutate"
+    COMMIT = "commit"
+
+
+@dataclass(frozen=True)
+class StageRule:
+    """One row of the paper's Table 1."""
+
+    stage: TxnStage
+    backup_consistent: Optional[bool]
+    data_consistent: Optional[bool]
+    counter_atomicity_required: bool
+
+    @property
+    def recovery_source(self) -> str:
+        """Which version recovery would use if a crash hit this stage."""
+        if self.backup_consistent:
+            return "backup"
+        if self.data_consistent:
+            return "data"
+        return "commit-record"
+
+
+#: Table 1 of the paper: per-stage consistency and atomicity needs.
+TABLE1: Tuple[StageRule, ...] = (
+    StageRule(
+        stage=TxnStage.PREPARE,
+        backup_consistent=False,  # log entry is being built
+        data_consistent=True,  # original data untouched
+        counter_atomicity_required=False,
+    ),
+    StageRule(
+        stage=TxnStage.MUTATE,
+        backup_consistent=True,  # log entry sealed
+        data_consistent=False,  # in-place update in flight
+        counter_atomicity_required=False,
+    ),
+    StageRule(
+        stage=TxnStage.COMMIT,
+        backup_consistent=None,  # the commit write decides
+        data_consistent=None,
+        counter_atomicity_required=True,
+    ),
+)
+
+_TABLE1_BY_STAGE: Dict[TxnStage, StageRule] = {rule.stage: rule for rule in TABLE1}
+
+
+def stage_rule(stage: TxnStage) -> StageRule:
+    """The Table 1 row for ``stage``."""
+    return _TABLE1_BY_STAGE[stage]
+
+
+def classify_write(stage: TxnStage, is_commit_record: bool = False) -> AtomicityClass:
+    """Classify one write by transaction stage.
+
+    ``is_commit_record`` distinguishes the valid-flag write inside the
+    commit stage from any incidental bookkeeping writes.
+    """
+    if stage is TxnStage.COMMIT and is_commit_record:
+        return AtomicityClass.COMMIT_POINT
+    if stage_rule(stage).counter_atomicity_required:
+        return AtomicityClass.COMMIT_POINT
+    return AtomicityClass.RELAXABLE
+
+
+def required_counter_atomic_fraction(
+    lines_per_txn: int, commit_records_per_txn: int = 1
+) -> float:
+    """Fraction of a transaction's writes that must be counter-atomic.
+
+    A transaction touching N lines writes ~N log lines + N data lines
+    plus its commit record(s); only the commit record(s) pair.  This is
+    the quantity that shrinks as transactions grow, which is why the
+    SCA overhead vanishes for page-sized transactions (Figure 16).
+    """
+    if lines_per_txn <= 0:
+        raise ValueError("transactions touch at least one line")
+    total_writes = 2 * lines_per_txn + commit_records_per_txn
+    return commit_records_per_txn / total_writes

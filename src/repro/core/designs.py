@@ -1,0 +1,241 @@
+"""The six evaluated counter-atomicity design points (paper Section 6.1).
+
+Each design is a :class:`DesignPolicy` — a bundle of flags the memory
+controller consults at every read, write, counter-cache event and crash.
+The policies deliberately contain *no* behaviour of their own so the
+mechanism lives in one place (the controller) and the designs remain
+directly comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DesignPolicy:
+    """Counter-atomicity policy consulted by the memory controller."""
+
+    name: str
+    description: str
+    #: Does this design encrypt at all?
+    encrypts: bool
+    #: Are counters co-located with data in one 72 B access (wider bus)?
+    colocated: bool
+    #: Is there an on-chip counter cache?
+    has_counter_cache: bool
+    #: Pair *every* data write with a counter write (FCA).
+    pair_all_writes: bool
+    #: Pair only ``CounterAtomic``-annotated writes (SCA).
+    pair_ca_writes: bool
+    #: Do dirty counter-cache evictions generate NVM counter writes?
+    counter_evict_writes: bool
+    #: Does ``counter_cache_writeback()`` flush dirty counter lines?
+    ccwb_enabled: bool
+    #: Ideal-design fiction: counters persist by magic, counter
+    #: writebacks cost nothing and crash recovery always sees fresh
+    #: counters.
+    magic_counter_persistence: bool
+    #: Bus width in bits (72 for the co-located designs).
+    bus_width_bits: int
+
+    def __post_init__(self) -> None:
+        if self.pair_all_writes and self.pair_ca_writes:
+            raise ConfigurationError("a design pairs all writes or CA writes, not both")
+        if self.colocated and (self.pair_all_writes or self.pair_ca_writes):
+            raise ConfigurationError("co-located designs are atomic by construction")
+        if self.colocated and self.bus_width_bits != 72:
+            raise ConfigurationError("co-located designs require the 72-bit bus")
+        if not self.colocated and self.bus_width_bits != 64:
+            raise ConfigurationError("separate-counter designs use the 64-bit bus")
+        if not self.encrypts and (
+            self.colocated
+            or self.has_counter_cache
+            or self.pair_all_writes
+            or self.pair_ca_writes
+        ):
+            raise ConfigurationError("encryption features require encryption")
+
+    # -- derived properties -------------------------------------------------
+
+    @property
+    def uses_separate_counters(self) -> bool:
+        """Counters live in their own NVM region (Figure 5(c) layout)."""
+        return self.encrypts and not self.colocated
+
+    @property
+    def crash_consistent(self) -> bool:
+        """Does the design guarantee decryptability across crashes?
+
+        Co-located designs are atomic per access; the paired designs
+        enforce it with ready bits; the ideal design is consistent by
+        fiat; a design with separate counters and no pairing is not.
+        """
+        if not self.encrypts:
+            return True
+        if self.colocated or self.magic_counter_persistence:
+            return True
+        return self.pair_all_writes or self.pair_ca_writes
+
+    def write_is_paired(self, counter_atomic: bool) -> bool:
+        """Should a write with this annotation pair with its counter?"""
+        if self.pair_all_writes:
+            return True
+        return self.pair_ca_writes and counter_atomic
+
+
+NO_ENCRYPTION = DesignPolicy(
+    name="no-encryption",
+    description="Plain NVMM without encryption (upper-bound baseline).",
+    encrypts=False,
+    colocated=False,
+    has_counter_cache=False,
+    pair_all_writes=False,
+    pair_ca_writes=False,
+    counter_evict_writes=False,
+    ccwb_enabled=False,
+    magic_counter_persistence=False,
+    bus_width_bits=64,
+)
+
+IDEAL = DesignPolicy(
+    name="ideal",
+    description=(
+        "Counter-mode encryption whose counter persistence costs nothing; "
+        "crash consistent by construction (evaluation fiction)."
+    ),
+    encrypts=True,
+    colocated=False,
+    has_counter_cache=True,
+    pair_all_writes=False,
+    pair_ca_writes=False,
+    counter_evict_writes=False,
+    ccwb_enabled=False,
+    magic_counter_persistence=True,
+    bus_width_bits=64,
+)
+
+UNSAFE = DesignPolicy(
+    name="unsafe",
+    description=(
+        "Counter-mode encryption with lazy (eviction-only) counter "
+        "writeback and no pairing: fast but NOT crash consistent. Used "
+        "to demonstrate the motivating failure (Figures 3 and 4)."
+    ),
+    encrypts=True,
+    colocated=False,
+    has_counter_cache=True,
+    pair_all_writes=False,
+    pair_ca_writes=False,
+    counter_evict_writes=True,
+    ccwb_enabled=False,
+    magic_counter_persistence=False,
+    bus_width_bits=64,
+)
+
+CO_LOCATED = DesignPolicy(
+    name="co-located",
+    description=(
+        "Data and counter co-located in one 72 B access over a 72-bit "
+        "bus; no counter cache, so decryption serializes after every "
+        "read (Section 3.2.1, Figure 5(a))."
+    ),
+    encrypts=True,
+    colocated=True,
+    has_counter_cache=False,
+    pair_all_writes=False,
+    pair_ca_writes=False,
+    counter_evict_writes=False,
+    ccwb_enabled=False,
+    magic_counter_persistence=False,
+    bus_width_bits=72,
+)
+
+CO_LOCATED_CC = DesignPolicy(
+    name="co-located-cc",
+    description=(
+        "Co-located data and counter plus a counter cache that lets "
+        "decryption overlap the read on a hit (Figure 5(b))."
+    ),
+    encrypts=True,
+    colocated=True,
+    has_counter_cache=True,
+    pair_all_writes=False,
+    pair_ca_writes=False,
+    counter_evict_writes=False,
+    ccwb_enabled=False,
+    magic_counter_persistence=False,
+    bus_width_bits=72,
+)
+
+FCA = DesignPolicy(
+    name="fca",
+    description=(
+        "Full counter-atomicity: every write pairs its data line with a "
+        "counter-line write through the ready-bit protocol (Section 3.2.2)."
+    ),
+    encrypts=True,
+    colocated=False,
+    has_counter_cache=True,
+    pair_all_writes=True,
+    pair_ca_writes=False,
+    counter_evict_writes=True,
+    ccwb_enabled=False,
+    magic_counter_persistence=False,
+    bus_width_bits=64,
+)
+
+SCA = DesignPolicy(
+    name="sca",
+    description=(
+        "Selective counter-atomicity: only CounterAtomic writes pair; "
+        "other counters coalesce in the counter cache until "
+        "counter_cache_writeback() (Section 4)."
+    ),
+    encrypts=True,
+    colocated=False,
+    has_counter_cache=True,
+    pair_all_writes=False,
+    pair_ca_writes=True,
+    counter_evict_writes=True,
+    ccwb_enabled=True,
+    magic_counter_persistence=False,
+    bus_width_bits=64,
+)
+
+#: The designs evaluated in the paper's figures, in plot order.
+ALL_DESIGNS: Tuple[DesignPolicy, ...] = (
+    NO_ENCRYPTION,
+    IDEAL,
+    CO_LOCATED,
+    CO_LOCATED_CC,
+    FCA,
+    SCA,
+)
+
+#: The four designs of Figures 12/14 (normalized to no-encryption).
+BASELINE_DESIGNS: Tuple[DesignPolicy, ...] = (SCA, FCA, CO_LOCATED, CO_LOCATED_CC)
+
+_BY_NAME: Dict[str, DesignPolicy] = {d.name: d for d in ALL_DESIGNS}
+_BY_NAME[UNSAFE.name] = UNSAFE
+
+
+def get_design(name: str) -> DesignPolicy:
+    """Look up a design by its evaluation name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise ConfigurationError(
+            "unknown design %r; available: %s" % (name, ", ".join(sorted(_BY_NAME)))
+        ) from None
+
+
+def list_designs(include_unsafe: bool = False) -> List[str]:
+    """Names of all designs in evaluation order."""
+    names = [d.name for d in ALL_DESIGNS]
+    if include_unsafe:
+        names.append(UNSAFE.name)
+    return names

@@ -1,0 +1,25 @@
+"""Crash injection, post-crash recovery and consistency checking.
+
+The injector reconstructs the exact NVM image at any failure instant
+from the persist journal (honouring ADR and ready bits); the recovery
+module decrypts that image the way the memory controller would after a
+reboot; the checker validates decryptability (Eq. 4) and hands the
+recovered bytes to transaction-level recovery.
+"""
+
+from .injector import CrashImage, CrashInjector
+from .recovery import RecoveredMemory, RecoveryManager
+from .checker import CrashConsistencyReport, sweep_crash_points
+from .counter_recovery import CounterRecoverer, CounterRecoveryReport, collect_tags
+
+__all__ = [
+    "CrashImage",
+    "CrashInjector",
+    "RecoveredMemory",
+    "RecoveryManager",
+    "CrashConsistencyReport",
+    "sweep_crash_points",
+    "CounterRecoverer",
+    "CounterRecoveryReport",
+    "collect_tags",
+]

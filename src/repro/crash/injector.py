@@ -1,0 +1,121 @@
+"""Power-failure injection.
+
+A crash at time T has these effects (paper Sections 2-5):
+
+* All volatile state disappears: CPU caches, the counter cache, and any
+  write-queue entry whose ready bit is still 0.
+* The ADR logic drains every *ready* write-queue entry, so those writes
+  persist even though they had not reached the NVM array.
+* The NVM array keeps whatever had drained before T.
+
+The persist journal encodes all three rules, so building a crash image
+is a single reconstruction call.  The injector also enumerates the
+interesting crash instants of a finished run — every boundary where the
+durable state can change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..config import CACHE_LINE_SIZE
+from ..crypto.counters import CounterStore
+from ..nvm.address import AddressMap
+from ..nvm.device import NVMDevice
+from ..sim.machine import SimulationResult
+
+
+@dataclass
+class CrashImage:
+    """The durable state visible after a failure at ``crash_ns``."""
+
+    crash_ns: float
+    device: NVMDevice
+    counter_store: CounterStore
+    design: str
+
+    @property
+    def address_map(self) -> AddressMap:
+        return self.device.address_map
+
+
+class CrashInjector:
+    """Builds crash images from a finished simulation."""
+
+    def __init__(self, result: SimulationResult) -> None:
+        self.result = result
+        self._journal = result.controller.journal
+        self._address_map = result.controller.address_map
+        #: The ideal design's evaluation fiction: counters always
+        #: persist, so its images are decryptable by construction.
+        self._magic_counters = result.policy.magic_counter_persistence
+
+    def crash_at(self, crash_ns: float, adr: bool = True) -> CrashImage:
+        """Reconstruct the durable state at ``crash_ns``.
+
+        ``adr=False`` models a system without the ADR guarantee (only
+        array-drained writes survive) — used by ablation benches.
+        """
+        data_lines, counters = self._journal.reconstruct(crash_ns, adr=adr)
+        device = NVMDevice(self._address_map, track_wear=False)
+        for address, (payload, encrypted_with) in data_lines.items():
+            device.persist_line(address, payload, encrypted_with)
+        # Reconstruction inflates write counters; report reads instead.
+        device.line_writes = 0
+        store = CounterStore(
+            counter_region_base=self._address_map.counter_region_base,
+            memory_size_bytes=self._address_map.memory_size_bytes,
+        )
+        for address, value in counters.items():
+            store.write(address, value)
+        return CrashImage(
+            crash_ns=crash_ns,
+            device=device,
+            counter_store=store,
+            design=self.result.policy.name,
+        )
+
+    # -- crash-point enumeration ---------------------------------------------
+
+    def interesting_times(self, limit: Optional[int] = None) -> List[float]:
+        """Times just after each durability event (ready or drain).
+
+        Crashing between two consecutive events is equivalent to
+        crashing at the earlier one, so sweeping these covers every
+        distinct durable state.  A small epsilon lands strictly after
+        the event.
+        """
+        times = set()
+        for record in self._journal.records:
+            for stamp in (record.ready_ns, record.drain_ns):
+                if stamp != float("inf"):
+                    times.add(stamp)
+            for amendment in record.amendments:
+                times.add(amendment.effective_ns)
+        ordered = sorted(times)
+        if limit is not None and len(ordered) > limit:
+            # Uniform sample, always keeping first and last.
+            step = (len(ordered) - 1) / (limit - 1)
+            ordered = [ordered[round(i * step)] for i in range(limit)]
+        epsilon = 1e-6
+        return [t + epsilon for t in ordered]
+
+    def midpoint_times(self, limit: Optional[int] = None) -> List[float]:
+        """Times strictly *between* durability events.
+
+        These catch in-flight states: e.g. a pair whose data entry is
+        accepted but whose counter entry is not.
+        """
+        boundaries = sorted(
+            {r.accept_ns for r in self._journal.records}
+            | {r.ready_ns for r in self._journal.records if r.ready_ns != float("inf")}
+            | {r.drain_ns for r in self._journal.records if r.drain_ns != float("inf")}
+        )
+        midpoints = [
+            (a + b) / 2.0 for a, b in zip(boundaries, boundaries[1:]) if b > a
+        ]
+        if limit is not None and len(midpoints) > limit:
+            step = (len(midpoints) - 1) / (limit - 1)
+            midpoints = [midpoints[round(i * step)] for i in range(limit)]
+        return midpoints

@@ -1,0 +1,209 @@
+"""Pure-Python AES-128 block cipher (FIPS-197).
+
+The simulator only needs the forward direction: counter-mode encryption
+both encrypts and decrypts by XORing with ``En(address || counter)``, so
+no inverse cipher is required (we still implement decryption for
+completeness and for tests against the published FIPS-197 vectors).
+
+This implementation favours clarity over speed; large simulations use
+:class:`repro.crypto.prf.SplitMixPRF` instead (selected by
+``EncryptionConfig.cipher``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..errors import CryptoError
+
+_SBOX: List[int] = []
+_INV_SBOX: List[int] = [0] * 256
+
+
+def _build_sbox() -> None:
+    """Construct the AES S-box from GF(2^8) inverses plus the affine map."""
+    if _SBOX:
+        return
+    # Multiplicative inverse table via exp/log tables over GF(2^8).
+    exp_table = [0] * 512
+    log_table = [0] * 256
+    value = 1
+    for exponent in range(255):
+        exp_table[exponent] = value
+        log_table[value] = exponent
+        # Multiply by generator 0x03 = x + 1.
+        value ^= (value << 1) ^ (0x11B if value & 0x80 else 0)
+        value &= 0xFF
+    for exponent in range(255, 512):
+        exp_table[exponent] = exp_table[exponent - 255]
+
+    def gf_inverse(byte: int) -> int:
+        if byte == 0:
+            return 0
+        return exp_table[255 - log_table[byte]]
+
+    for byte in range(256):
+        inv = gf_inverse(byte)
+        # Affine transformation.
+        result = 0
+        for bit in range(8):
+            result |= (
+                (
+                    (inv >> bit)
+                    ^ (inv >> ((bit + 4) % 8))
+                    ^ (inv >> ((bit + 5) % 8))
+                    ^ (inv >> ((bit + 6) % 8))
+                    ^ (inv >> ((bit + 7) % 8))
+                    ^ (0x63 >> bit)
+                )
+                & 1
+            ) << bit
+        _SBOX.append(result)
+        _INV_SBOX[result] = byte
+
+
+_build_sbox()
+
+_RCON = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36]
+
+
+def _xtime(byte: int) -> int:
+    """Multiply by x in GF(2^8)."""
+    byte <<= 1
+    if byte & 0x100:
+        byte ^= 0x11B
+    return byte & 0xFF
+
+
+def _gf_mul(a: int, b: int) -> int:
+    """General GF(2^8) multiplication (used by the inverse cipher)."""
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a = _xtime(a)
+        b >>= 1
+    return result
+
+
+class AES128:
+    """AES with a 128-bit key operating on 16-byte blocks."""
+
+    BLOCK_SIZE = 16
+    ROUNDS = 10
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) != 16:
+            raise CryptoError("AES-128 requires a 16-byte key")
+        self._round_keys = self._expand_key(key)
+
+    @staticmethod
+    def _expand_key(key: bytes) -> List[List[int]]:
+        """Produce 11 round keys of 16 bytes each, stored as flat lists."""
+        words: List[List[int]] = [list(key[i : i + 4]) for i in range(0, 16, 4)]
+        for index in range(4, 4 * (AES128.ROUNDS + 1)):
+            previous = list(words[index - 1])
+            if index % 4 == 0:
+                previous = previous[1:] + previous[:1]
+                previous = [_SBOX[b] for b in previous]
+                previous[0] ^= _RCON[index // 4 - 1]
+            words.append([a ^ b for a, b in zip(words[index - 4], previous)])
+        round_keys: List[List[int]] = []
+        for round_index in range(AES128.ROUNDS + 1):
+            flat: List[int] = []
+            for word in words[4 * round_index : 4 * round_index + 4]:
+                flat.extend(word)
+            round_keys.append(flat)
+        return round_keys
+
+    @staticmethod
+    def _add_round_key(state: List[int], round_key: Sequence[int]) -> None:
+        for index in range(16):
+            state[index] ^= round_key[index]
+
+    @staticmethod
+    def _sub_bytes(state: List[int]) -> None:
+        for index in range(16):
+            state[index] = _SBOX[state[index]]
+
+    @staticmethod
+    def _inv_sub_bytes(state: List[int]) -> None:
+        for index in range(16):
+            state[index] = _INV_SBOX[state[index]]
+
+    @staticmethod
+    def _shift_rows(state: List[int]) -> List[int]:
+        # State is column-major: state[4*col + row].
+        shifted = state[:]
+        for row in range(1, 4):
+            for col in range(4):
+                shifted[4 * col + row] = state[4 * ((col + row) % 4) + row]
+        return shifted
+
+    @staticmethod
+    def _inv_shift_rows(state: List[int]) -> List[int]:
+        shifted = state[:]
+        for row in range(1, 4):
+            for col in range(4):
+                shifted[4 * ((col + row) % 4) + row] = state[4 * col + row]
+        return shifted
+
+    @staticmethod
+    def _mix_columns(state: List[int]) -> None:
+        for col in range(4):
+            base = 4 * col
+            a = state[base : base + 4]
+            state[base + 0] = _xtime(a[0]) ^ _xtime(a[1]) ^ a[1] ^ a[2] ^ a[3]
+            state[base + 1] = a[0] ^ _xtime(a[1]) ^ _xtime(a[2]) ^ a[2] ^ a[3]
+            state[base + 2] = a[0] ^ a[1] ^ _xtime(a[2]) ^ _xtime(a[3]) ^ a[3]
+            state[base + 3] = _xtime(a[0]) ^ a[0] ^ a[1] ^ a[2] ^ _xtime(a[3])
+
+    @staticmethod
+    def _inv_mix_columns(state: List[int]) -> None:
+        for col in range(4):
+            base = 4 * col
+            a = state[base : base + 4]
+            state[base + 0] = (
+                _gf_mul(a[0], 14) ^ _gf_mul(a[1], 11) ^ _gf_mul(a[2], 13) ^ _gf_mul(a[3], 9)
+            )
+            state[base + 1] = (
+                _gf_mul(a[0], 9) ^ _gf_mul(a[1], 14) ^ _gf_mul(a[2], 11) ^ _gf_mul(a[3], 13)
+            )
+            state[base + 2] = (
+                _gf_mul(a[0], 13) ^ _gf_mul(a[1], 9) ^ _gf_mul(a[2], 14) ^ _gf_mul(a[3], 11)
+            )
+            state[base + 3] = (
+                _gf_mul(a[0], 11) ^ _gf_mul(a[1], 13) ^ _gf_mul(a[2], 9) ^ _gf_mul(a[3], 14)
+            )
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        """Encrypt one 16-byte block."""
+        if len(block) != 16:
+            raise CryptoError("AES block must be 16 bytes")
+        state = list(block)
+        self._add_round_key(state, self._round_keys[0])
+        for round_index in range(1, self.ROUNDS):
+            self._sub_bytes(state)
+            state = self._shift_rows(state)
+            self._mix_columns(state)
+            self._add_round_key(state, self._round_keys[round_index])
+        self._sub_bytes(state)
+        state = self._shift_rows(state)
+        self._add_round_key(state, self._round_keys[self.ROUNDS])
+        return bytes(state)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        """Decrypt one 16-byte block (inverse cipher)."""
+        if len(block) != 16:
+            raise CryptoError("AES block must be 16 bytes")
+        state = list(block)
+        self._add_round_key(state, self._round_keys[self.ROUNDS])
+        for round_index in range(self.ROUNDS - 1, 0, -1):
+            state = self._inv_shift_rows(state)
+            self._inv_sub_bytes(state)
+            self._add_round_key(state, self._round_keys[round_index])
+            self._inv_mix_columns(state)
+        state = self._inv_shift_rows(state)
+        self._inv_sub_bytes(state)
+        self._add_round_key(state, self._round_keys[0])
+        return bytes(state)

@@ -1,0 +1,113 @@
+"""Counter-line compression (the paper's §6.3.3 extension).
+
+The paper notes the lifetime/traffic improvement "will be higher if we
+consider compressing the counters using techniques proposed by some
+prior works" (base-delta-immediate-style compression).  Counters in one
+counter line cover eight *adjacent* data lines, which are often written
+close together in time — so their values cluster tightly around a base,
+making them highly compressible.
+
+Scheme implemented here (base + delta):
+
+* base  = the minimum counter in the line (8 bytes),
+* deltas = the seven remaining counters relative to the base, packed at
+  the smallest width in {1, 2, 4, 8} bytes that fits the largest delta,
+* a 1-byte header encodes the delta width.
+
+A counter line therefore compresses to ``9 + 7 * width`` bytes
+(10-bytes best case vs 64 uncompressed), and always round-trips
+exactly.  The ablation bench measures how much counter write traffic
+this would save on real runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..config import COUNTERS_PER_LINE
+from ..errors import CryptoError
+
+_WIDTHS = (1, 2, 4, 8)
+_HEADER_BYTES = 1
+_BASE_BYTES = 8
+
+
+@dataclass(frozen=True)
+class CompressedCounterLine:
+    """One compressed counter line."""
+
+    base: int
+    delta_width: int
+    payload: bytes
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.payload)
+
+
+def _width_for(max_delta: int) -> int:
+    for width in _WIDTHS:
+        if max_delta < (1 << (8 * width)):
+            return width
+    raise CryptoError("counter delta does not fit any width")
+
+
+def compress_counter_line(counters: Sequence[int]) -> CompressedCounterLine:
+    """Compress eight counters to base + packed deltas."""
+    if len(counters) != COUNTERS_PER_LINE:
+        raise CryptoError(
+            "a counter line holds %d counters, got %d"
+            % (COUNTERS_PER_LINE, len(counters))
+        )
+    if any(value < 0 for value in counters):
+        raise CryptoError("counters cannot be negative")
+    base = min(counters)
+    deltas = [value - base for value in counters]
+    width = _width_for(max(deltas))
+    payload = bytearray()
+    payload.append(width)
+    payload.extend(base.to_bytes(_BASE_BYTES, "little"))
+    for delta in deltas:
+        payload.extend(delta.to_bytes(width, "little"))
+    return CompressedCounterLine(
+        base=base, delta_width=width, payload=bytes(payload)
+    )
+
+
+def decompress_counter_line(compressed: CompressedCounterLine) -> Tuple[int, ...]:
+    """Exact inverse of :func:`compress_counter_line`."""
+    payload = compressed.payload
+    width = payload[0]
+    if width not in _WIDTHS:
+        raise CryptoError("corrupt compressed counter line (width %d)" % width)
+    base = int.from_bytes(payload[1 : 1 + _BASE_BYTES], "little")
+    counters: List[int] = []
+    offset = _HEADER_BYTES + _BASE_BYTES
+    for _ in range(COUNTERS_PER_LINE):
+        counters.append(base + int.from_bytes(payload[offset : offset + width], "little"))
+        offset += width
+    if offset != len(payload):
+        raise CryptoError("corrupt compressed counter line (trailing bytes)")
+    return tuple(counters)
+
+
+def compressed_size_bytes(counters: Sequence[int]) -> int:
+    """Size one counter line compresses to (without materializing it)."""
+    if len(counters) != COUNTERS_PER_LINE:
+        raise CryptoError("a counter line holds %d counters" % COUNTERS_PER_LINE)
+    base = min(counters)
+    width = _width_for(max(value - base for value in counters))
+    return _HEADER_BYTES + _BASE_BYTES + COUNTERS_PER_LINE * width
+
+
+def traffic_savings(counter_lines: Sequence[Sequence[int]]) -> float:
+    """Fraction of counter write bytes saved by compression.
+
+    0.0 = no savings, 0.8 = compressed traffic is a fifth of raw.
+    """
+    if not counter_lines:
+        return 0.0
+    raw = len(counter_lines) * COUNTERS_PER_LINE * 8
+    compressed = sum(compressed_size_bytes(line) for line in counter_lines)
+    return 1.0 - compressed / raw

@@ -1,0 +1,134 @@
+"""The one-time-pad (OTP) construction of counter-mode encryption.
+
+A 64 B cache line needs four 16 B pad blocks.  Each pad block is
+``En(address || counter || block_index, key)`` so that every block of
+every line version gets a unique pad (paper Eq. 1-3).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Protocol, Union
+
+from ..config import CACHE_LINE_SIZE, EncryptionConfig
+from ..errors import CryptoError
+from .aes import AES128
+from .prf import SplitMixPRF
+
+_SEED_BLOCK = struct.Struct("<QIHH")  # address, counter-low, counter-high, block index
+
+
+class BlockCipher(Protocol):
+    """Anything providing a 16-byte forward permutation/PRF."""
+
+    BLOCK_SIZE: int
+
+    def encrypt_block(self, block: bytes) -> bytes:  # pragma: no cover - protocol
+        ...
+
+
+def make_block_cipher(config: EncryptionConfig) -> BlockCipher:
+    """Instantiate the cipher selected by the configuration."""
+    if config.cipher == "aes":
+        return AES128(config.key)
+    if config.cipher == "prf":
+        return SplitMixPRF(config.key)
+    raise CryptoError("unknown cipher %r" % config.cipher)
+
+
+class OTPCipher:
+    """Counter-mode line encryption: pad generation + XOR.
+
+    The pad depends on (line address, counter); a mismatch between the
+    counter used to encrypt and the counter used to decrypt yields
+    garbage, which is what the paper's Eq. 4 expresses.
+    """
+
+    def __init__(self, cipher: BlockCipher, line_size: int = CACHE_LINE_SIZE) -> None:
+        if line_size % cipher.BLOCK_SIZE != 0:
+            raise CryptoError("line size must be a multiple of the cipher block size")
+        self._cipher = cipher
+        self.line_size = line_size
+        self._blocks_per_line = line_size // cipher.BLOCK_SIZE
+        # Pad cache: (address, counter) -> pad.  Counter-mode reuses the
+        # same pad for encrypt and decrypt, so this is a pure memoization.
+        self._pad_cache: dict = {}
+        self._pad_cache_limit = 4096
+
+    def pad(self, address: int, counter: int) -> bytes:
+        """Generate the one-time pad for (address, counter)."""
+        key = (address, counter)
+        cached = self._pad_cache.get(key)
+        if cached is not None:
+            return cached
+        blocks = []
+        counter_low = counter & 0xFFFFFFFF
+        counter_high = (counter >> 32) & 0xFFFF
+        for block_index in range(self._blocks_per_line):
+            seed = _SEED_BLOCK.pack(address, counter_low, counter_high, block_index)
+            blocks.append(self._cipher.encrypt_block(seed))
+        pad = b"".join(blocks)
+        if len(self._pad_cache) >= self._pad_cache_limit:
+            self._pad_cache.clear()
+        self._pad_cache[key] = pad
+        return pad
+
+    def encrypt(self, address: int, counter: int, plaintext: bytes) -> bytes:
+        """Encrypt one line: ``pad(address, counter) XOR plaintext``.
+
+        Counter 0 is reserved to mean "stored in the clear": it is the
+        architectural state of never-written lines, whose contents read
+        as zeroes without any pad.  The encryption engine's global
+        counter starts at 1, so real writes never use it.
+        """
+        if len(plaintext) != self.line_size:
+            raise CryptoError(
+                "plaintext must be %d bytes, got %d" % (self.line_size, len(plaintext))
+            )
+        if counter == 0:
+            return plaintext
+        pad = self.pad(address, counter)
+        return _xor(pad, plaintext)
+
+    def decrypt(self, address: int, counter: int, ciphertext: bytes) -> bytes:
+        """Decrypt one line; correct only if ``counter`` matches encryption."""
+        if len(ciphertext) != self.line_size:
+            raise CryptoError(
+                "ciphertext must be %d bytes, got %d" % (self.line_size, len(ciphertext))
+            )
+        if counter == 0:
+            return ciphertext
+        pad = self.pad(address, counter)
+        return _xor(pad, ciphertext)
+
+
+def _xor(left: bytes, right: bytes) -> bytes:
+    return bytes(a ^ b for a, b in zip(left, right))
+
+
+def encrypt_line(
+    config_or_cipher: Union[EncryptionConfig, OTPCipher],
+    address: int,
+    counter: int,
+    plaintext: bytes,
+) -> bytes:
+    """Convenience wrapper: encrypt one line with a config or cipher."""
+    cipher = _coerce(config_or_cipher)
+    return cipher.encrypt(address, counter, plaintext)
+
+
+def decrypt_line(
+    config_or_cipher: Union[EncryptionConfig, OTPCipher],
+    address: int,
+    counter: int,
+    ciphertext: bytes,
+) -> bytes:
+    """Convenience wrapper: decrypt one line with a config or cipher."""
+    cipher = _coerce(config_or_cipher)
+    return cipher.decrypt(address, counter, ciphertext)
+
+
+def _coerce(config_or_cipher: Union[EncryptionConfig, OTPCipher]) -> OTPCipher:
+    if isinstance(config_or_cipher, OTPCipher):
+        return config_or_cipher
+    return OTPCipher(make_block_cipher(config_or_cipher))

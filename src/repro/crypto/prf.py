@@ -1,0 +1,58 @@
+"""Fast keyed pseudo-random function used as the simulation block cipher.
+
+Pure-Python AES is roughly two orders of magnitude too slow for sweeps
+over millions of memory events.  The simulator therefore defaults to a
+SplitMix64-based keyed PRF with the same *interface and relevant
+properties* as AES in counter mode:
+
+* deterministic: the same (key, block) input always yields the same
+  16-byte output, so encrypt-then-decrypt round-trips;
+* input-sensitive: any change to the address or counter produces an
+  unrelated pad, so decrypting with a stale counter yields garbage —
+  the exact failure mode the paper's counter-atomicity prevents.
+
+It is **not** cryptographically secure and is clearly labeled as a
+simulation substitute (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import struct
+
+from ..errors import CryptoError
+
+_MASK64 = (1 << 64) - 1
+_TWO_U64 = struct.Struct("<QQ")
+
+
+def _splitmix64(state: int) -> int:
+    """One SplitMix64 output step (public-domain mixing constants)."""
+    state = (state + 0x9E3779B97F4A7C15) & _MASK64
+    z = state
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return z ^ (z >> 31)
+
+
+class SplitMixPRF:
+    """A keyed 128-bit block PRF built from two SplitMix64 lanes."""
+
+    BLOCK_SIZE = 16
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) != 16:
+            raise CryptoError("SplitMixPRF requires a 16-byte key")
+        self._key_lo, self._key_hi = _TWO_U64.unpack(key)
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        """Map a 16-byte block to a 16-byte pseudo-random output."""
+        if len(block) != 16:
+            raise CryptoError("PRF block must be 16 bytes")
+        lo, hi = _TWO_U64.unpack(block)
+        # Mix both halves and the key into each output lane so that a
+        # change anywhere in the input perturbs the whole output.
+        mixed_lo = _splitmix64(lo ^ self._key_lo)
+        mixed_hi = _splitmix64(hi ^ self._key_hi ^ mixed_lo)
+        out_lo = _splitmix64(mixed_lo ^ (mixed_hi << 1 & _MASK64) ^ self._key_hi)
+        out_hi = _splitmix64(mixed_hi ^ (out_lo >> 3) ^ self._key_lo)
+        return _TWO_U64.pack(out_lo, out_hi)

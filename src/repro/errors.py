@@ -1,0 +1,91 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised by this library derive from :class:`ReproError`, so
+callers can catch a single base class.  Sub-hierarchies separate
+configuration mistakes (caller bugs) from simulated-hardware conditions
+(expected outcomes of an experiment, e.g. a decryption failure after an
+injected crash).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration value is invalid or inconsistent."""
+
+
+class AddressError(ReproError):
+    """An address is out of range or violates an alignment requirement."""
+
+
+class AlignmentError(AddressError):
+    """An address is not aligned to the required granularity."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine reached an invalid internal state."""
+
+
+class DeadlockError(SimulationError):
+    """The event queue drained while cores still had pending operations."""
+
+
+class TraceError(ReproError):
+    """A trace record is malformed or out of protocol order."""
+
+
+class CryptoError(ReproError):
+    """Base class for encryption-engine errors."""
+
+
+class DecryptionFailure(CryptoError):
+    """Decryption produced data that fails integrity verification.
+
+    In a real system a stale counter silently yields garbage plaintext
+    (paper Eq. 4).  The simulator attaches an integrity tag to each line
+    so experiments can *detect* the garbage and report the failure.
+    """
+
+    def __init__(self, address: int, message: str = "") -> None:
+        self.address = address
+        text = message or (
+            "decryption failure at address 0x%x: data and counter in NVM "
+            "are out of sync (counter-atomicity violated)" % address
+        )
+        super().__init__(text)
+
+
+class CounterOverflowError(CryptoError):
+    """A per-line write counter exceeded its representable range."""
+
+
+class PersistencyError(ReproError):
+    """A persistency-protocol violation (e.g. sfence with no epoch)."""
+
+
+class QueueFullError(SimulationError):
+    """An internal queue rejected an entry it should have buffered.
+
+    Write queues apply backpressure instead of raising; this error marks
+    protocol bugs where backpressure was bypassed.
+    """
+
+
+class RecoveryError(ReproError):
+    """Post-crash recovery could not restore a consistent state."""
+
+
+class TransactionError(ReproError):
+    """Misuse of the transactional API (nesting, double-commit, ...)."""
+
+
+class HeapError(ReproError):
+    """Persistent-heap allocation failure or invalid free."""
+
+
+class WorkloadError(ReproError):
+    """A workload was misconfigured or failed an internal self-check."""

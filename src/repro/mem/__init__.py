@@ -1,0 +1,30 @@
+"""Volatile memory hierarchy and the memory controller.
+
+* :mod:`repro.mem.cache` — set-associative write-back caches (L1, L2),
+* :mod:`repro.mem.hierarchy` — the per-core L1 / shared L2 stack,
+* :mod:`repro.mem.writequeue` — the data and counter write queues with
+  the paper's ready-bit pairing protocol,
+* :mod:`repro.mem.controller` — the memory controller (NVM coordinator +
+  encryption engine + queues) parameterized by a counter-atomicity
+  design policy.
+"""
+
+from .cache import Cache, CacheStats, EvictedLine
+from .cacheline import CacheLine
+from .controller import MemoryController, ReadResult, WriteTicket
+from .hierarchy import CacheHierarchy, HierarchyAccess
+from .writequeue import WriteQueue, WriteQueueEntry
+
+__all__ = [
+    "Cache",
+    "CacheStats",
+    "EvictedLine",
+    "CacheLine",
+    "CacheHierarchy",
+    "HierarchyAccess",
+    "MemoryController",
+    "ReadResult",
+    "WriteTicket",
+    "WriteQueue",
+    "WriteQueueEntry",
+]

@@ -1,0 +1,233 @@
+"""A set-associative write-back, write-allocate cache level.
+
+Used for the private L1s and the shared L2.  The cache is functional
+(moves real bytes) when built with ``functional=True`` and tag-only
+otherwise; the replacement, dirty and CounterAtomic bookkeeping is
+identical in both modes, so timing-only sweeps exercise the same paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..config import CACHE_LINE_SIZE, CacheConfig
+from ..errors import AddressError
+from ..utils.bitops import align_down
+from .cacheline import CacheLine
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/writeback counters for one cache level."""
+
+    read_hits: int = 0
+    read_misses: int = 0
+    write_hits: int = 0
+    write_misses: int = 0
+    evictions: int = 0
+    dirty_evictions: int = 0
+    writebacks_cleaned: int = 0  # clwb on a dirty line
+
+    @property
+    def accesses(self) -> int:
+        return self.read_hits + self.read_misses + self.write_hits + self.write_misses
+
+    @property
+    def miss_rate(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return (self.read_misses + self.write_misses) / self.accesses
+
+
+@dataclass
+class EvictedLine:
+    """A victim pushed out of a cache level."""
+
+    address: int
+    payload: Optional[bytes]
+    dirty: bool
+    counter_atomic: bool
+
+
+class Cache:
+    """One cache level with true-LRU replacement."""
+
+    def __init__(self, config: CacheConfig, functional: bool = True, name: str = "cache") -> None:
+        self.config = config
+        self.functional = functional
+        self.name = name
+        self.num_sets = config.num_sets
+        self.ways = config.ways
+        self._sets: List[Dict[int, CacheLine]] = [dict() for _ in range(self.num_sets)]
+        self._tick = 0
+        self.stats = CacheStats()
+
+    # -- addressing ------------------------------------------------------
+
+    def _set_index(self, line_address: int) -> int:
+        return (line_address // CACHE_LINE_SIZE) % self.num_sets
+
+    @staticmethod
+    def line_address(address: int) -> int:
+        return align_down(address, CACHE_LINE_SIZE)
+
+    # -- internals -------------------------------------------------------
+
+    def _lookup(self, line_address: int) -> Optional[CacheLine]:
+        return self._sets[self._set_index(line_address)].get(line_address)
+
+    def _touch(self, line: CacheLine) -> None:
+        self._tick += 1
+        line.lru_tick = self._tick
+
+    # -- queries -----------------------------------------------------------
+
+    def contains(self, address: int) -> bool:
+        return self._lookup(self.line_address(address)) is not None
+
+    def peek(self, address: int) -> Optional[CacheLine]:
+        """Inspect a line without touching LRU or statistics."""
+        return self._lookup(self.line_address(address))
+
+    # -- read path -----------------------------------------------------------
+
+    def read(self, address: int, length: int) -> Optional[Tuple[Optional[bytes], CacheLine]]:
+        """Read ``length`` bytes; returns None on miss.
+
+        On a hit, returns ``(data, line)`` where data is None in
+        timing-only mode.
+        """
+        line_address = self.line_address(address)
+        line = self._lookup(line_address)
+        if line is None:
+            self.stats.read_misses += 1
+            return None
+        self.stats.read_hits += 1
+        self._touch(line)
+        data = line.read_bytes(address - line_address, length)
+        return (data, line)
+
+    # -- write path ------------------------------------------------------------
+
+    def write(
+        self, address: int, data: Optional[bytes], length: int, counter_atomic: bool = False
+    ) -> bool:
+        """Store into a resident line; returns False on miss.
+
+        ``data`` is None in timing-only mode, in which case ``length``
+        still drives the bounds check.
+        """
+        line_address = self.line_address(address)
+        line = self._lookup(line_address)
+        if line is None:
+            self.stats.write_misses += 1
+            return False
+        self.stats.write_hits += 1
+        self._touch(line)
+        if data is not None:
+            line.write_bytes(address - line_address, data)
+        elif address - line_address + length > CACHE_LINE_SIZE:
+            raise AddressError("store spills out of the line")
+        line.dirty = True
+        if counter_atomic:
+            line.counter_atomic = True
+        return True
+
+    # -- fills and evictions -------------------------------------------------------
+
+    def fill(
+        self,
+        address: int,
+        payload: Optional[bytes],
+        dirty: bool = False,
+        counter_atomic: bool = False,
+    ) -> Optional[EvictedLine]:
+        """Install a line, evicting the LRU way if the set is full.
+
+        Returns the victim (clean or dirty) so the caller can propagate
+        dirty data downward; returns None when no eviction happened.
+        """
+        line_address = self.line_address(address)
+        cache_set = self._sets[self._set_index(line_address)]
+        existing = cache_set.get(line_address)
+        if existing is not None:
+            # Refill of a resident line: merge payload, keep metadata.
+            if payload is not None and existing.payload is not None:
+                existing.payload[:] = payload
+            existing.dirty = existing.dirty or dirty
+            existing.counter_atomic = existing.counter_atomic or counter_atomic
+            self._touch(existing)
+            return None
+        victim: Optional[EvictedLine] = None
+        if len(cache_set) >= self.ways:
+            victim_address = min(cache_set, key=lambda a: cache_set[a].lru_tick)
+            victim_line = cache_set.pop(victim_address)
+            self.stats.evictions += 1
+            if victim_line.dirty:
+                self.stats.dirty_evictions += 1
+            victim = EvictedLine(
+                address=victim_address,
+                payload=victim_line.snapshot_payload(),
+                dirty=victim_line.dirty,
+                counter_atomic=victim_line.counter_atomic,
+            )
+        self._tick += 1
+        stored = (
+            bytearray(payload)
+            if (self.functional and payload is not None)
+            else (bytearray(CACHE_LINE_SIZE) if self.functional else None)
+        )
+        new_line = CacheLine(line_address, stored, self._tick)
+        new_line.dirty = dirty
+        new_line.counter_atomic = counter_atomic
+        cache_set[line_address] = new_line
+        return victim
+
+    def clean_line(self, address: int) -> Optional[EvictedLine]:
+        """clwb semantics: emit a writeback for a dirty line, keep it valid.
+
+        Returns the writeback payload (with its CounterAtomic flag) or
+        None if the line is absent or clean.  The line's dirty and
+        CounterAtomic flags are cleared — the update is now owned by
+        the memory controller.
+        """
+        line_address = self.line_address(address)
+        line = self._lookup(line_address)
+        if line is None or not line.dirty:
+            return None
+        line.dirty = False
+        was_ca = line.counter_atomic
+        line.counter_atomic = False
+        self.stats.writebacks_cleaned += 1
+        return EvictedLine(
+            address=line_address,
+            payload=line.snapshot_payload(),
+            dirty=True,
+            counter_atomic=was_ca,
+        )
+
+    def invalidate_all(self) -> None:
+        """Drop all contents (volatile loss at power failure)."""
+        for cache_set in self._sets:
+            cache_set.clear()
+
+    def dirty_lines(self) -> List[EvictedLine]:
+        """All dirty lines, for flush-all style operations."""
+        result: List[EvictedLine] = []
+        for cache_set in self._sets:
+            for line in cache_set.values():
+                if line.dirty:
+                    result.append(
+                        EvictedLine(
+                            address=line.tag,
+                            payload=line.snapshot_payload(),
+                            dirty=True,
+                            counter_atomic=line.counter_atomic,
+                        )
+                    )
+        result.sort(key=lambda e: e.address)
+        return result
+
+    def occupancy(self) -> int:
+        return sum(len(s) for s in self._sets)

@@ -1,0 +1,54 @@
+"""Cache-line bookkeeping shared by every cache level."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..config import CACHE_LINE_SIZE
+from ..errors import AddressError
+
+
+class CacheLine:
+    """One resident line: optional payload plus coherence metadata.
+
+    ``payload`` is a mutable bytearray in functional mode and ``None``
+    in timing-only mode.  ``counter_atomic`` records whether any store
+    since the last writeback was annotated ``CounterAtomic`` — the flag
+    travels with the eventual writeback so the memory controller knows
+    to pair it with its counter (paper Section 5.1).
+    """
+
+    __slots__ = ("tag", "payload", "dirty", "counter_atomic", "lru_tick")
+
+    def __init__(self, tag: int, payload: Optional[bytearray], lru_tick: int) -> None:
+        self.tag = tag
+        self.payload = payload
+        self.dirty = False
+        self.counter_atomic = False
+        self.lru_tick = lru_tick
+
+    def write_bytes(self, offset: int, data: bytes) -> None:
+        """Store ``data`` at ``offset`` within the line (functional mode)."""
+        if offset < 0 or offset + len(data) > CACHE_LINE_SIZE:
+            raise AddressError(
+                "store of %d bytes at offset %d spills out of the line"
+                % (len(data), offset)
+            )
+        if self.payload is not None:
+            self.payload[offset : offset + len(data)] = data
+
+    def read_bytes(self, offset: int, length: int) -> Optional[bytes]:
+        """Load ``length`` bytes at ``offset``; None in timing-only mode."""
+        if offset < 0 or offset + length > CACHE_LINE_SIZE:
+            raise AddressError(
+                "load of %d bytes at offset %d spills out of the line" % (length, offset)
+            )
+        if self.payload is None:
+            return None
+        return bytes(self.payload[offset : offset + length])
+
+    def snapshot_payload(self) -> Optional[bytes]:
+        """Immutable copy of the current payload."""
+        if self.payload is None:
+            return None
+        return bytes(self.payload)

@@ -1,0 +1,760 @@
+"""The memory controller: NVM coordinator + encryption + write queues.
+
+All six design points of the paper run through this one controller,
+parameterized by a :class:`repro.core.designs.DesignPolicy`.  The
+controller owns:
+
+* the encryption engine and counter cache (when the design has them),
+* the read path with per-design decrypt-overlap rules (Figure 6),
+* the data and counter write queues with the ready-bit pairing protocol
+  (Section 5.2.2),
+* bank and bus resource timelines, and
+* the persist journal that lets the crash injector reconstruct the NVM
+  image at any instant.
+
+Timing contract: every public operation takes the requester's current
+time and returns absolute completion/acceptance times.  Functionally,
+writes are applied to the device immediately (modeling write-queue
+forwarding); the journal records *when* each write became durable so
+crash images can be reconstructed exactly.
+
+A note on counter-atomic pairs and sibling counters: a paired write
+persists the whole covering counter line.  The seven sibling slots are
+taken from the *architectural* counter values (last persisted), not the
+counter cache — re-persisting them is idempotent, whereas persisting a
+dirty cached sibling could outrun its data line and strand it
+undecryptable.  Dirty cached counters persist via
+``counter_cache_writeback()`` or eviction, exactly as the paper's
+protocol requires.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..config import CACHE_LINE_SIZE, SystemConfig
+from ..core.designs import DesignPolicy
+from ..crypto.counters import CounterStore
+from ..crypto.engine import EncryptionEngine
+from ..nvm.address import AddressMap
+from ..nvm.device import NVMDevice
+from ..nvm.timing import BankTimingModel, BusModel
+from ..persist.journal import PersistJournal
+from .writequeue import WriteQueue
+
+#: Payload size of a co-located access (64 B data + 8 B counter).
+COLOCATED_PAYLOAD = CACHE_LINE_SIZE + 8
+
+
+@dataclass
+class ReadResult:
+    """Completion of a read-line request."""
+
+    address: int
+    #: When decrypted plaintext is available to the cache hierarchy.
+    complete_ns: float
+    plaintext: Optional[bytes]
+    counter_cache_hit: bool
+    #: Raw memory latency before decryption overlap (diagnostics).
+    raw_read_ns: float
+
+
+@dataclass
+class WriteTicket:
+    """Acceptance of a write-line request.
+
+    ``accept_ns`` is when the write is architecturally persistent under
+    ADR (both queue entries accepted and ready, for paired writes);
+    sfence/persist_barrier waits on this.  ``drain_ns`` is when the data
+    actually reaches the NVM array (diagnostics, crash modeling).
+    """
+
+    address: int
+    accept_ns: float
+    drain_ns: float
+    paired: bool
+    coalesced: bool
+
+
+@dataclass
+class ControllerStats:
+    """Aggregate controller statistics for one simulation."""
+
+    reads: int = 0
+    data_writes: int = 0
+    counter_writes: int = 0
+    paired_writes: int = 0
+    coalesced_data_writes: int = 0
+    coalesced_counter_writes: int = 0
+    ccwb_calls: int = 0
+    ccwb_lines_flushed: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    counter_fill_reads: int = 0
+    total_read_latency_ns: float = 0.0
+    total_write_accept_wait_ns: float = 0.0
+
+    @property
+    def mean_read_latency_ns(self) -> float:
+        return self.total_read_latency_ns / self.reads if self.reads else 0.0
+
+
+class MemoryController:
+    """One shared memory controller in front of the NVM DIMM."""
+
+    def __init__(self, config: SystemConfig, policy: DesignPolicy) -> None:
+        self.config = config
+        self.policy = policy
+        nvm_timing = config.nvm
+        if nvm_timing.bus_width_bits != policy.bus_width_bits:
+            nvm_timing = dataclasses.replace(
+                nvm_timing, bus_width_bits=policy.bus_width_bits
+            )
+        self.timing = nvm_timing
+        self.address_map = AddressMap(
+            memory_size_bytes=config.memory_size_bytes, num_banks=nvm_timing.num_banks
+        )
+        self.device = NVMDevice(self.address_map)
+        self.banks = BankTimingModel(nvm_timing)
+        self.bus = BusModel(nvm_timing)
+        self.counter_store = CounterStore(
+            counter_region_base=self.address_map.counter_region_base,
+            memory_size_bytes=config.memory_size_bytes,
+        )
+        self.engine: Optional[EncryptionEngine] = None
+        if policy.encrypts:
+            self.engine = EncryptionEngine(
+                config=config.encryption,
+                cache_config=config.counter_cache,
+                counter_store=self.counter_store,
+                functional=config.functional,
+            )
+        self.data_queue = WriteQueue(
+            "data-wq",
+            config.controller.data_write_queue_entries,
+            coalesce=config.controller.coalesce_writes,
+        )
+        self.counter_queue = WriteQueue(
+            "counter-wq",
+            config.controller.counter_write_queue_entries,
+            coalesce=config.controller.coalesce_writes,
+        )
+        self._fifo_drain = config.controller.drain_policy == "fifo"
+        self._last_drain = {id(self.data_queue): 0.0, id(self.counter_queue): 0.0}
+        self._counter_hold_ns = config.controller.counter_drain_hold_ns
+        self._pair_ready_latency_ns = config.controller.pair_ready_latency_ns
+        #: Read-queue occupancy (Table 2: 32 entries).  A slot is held
+        #: from request to data arrival; a full queue delays the start
+        #: of new reads (blocking cores rarely fill it, but counter
+        #: fills and multicore bursts can).
+        self._read_slots: list = []
+        self._read_queue_capacity = config.controller.read_queue_entries
+        self.read_queue_peak = 0
+        self.total_read_queue_wait_ns = 0.0
+        self.journal = PersistJournal()
+        self.stats = ControllerStats()
+        self._functional = config.functional
+
+    # ------------------------------------------------------------------
+    # Read path (Figure 6)
+    # ------------------------------------------------------------------
+
+    def _acquire_read_slot(self, request_ns: float) -> float:
+        """Wait for a read-queue entry; returns the adjusted start time."""
+        while self._read_slots and self._read_slots[0] <= request_ns:
+            heapq.heappop(self._read_slots)
+        if len(self._read_slots) < self._read_queue_capacity:
+            return request_ns
+        start = heapq.heappop(self._read_slots)
+        self.total_read_queue_wait_ns += start - request_ns
+        return start
+
+    def _release_read_slot(self, completion_ns: float) -> None:
+        heapq.heappush(self._read_slots, completion_ns)
+        if len(self._read_slots) > self.read_queue_peak:
+            self.read_queue_peak = len(self._read_slots)
+
+    def read_line(self, address: int, request_ns: float) -> ReadResult:
+        """Fetch and (if encrypted) decrypt one data line."""
+        self.stats.reads += 1
+        request_ns = self._acquire_read_slot(request_ns)
+        line = self.address_map.line_base(address)
+        payload_bytes = COLOCATED_PAYLOAD if self.policy.colocated else CACHE_LINE_SIZE
+        bank = self.address_map.bank_of(line)
+        row = self.address_map.row_of(line)
+        access = self.banks.schedule_read(bank, request_ns, row=row)
+        data_arrival = self.bus.schedule_transfer(access.complete_ns, payload_bytes)
+        self._release_read_slot(data_arrival)
+        self.stats.bytes_read += payload_bytes
+
+        stored = self.device.read_line(line)
+        if self.engine is None:
+            result = ReadResult(
+                address=line,
+                complete_ns=data_arrival,
+                plaintext=stored.payload if self._functional else None,
+                counter_cache_hit=False,
+                raw_read_ns=data_arrival - request_ns,
+            )
+        else:
+            result = self._read_encrypted(line, request_ns, data_arrival, stored.payload)
+        self.stats.total_read_latency_ns += result.complete_ns - request_ns
+        return result
+
+    def _read_encrypted(
+        self,
+        line: int,
+        request_ns: float,
+        data_arrival: float,
+        ciphertext: bytes,
+    ) -> ReadResult:
+        engine = self.engine
+        assert engine is not None
+        latency = engine.latency_ns
+        if self.policy.colocated:
+            return self._read_colocated(line, request_ns, data_arrival, ciphertext)
+        decryption = engine.decrypt_for_read(
+            line, ciphertext if self._functional else None
+        )
+        if decryption.counter_cache_hit:
+            # OTP generation overlaps the array read (Figure 6(c)).
+            complete = max(data_arrival, request_ns + latency)
+        else:
+            # Fetch the counter line in parallel with the data; the OTP
+            # can only be generated once the counter arrives.
+            counter_arrival = self._fetch_counter_line(line, request_ns)
+            complete = max(data_arrival, counter_arrival + latency)
+        if decryption.evicted_counter_line is not None and self.policy.counter_evict_writes:
+            self._writeback_counter_line(decryption.evicted_counter_line, request_ns)
+        return ReadResult(
+            address=line,
+            complete_ns=complete,
+            plaintext=decryption.plaintext,
+            counter_cache_hit=decryption.counter_cache_hit,
+            raw_read_ns=data_arrival - request_ns,
+        )
+
+    def _read_colocated(
+        self,
+        line: int,
+        request_ns: float,
+        data_arrival: float,
+        ciphertext: bytes,
+    ) -> ReadResult:
+        """Co-located designs: the 72 B fetch carries the counter."""
+        engine = self.engine
+        assert engine is not None
+        latency = engine.latency_ns
+        hit = False
+        if self.policy.has_counter_cache:
+            cached = engine.counter_cache.lookup_for_read(line)
+            if cached is not None:
+                # Figure 5(b): decrypt with the cached counter, in
+                # parallel with the fetch.
+                hit = True
+                complete = max(data_arrival, request_ns + latency)
+            else:
+                # Miss: the counter rides in with the data, so the
+                # decryption serializes after the fetch; install the
+                # fetched counters in the cache for next time.
+                complete = data_arrival + latency
+                engine.counter_cache.fill(
+                    line, self.counter_store.read_counter_line(line)
+                )
+        else:
+            # Figure 5(a)/6(a): always serialized.
+            complete = data_arrival + latency
+        counter = self.counter_store.read(line)
+        plaintext = None
+        if self._functional:
+            plaintext = engine.cipher.decrypt(line, counter, ciphertext)
+        return ReadResult(
+            address=line,
+            complete_ns=complete,
+            plaintext=plaintext,
+            counter_cache_hit=hit,
+            raw_read_ns=data_arrival - request_ns,
+        )
+
+    def _fetch_counter_line(self, data_address: int, request_ns: float) -> float:
+        """Read the covering counter line from NVM (separate designs)."""
+        counter_line = self.address_map.counter_line_address_of(data_address)
+        bank = self.address_map.bank_of(counter_line)
+        row = self.address_map.row_of(counter_line)
+        access = self.banks.schedule_read(bank, request_ns, row=row)
+        arrival = self.bus.schedule_transfer(access.complete_ns, CACHE_LINE_SIZE)
+        self.stats.bytes_read += CACHE_LINE_SIZE
+        self.stats.counter_fill_reads += 1
+        return arrival
+
+    # ------------------------------------------------------------------
+    # Write path (Section 5.2.2)
+    # ------------------------------------------------------------------
+
+    def write_line(
+        self,
+        address: int,
+        payload: Optional[bytes],
+        request_ns: float,
+        counter_atomic: bool = False,
+    ) -> WriteTicket:
+        """Accept one data-line writeback (clwb or cache eviction)."""
+        self.stats.data_writes += 1
+        line = self.address_map.line_base(address)
+
+        if self.engine is None:
+            return self._write_plain(line, payload, request_ns, encrypted_with=0)
+
+        encryption = self.engine.encrypt_for_write(
+            line, payload if self._functional else None
+        )
+        if encryption.evicted_counter_line is not None and self.policy.counter_evict_writes:
+            self._writeback_counter_line(encryption.evicted_counter_line, request_ns)
+        if not encryption.counter_cache_hit and self.policy.uses_separate_counters:
+            # Background fill of the covering counter line: the write
+            # does not stall, but the fill's read traffic is real.
+            self._fetch_counter_line(line, request_ns)
+
+        if self.policy.colocated:
+            return self._write_colocated(
+                line, encryption.ciphertext, request_ns, encryption.counter
+            )
+
+        if self.policy.write_is_paired(counter_atomic):
+            return self._write_paired(
+                line, encryption.ciphertext, request_ns, encryption.counter
+            )
+
+        ticket = self._write_plain(
+            line, encryption.ciphertext, request_ns, encrypted_with=encryption.counter
+        )
+        if self.policy.magic_counter_persistence:
+            # Ideal fiction: the architectural counter becomes durable
+            # instantly and for free, together with the data.
+            self.counter_store.write(line, encryption.counter)
+            self.journal.record_counter(
+                address=self.address_map.counter_line_address_of(line),
+                counters=(encryption.counter,),
+                group_base=line,
+                accept_ns=ticket.accept_ns,
+                ready_ns=ticket.accept_ns,
+                drain_ns=ticket.accept_ns,
+                single_slot=True,
+            )
+        return ticket
+
+    def _write_plain(
+        self,
+        line: int,
+        payload: Optional[bytes],
+        request_ns: float,
+        encrypted_with: int,
+    ) -> WriteTicket:
+        """Unpaired data write: coalesce or enqueue, drain when banks allow."""
+        coalesced = self.data_queue.try_coalesce(line, request_ns, payload, encrypted_with)
+        if coalesced is not None:
+            self.stats.coalesced_data_writes += 1
+            self.device.persist_line(line, payload, encrypted_with)
+            self.journal.amend_data(
+                coalesced.entry_id, payload, encrypted_with, effective_ns=request_ns
+            )
+            return WriteTicket(
+                address=line,
+                accept_ns=request_ns,
+                drain_ns=coalesced.drain_ns,
+                paired=False,
+                coalesced=True,
+            )
+        entry = self.data_queue.accept(
+            line, request_ns, payload, is_counter=False, encrypted_with=encrypted_with
+        )
+        self.data_queue.mark_ready(entry, entry.accept_ns)
+        issue, drain = self._drain_write(self.data_queue, line, entry.accept_ns, CACHE_LINE_SIZE)
+        self.data_queue.set_drain_time(entry, drain, slot_release_ns=issue)
+        self.device.persist_line(line, payload, encrypted_with)
+        self.journal.record_data(
+            entry_id=entry.entry_id,
+            address=line,
+            payload=payload,
+            encrypted_with=encrypted_with,
+            accept_ns=entry.accept_ns,
+            ready_ns=entry.ready_ns,
+            drain_ns=drain,
+        )
+        self.stats.bytes_written += CACHE_LINE_SIZE
+        self.stats.total_write_accept_wait_ns += entry.accept_ns - request_ns
+        return WriteTicket(
+            address=line, accept_ns=entry.accept_ns, drain_ns=drain, paired=False, coalesced=False
+        )
+
+    def _write_colocated(
+        self,
+        line: int,
+        payload: Optional[bytes],
+        request_ns: float,
+        counter: int,
+    ) -> WriteTicket:
+        """Co-located designs: one 72 B access carries data + counter.
+
+        Data and counter are inherently atomic here; the journal records
+        them with identical timestamps so crash images stay in sync.
+        """
+        counter_line = self.address_map.counter_line_address_of(line)
+        coalesced = self.data_queue.try_coalesce(line, request_ns, payload, counter)
+        if coalesced is not None:
+            self.stats.coalesced_data_writes += 1
+            self.device.persist_line(line, payload, counter)
+            self.counter_store.write(line, counter)
+            self.journal.amend_data(
+                coalesced.entry_id, payload, counter, effective_ns=request_ns
+            )
+            self.journal.record_counter(
+                address=counter_line,
+                counters=(counter,),
+                group_base=line,
+                accept_ns=request_ns,
+                ready_ns=request_ns,
+                drain_ns=coalesced.drain_ns,
+                single_slot=True,
+            )
+            return WriteTicket(
+                address=line,
+                accept_ns=request_ns,
+                drain_ns=coalesced.drain_ns,
+                paired=False,
+                coalesced=True,
+            )
+        entry = self.data_queue.accept(
+            line, request_ns, payload, is_counter=False, encrypted_with=counter
+        )
+        self.data_queue.mark_ready(entry, entry.accept_ns)
+        issue, drain = self._drain_write(self.data_queue, line, entry.accept_ns, COLOCATED_PAYLOAD)
+        self.data_queue.set_drain_time(entry, drain, slot_release_ns=issue)
+        self.device.persist_line(line, payload, counter)
+        self.counter_store.write(line, counter)
+        self.journal.record_data(
+            entry_id=entry.entry_id,
+            address=line,
+            payload=payload,
+            encrypted_with=counter,
+            accept_ns=entry.accept_ns,
+            ready_ns=entry.ready_ns,
+            drain_ns=drain,
+        )
+        self.journal.record_counter(
+            address=counter_line,
+            counters=(counter,),
+            group_base=line,
+            accept_ns=entry.accept_ns,
+            ready_ns=entry.ready_ns,
+            drain_ns=drain,
+            single_slot=True,
+        )
+        self.stats.bytes_written += COLOCATED_PAYLOAD
+        self.stats.total_write_accept_wait_ns += entry.accept_ns - request_ns
+        return WriteTicket(
+            address=line, accept_ns=entry.accept_ns, drain_ns=drain, paired=False, coalesced=False
+        )
+
+    def _write_paired(
+        self,
+        line: int,
+        payload: Optional[bytes],
+        request_ns: float,
+        counter: int,
+    ) -> WriteTicket:
+        """Counter-atomic write: data + counter entries with ready bits.
+
+        Follows the paper's seven-step walkthrough: both entries are
+        inserted, each checks for its partner, and both become ready
+        only when both are present.  Neither drains before ready, and
+        the ADR drain at a failure takes ready entries only, so the
+        pair persists all-or-nothing.
+
+        Counter updates to a counter line that is already queued (and
+        still undrained) merge into the queued entry — the merge and
+        ready-bit update are a single ADR-protected operation, so the
+        amendment takes effect exactly when the new pair becomes ready.
+        """
+        assert self.engine is not None
+        self.stats.paired_writes += 1
+        group_base = self.address_map.data_group_base(line)
+        counter_line = self.address_map.counter_line_address_of(line)
+        counters = self._pair_counter_line_values(line, counter)
+
+        # A new pair to a line whose previous pair is still queued
+        # merges into it: the merge plus the ready-bit update is one
+        # ADR-protected operation, so both the data amendment and the
+        # counter amendment take effect exactly when this pair becomes
+        # ready, preserving all-or-nothing behaviour.
+        candidate_data = self.data_queue.peek_coalesce(
+            line, request_ns, allow_counter_atomic=True
+        )
+        candidate_ctr = self.counter_queue.peek_coalesce(
+            counter_line, request_ns, allow_counter_atomic=True
+        )
+        if (
+            candidate_data is not None
+            and candidate_data.counter_atomic
+            and candidate_ctr is not None
+        ):
+            self.data_queue.commit_coalesce(candidate_data, payload, counter)
+            self.counter_queue.commit_coalesce(
+                candidate_ctr, None, 0, counter_values=(group_base, counters)
+            )
+            self.stats.coalesced_data_writes += 1
+            self.stats.coalesced_counter_writes += 1
+            ready_ns = request_ns + self._pair_ready_latency_ns
+            self.journal.amend_data(
+                candidate_data.entry_id, payload, counter, effective_ns=ready_ns
+            )
+            self.journal.amend_counter(
+                candidate_ctr.entry_id, group_base, counters, effective_ns=ready_ns
+            )
+            self.device.persist_line(line, payload, counter)
+            self.counter_store.write_counter_line(group_base, counters)
+            return WriteTicket(
+                address=line,
+                accept_ns=ready_ns,
+                drain_ns=max(candidate_data.drain_ns, candidate_ctr.drain_ns),
+                paired=True,
+                coalesced=True,
+            )
+
+        data_entry = self.data_queue.accept(
+            line,
+            request_ns,
+            payload,
+            is_counter=False,
+            encrypted_with=counter,
+            counter_atomic=True,
+        )
+        pair_time = data_entry.accept_ns
+
+        merged = self.counter_queue.try_coalesce(
+            counter_line,
+            pair_time,
+            None,
+            0,
+            counter_values=(group_base, counters),
+            allow_counter_atomic=True,
+        )
+        if merged is not None:
+            self.stats.coalesced_counter_writes += 1
+            ready_ns = max(pair_time, merged.accept_ns) + self._pair_ready_latency_ns
+            counter_drain = merged.drain_ns
+            counter_entry_id = merged.entry_id
+            self.journal.amend_counter(
+                merged.entry_id, group_base, counters, effective_ns=ready_ns
+            )
+        else:
+            counter_entry = self.counter_queue.accept(
+                counter_line,
+                request_ns,
+                None,
+                is_counter=True,
+                counter_values=(group_base, counters),
+                counter_atomic=True,
+            )
+            ready_ns = (
+                max(pair_time, counter_entry.accept_ns) + self._pair_ready_latency_ns
+            )
+            self.counter_queue.mark_ready(counter_entry, ready_ns)
+            counter_entry.partner_id = data_entry.entry_id
+            counter_bytes = self._counter_payload_bytes(group_base, counters)
+            counter_issue, counter_drain = self._drain_write(
+                self.counter_queue, counter_line, ready_ns, counter_bytes
+            )
+            self.counter_queue.set_drain_time(
+                counter_entry, counter_drain, slot_release_ns=counter_issue
+            )
+            counter_entry_id = counter_entry.entry_id
+            self.stats.bytes_written += counter_bytes
+            self.stats.counter_writes += 1
+            self.journal.record_counter(
+                address=counter_line,
+                counters=counters,
+                group_base=group_base,
+                accept_ns=counter_entry.accept_ns,
+                ready_ns=ready_ns,
+                drain_ns=counter_drain,
+                entry_id=counter_entry.entry_id,
+            )
+
+        self.data_queue.mark_ready(data_entry, ready_ns)
+        data_entry.partner_id = counter_entry_id
+        data_issue, data_drain = self._drain_write(
+            self.data_queue, line, ready_ns, CACHE_LINE_SIZE
+        )
+        self.data_queue.set_drain_time(data_entry, data_drain, slot_release_ns=data_issue)
+        self.stats.bytes_written += CACHE_LINE_SIZE
+
+        self.device.persist_line(line, payload, counter)
+        self.counter_store.write_counter_line(group_base, counters)
+        self.journal.record_data(
+            entry_id=data_entry.entry_id,
+            address=line,
+            payload=payload,
+            encrypted_with=counter,
+            accept_ns=data_entry.accept_ns,
+            ready_ns=ready_ns,
+            drain_ns=data_drain,
+            partner_id=counter_entry_id,
+        )
+        self.stats.total_write_accept_wait_ns += ready_ns - request_ns
+        return WriteTicket(
+            address=line,
+            accept_ns=ready_ns,
+            drain_ns=max(data_drain, counter_drain),
+            paired=True,
+            coalesced=merged is not None,
+        )
+
+    def _counter_payload_bytes(
+        self, group_base: int, counters: Tuple[int, ...]
+    ) -> int:
+        """Bytes a counter writeback moves to NVM.
+
+        Full counter-atomicity updates counters at cache-line
+        granularity — the overhead the paper's Section 4.1 calls out —
+        while the selective design's coalesced writebacks move only the
+        modified 8 B slots over the 64-bit bus.
+        """
+        if self.policy.pair_all_writes:
+            return CACHE_LINE_SIZE
+        stored = self.counter_store.read_counter_line(group_base)
+        changed = sum(1 for old, new in zip(stored, counters) if old != new)
+        return 8 * max(1, changed)
+
+    def _pair_counter_line_values(self, line: int, new_counter: int) -> Tuple[int, ...]:
+        """Counter-line contents persisted by a pair.
+
+        The written slot carries the new counter; sibling slots carry
+        their last *persisted* values (see the module docstring for why
+        dirty cached siblings must not ride along).
+        """
+        group_base = self.address_map.data_group_base(line)
+        own_slot = (line - group_base) // CACHE_LINE_SIZE
+        values = list(self.counter_store.read_counter_line(line))
+        values[own_slot] = new_counter
+        return tuple(values)
+
+    def _writeback_counter_line(
+        self,
+        flushed: Tuple[int, Tuple[int, ...]],
+        request_ns: float,
+    ) -> WriteTicket:
+        """Write one counter line (eviction or ccwb flush) to NVM."""
+        group_base, counters = flushed
+        counter_line = self.address_map.counter_line_address_of(group_base)
+        coalesced = self.counter_queue.try_coalesce(
+            counter_line, request_ns, None, 0, counter_values=(group_base, counters)
+        )
+        if coalesced is not None:
+            self.stats.coalesced_counter_writes += 1
+            self.counter_store.write_counter_line(group_base, counters)
+            self.journal.amend_counter(
+                coalesced.entry_id, group_base, counters, effective_ns=request_ns
+            )
+            return WriteTicket(
+                address=counter_line,
+                accept_ns=request_ns,
+                drain_ns=coalesced.drain_ns,
+                paired=False,
+                coalesced=True,
+            )
+        entry = self.counter_queue.accept(
+            counter_line,
+            request_ns,
+            None,
+            is_counter=True,
+            counter_values=(group_base, counters),
+        )
+        self.counter_queue.mark_ready(entry, entry.accept_ns)
+        counter_bytes = self._counter_payload_bytes(group_base, counters)
+        issue, drain = self._drain_write(
+            self.counter_queue, counter_line, entry.accept_ns, counter_bytes
+        )
+        self.counter_queue.set_drain_time(entry, drain, slot_release_ns=issue)
+        self.counter_store.write_counter_line(group_base, counters)
+        self.journal.record_counter(
+            address=counter_line,
+            counters=counters,
+            group_base=group_base,
+            accept_ns=entry.accept_ns,
+            ready_ns=entry.ready_ns,
+            drain_ns=drain,
+            entry_id=entry.entry_id,
+        )
+        self.stats.bytes_written += counter_bytes
+        self.stats.counter_writes += 1
+        return WriteTicket(
+            address=counter_line,
+            accept_ns=entry.accept_ns,
+            drain_ns=drain,
+            paired=False,
+            coalesced=False,
+        )
+
+    def _drain_write(
+        self, queue: WriteQueue, address: int, ready_ns: float, payload_bytes: int
+    ) -> Tuple[float, float]:
+        """Schedule the array write + bus transfer for one drain.
+
+        Returns ``(issue_ns, complete_ns)``: the entry's queue slot
+        frees at issue (the write has left for its bank), while the
+        cell write is durable at complete.  Counter-line entries may be
+        held for a grace window first (``counter_drain_hold_ns``).
+        """
+        start = ready_ns
+        if queue is self.counter_queue:
+            start += self._counter_hold_ns
+        if self._fifo_drain:
+            # Strict FIFO drain: head-of-line blocking (ablation).
+            start = max(start, self._last_drain[id(queue)])
+        bank = self.address_map.bank_of(address)
+        row = self.address_map.row_of(address)
+        bus_done = self.bus.schedule_transfer(start, payload_bytes)
+        access = self.banks.schedule_write(bank, bus_done, row=row)
+        if self._fifo_drain:
+            self._last_drain[id(queue)] = access.complete_ns
+        return access.start_ns, access.complete_ns
+
+    # ------------------------------------------------------------------
+    # counter_cache_writeback() (Section 4.3 / 5.2.2)
+    # ------------------------------------------------------------------
+
+    def counter_cache_writeback(self, address: int, request_ns: float) -> Optional[WriteTicket]:
+        """Flush the dirty counter line covering ``address``.
+
+        Returns the acceptance ticket, or None when the design has no
+        ccwb support or the line is clean (a no-op, per the paper).
+        The flushed entry's ready bit is always set — it is not paired.
+        """
+        self.stats.ccwb_calls += 1
+        if self.engine is None or not self.policy.ccwb_enabled:
+            return None
+        flushed = self.engine.counter_cache.writeback_line(address)
+        if flushed is None:
+            return None
+        self.stats.ccwb_lines_flushed += 1
+        return self._writeback_counter_line(flushed, request_ns)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def counter_cache_stats(self):
+        if self.engine is None:
+            return None
+        return self.engine.counter_cache.stats
+
+    def write_traffic_bytes(self) -> int:
+        return self.stats.bytes_written
+
+    def read_traffic_bytes(self) -> int:
+        return self.stats.bytes_read

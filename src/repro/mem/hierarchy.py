@@ -1,0 +1,247 @@
+"""The volatile cache hierarchy: private L1s over a shared L2.
+
+The hierarchy is functional (real bytes flow through it) and returns
+timing in the same resource-timeline style as the controller: every
+access takes the core's current time and yields an absolute completion
+time plus any writeback acceptance times the core's persistency tracker
+must observe.
+
+Eviction policy: inclusive-enough write-back/write-allocate.  L1 dirty
+victims merge into L2; L2 dirty victims become controller writes that
+carry their CounterAtomic flag (Section 5.1: the annotation travels
+with the line so the controller can pair the writeback).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..config import CACHE_LINE_SIZE, SystemConfig
+from ..errors import AddressError, SimulationError
+from .cache import Cache, EvictedLine
+from .controller import MemoryController
+
+
+@dataclass
+class HierarchyAccess:
+    """Outcome of one load/store as seen by the issuing core."""
+
+    complete_ns: float
+    #: Bytes loaded (loads only; None for stores or timing-only mode).
+    data: Optional[bytes]
+    #: Where the access was satisfied: "l1", "l2" or "memory".
+    served_by: str
+    #: Queue-acceptance times of any writebacks this access triggered
+    #: (dirty evictions); persist_barriers need not wait on these (the
+    #: paper's barrier covers clwb'd lines), but crash modeling does.
+    writeback_accepts: List[float] = field(default_factory=list)
+
+
+class CacheHierarchy:
+    """Per-core L1 caches over one shared L2, in front of one controller."""
+
+    def __init__(self, config: SystemConfig, controller: MemoryController) -> None:
+        self.config = config
+        self.controller = controller
+        functional = config.functional
+        self.l1s: List[Cache] = [
+            Cache(config.l1, functional=functional, name="l1-core%d" % core)
+            for core in range(config.num_cores)
+        ]
+        self.l2 = Cache(config.l2, functional=functional, name="l2")
+        self._functional = functional
+
+    # ------------------------------------------------------------------
+    # Internal fill machinery
+    # ------------------------------------------------------------------
+
+    def _handle_l2_victim(self, victim: Optional[EvictedLine], now_ns: float) -> List[float]:
+        accepts: List[float] = []
+        if victim is not None and victim.dirty:
+            ticket = self.controller.write_line(
+                victim.address,
+                victim.payload,
+                now_ns,
+                counter_atomic=victim.counter_atomic,
+            )
+            accepts.append(ticket.accept_ns)
+        return accepts
+
+    def _handle_l1_victim(self, victim: Optional[EvictedLine], now_ns: float) -> List[float]:
+        """L1 victims merge into L2; L2's own victim may go to memory."""
+        accepts: List[float] = []
+        if victim is None or not victim.dirty:
+            return accepts
+        if self.l2.contains(victim.address):
+            self.l2.write(
+                victim.address,
+                victim.payload,
+                CACHE_LINE_SIZE,
+                counter_atomic=victim.counter_atomic,
+            )
+        else:
+            l2_victim = self.l2.fill(
+                victim.address,
+                victim.payload,
+                dirty=True,
+                counter_atomic=victim.counter_atomic,
+            )
+            accepts.extend(self._handle_l2_victim(l2_victim, now_ns))
+        return accepts
+
+    def _fill_from_memory(
+        self, core: int, line_address: int, now_ns: float
+    ) -> Tuple[float, Optional[bytes], List[float]]:
+        """Miss everywhere: read from the controller, fill L2 then L1."""
+        result = self.controller.read_line(line_address, now_ns)
+        complete = result.complete_ns
+        accepts: List[float] = []
+        l2_victim = self.l2.fill(line_address, result.plaintext)
+        accepts.extend(self._handle_l2_victim(l2_victim, complete))
+        l1_victim = self.l1s[core].fill(line_address, result.plaintext)
+        accepts.extend(self._handle_l1_victim(l1_victim, complete))
+        return complete, result.plaintext, accepts
+
+    def _ensure_in_l1(
+        self, core: int, address: int, now_ns: float
+    ) -> Tuple[float, str, List[float]]:
+        """Bring the line into this core's L1; returns (time, source, accepts)."""
+        line_address = Cache.line_address(address)
+        l1 = self.l1s[core]
+        if l1.contains(line_address):
+            return now_ns + self.config.l1.hit_latency_ns, "l1", []
+        # L1 miss: consult the shared L2.
+        hit = self.l2.read(line_address, CACHE_LINE_SIZE)
+        now_ns += self.config.l1.hit_latency_ns  # L1 lookup that missed
+        if hit is not None:
+            data, l2_line = hit
+            complete = now_ns + self.config.l2.hit_latency_ns
+            l1_victim = l1.fill(line_address, data)
+            accepts = self._handle_l1_victim(l1_victim, complete)
+            return complete, "l2", accepts
+        complete = now_ns + self.config.l2.hit_latency_ns  # L2 lookup that missed
+        fill_time, _, accepts = self._fill_from_memory(core, line_address, complete)
+        return fill_time, "memory", accepts
+
+    # ------------------------------------------------------------------
+    # Public operations
+    # ------------------------------------------------------------------
+
+    def load(self, core: int, address: int, length: int, now_ns: float) -> HierarchyAccess:
+        """Load ``length`` bytes (must not cross a line boundary)."""
+        self._check_span(address, length)
+        complete, served_by, accepts = self._ensure_in_l1(core, address, now_ns)
+        data: Optional[bytes] = None
+        hit = self.l1s[core].read(address, length)
+        if hit is None:
+            raise SimulationError("line vanished from L1 after fill")
+        data = hit[0]
+        return HierarchyAccess(
+            complete_ns=complete, data=data, served_by=served_by, writeback_accepts=accepts
+        )
+
+    def store(
+        self,
+        core: int,
+        address: int,
+        data: Optional[bytes],
+        length: int,
+        now_ns: float,
+        counter_atomic: bool = False,
+    ) -> HierarchyAccess:
+        """Store bytes (write-allocate; must not cross a line boundary)."""
+        if data is not None:
+            length = len(data)
+        self._check_span(address, length)
+        complete, served_by, accepts = self._ensure_in_l1(core, address, now_ns)
+        if not self.l1s[core].write(address, data, length, counter_atomic=counter_atomic):
+            raise SimulationError("store missed L1 after fill")
+        return HierarchyAccess(
+            complete_ns=complete, data=None, served_by=served_by, writeback_accepts=accepts
+        )
+
+    def clwb(self, core: int, address: int, now_ns: float) -> Optional[float]:
+        """Write back (without invalidating) the line holding ``address``.
+
+        Searches L1 then L2 for a dirty copy and forwards it to the
+        memory controller.  Returns the queue-acceptance time the
+        core's next sfence must wait for, or None if the line was clean
+        or absent (a no-op clwb).
+        """
+        line_address = Cache.line_address(address)
+        flushed = self.l1s[core].clean_line(line_address)
+        if flushed is not None:
+            # Keep L2's copy (if any) coherent with the flushed data.
+            if self.l2.contains(line_address):
+                self.l2.write(line_address, flushed.payload, CACHE_LINE_SIZE)
+                l2_line = self.l2.peek(line_address)
+                if l2_line is not None:
+                    l2_line.dirty = False
+        else:
+            flushed = self.l2.clean_line(line_address)
+        if flushed is None:
+            return None
+        issue = now_ns + self.config.l1.hit_latency_ns
+        ticket = self.controller.write_line(
+            flushed.address,
+            flushed.payload,
+            issue,
+            counter_atomic=flushed.counter_atomic,
+        )
+        return ticket.accept_ns
+
+    def flush_all_dirty(self, now_ns: float) -> List[float]:
+        """Write back every dirty line (used by flush-on-exit tooling)."""
+        accepts: List[float] = []
+        for core in range(len(self.l1s)):
+            for line in self.l1s[core].dirty_lines():
+                accept = self.clwb(core, line.address, now_ns)
+                if accept is not None:
+                    accepts.append(accept)
+        for line in self.l2.dirty_lines():
+            flushed = self.l2.clean_line(line.address)
+            if flushed is None:
+                continue
+            ticket = self.controller.write_line(
+                flushed.address,
+                flushed.payload,
+                now_ns,
+                counter_atomic=flushed.counter_atomic,
+            )
+            accepts.append(ticket.accept_ns)
+        return accepts
+
+    def read_current(self, core: int, address: int, length: int) -> Optional[bytes]:
+        """Functional peek that bypasses timing (debug / checkers)."""
+        line_address = Cache.line_address(address)
+        offset = address - line_address
+        l1_line = self.l1s[core].peek(address)
+        if l1_line is not None:
+            return l1_line.read_bytes(offset, length)
+        l2_line = self.l2.peek(address)
+        if l2_line is not None:
+            return l2_line.read_bytes(offset, length)
+        stored = self.controller.device.read_line(line_address)
+        if self.controller.engine is not None and self.config.functional:
+            plaintext = self.controller.engine.cipher.decrypt(
+                line_address, stored.encrypted_with, stored.payload
+            )
+            return plaintext[offset : offset + length]
+        return stored.payload[offset : offset + length]
+
+    def invalidate_all(self) -> None:
+        """Drop all cached state (power failure)."""
+        for l1 in self.l1s:
+            l1.invalidate_all()
+        self.l2.invalidate_all()
+
+    @staticmethod
+    def _check_span(address: int, length: int) -> None:
+        if length <= 0 or length > CACHE_LINE_SIZE:
+            raise AddressError("access length %d out of range" % length)
+        line_address = Cache.line_address(address)
+        if address - line_address + length > CACHE_LINE_SIZE:
+            raise AddressError(
+                "access at 0x%x of %d bytes crosses a cache line" % (address, length)
+            )

@@ -1,0 +1,261 @@
+"""The data and counter write queues with ready-bit pairing.
+
+The paper's counter-atomicity hardware (Section 5.2.2) keeps two
+ADR-protected queues in the memory controller: a 64-entry data write
+queue and a 16-entry counter write queue.  Counter-atomic writes insert
+one entry into each queue; an entry's *ready bit* is set only once its
+partner has also been accepted.  On a power failure, only ready entries
+drain — this yields the all-or-nothing behaviour that keeps data and
+counter versions in sync.
+
+Timing model: each queue is a bounded buffer whose slots are occupied
+from acceptance until drain.  Acceptance applies backpressure: a request
+arriving while the queue is full is accepted only when the earliest
+in-flight entry drains.  Drain times are computed against the shared
+bank/bus timelines by the memory controller; this module owns occupancy,
+coalescing, pairing and the crash-time ready-bit semantics.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..errors import QueueFullError, SimulationError
+
+_entry_ids = itertools.count()
+
+
+@dataclass
+class WriteQueueEntry:
+    """One queued writeback (data line or counter line)."""
+
+    entry_id: int
+    address: int
+    payload: Optional[bytes]
+    is_counter: bool
+    #: Counter value this payload was encrypted with (ground truth for
+    #: crash reconstruction); counters-in-payload use 0.
+    encrypted_with: int
+    #: For counter entries: the eight counter values being persisted,
+    #: keyed by group base data address.
+    counter_values: Optional[Tuple[int, Tuple[int, ...]]]
+    accept_ns: float
+    #: When the ready bit was set (== accept for unpaired entries).
+    ready_ns: float
+    #: When the array write completes in the NVM (durability point for
+    #: crash reconstruction of non-ADR systems).
+    drain_ns: float
+    #: When the entry's slot frees: the write has issued to its bank
+    #: and left the queue (always <= drain_ns).
+    slot_release_ns: float = float("inf")
+    counter_atomic: bool = False
+    #: entry_id of the paired entry in the other queue, if any.
+    partner_id: Optional[int] = None
+    coalesced: int = 0
+
+    @property
+    def ready_at(self) -> float:
+        return self.ready_ns
+
+
+class WriteQueue:
+    """Bounded write buffer with coalescing and occupancy backpressure."""
+
+    def __init__(self, name: str, capacity: int, coalesce: bool = True) -> None:
+        if capacity <= 0:
+            raise QueueFullError("queue capacity must be positive")
+        self.name = name
+        self.capacity = capacity
+        self.coalesce_enabled = coalesce
+        #: Drain times of entries currently holding slots.
+        self._slots: List[float] = []
+        #: Live entries by line address (for coalescing) — an address
+        #: maps to its most recent undrained entry.
+        self._live_by_address: Dict[int, WriteQueueEntry] = {}
+        #: All entries ever accepted, in order (the crash journal reads
+        #: this; memory stays bounded because experiments are finite).
+        self.history: List[WriteQueueEntry] = []
+        self.accepted = 0
+        self.coalesced = 0
+        self.total_accept_wait_ns = 0.0
+        self.peak_occupancy = 0
+
+    # -- occupancy --------------------------------------------------------
+
+    def _release_drained(self, now_ns: float) -> None:
+        while self._slots and self._slots[0] <= now_ns:
+            heapq.heappop(self._slots)
+
+    def occupancy(self, now_ns: float) -> int:
+        self._release_drained(now_ns)
+        return len(self._slots)
+
+    def acceptance_time(self, request_ns: float) -> float:
+        """Earliest time a new entry can be accepted (slot available)."""
+        self._release_drained(request_ns)
+        if len(self._slots) < self.capacity:
+            return request_ns
+        # Queue full: the request waits for the earliest drain.
+        return self._slots[0]
+
+    # -- coalescing --------------------------------------------------------
+
+    def find_live(self, address: int, now_ns: float) -> Optional[WriteQueueEntry]:
+        """A still-queued entry for ``address`` (eligible to coalesce).
+
+        An entry stops being mergeable once its write has issued to the
+        bank (``slot_release_ns``), even though the cell write finishes
+        later.
+        """
+        entry = self._live_by_address.get(address)
+        if entry is not None and entry.slot_release_ns > now_ns:
+            return entry
+        return None
+
+    def try_coalesce(
+        self,
+        address: int,
+        now_ns: float,
+        payload: Optional[bytes],
+        encrypted_with: int,
+        counter_values: Optional[Tuple[int, Tuple[int, ...]]] = None,
+        allow_counter_atomic: bool = False,
+    ) -> Optional[WriteQueueEntry]:
+        """Merge a new write into a queued entry for the same line.
+
+        Returns the updated entry on success, None if no live entry
+        exists (or coalescing is disabled).  By default counter-atomic
+        paired entries never coalesce with later *plain* writes — their
+        all-or-nothing pairing must not absorb unrelated updates; a new
+        counter-atomic pair may merge into a queued paired counter line
+        (``allow_counter_atomic=True``) because the merge and the
+        ready-bit update form one ADR-protected operation.
+        """
+        entry = self.peek_coalesce(address, now_ns, allow_counter_atomic)
+        if entry is None:
+            return None
+        return self.commit_coalesce(entry, payload, encrypted_with, counter_values)
+
+    def peek_coalesce(
+        self, address: int, now_ns: float, allow_counter_atomic: bool = False
+    ) -> Optional[WriteQueueEntry]:
+        """Find a merge candidate without mutating it.
+
+        Callers that must merge into *two* queues atomically (paired
+        writes) peek both, then commit both, so a miss on one side
+        leaves the other untouched.
+        """
+        if not self.coalesce_enabled:
+            return None
+        entry = self.find_live(address, now_ns)
+        if entry is None or (entry.counter_atomic and not allow_counter_atomic):
+            return None
+        return entry
+
+    def commit_coalesce(
+        self,
+        entry: WriteQueueEntry,
+        payload: Optional[bytes],
+        encrypted_with: int,
+        counter_values: Optional[Tuple[int, Tuple[int, ...]]] = None,
+    ) -> WriteQueueEntry:
+        """Apply a merge found by :meth:`peek_coalesce`."""
+        entry.payload = payload
+        entry.encrypted_with = encrypted_with
+        if counter_values is not None:
+            entry.counter_values = counter_values
+        entry.coalesced += 1
+        self.coalesced += 1
+        return entry
+
+    # -- acceptance ----------------------------------------------------------
+
+    def accept(
+        self,
+        address: int,
+        request_ns: float,
+        payload: Optional[bytes],
+        is_counter: bool,
+        encrypted_with: int = 0,
+        counter_values: Optional[Tuple[int, Tuple[int, ...]]] = None,
+        counter_atomic: bool = False,
+    ) -> WriteQueueEntry:
+        """Accept a new entry, waiting for a slot if the queue is full.
+
+        The entry's ready/drain times start undefined (``inf``); the
+        controller sets them via :meth:`mark_ready` /
+        :meth:`set_drain_time` once pairing resolves and the drain is
+        scheduled.
+        """
+        accept_ns = self.acceptance_time(request_ns)
+        self.total_accept_wait_ns += accept_ns - request_ns
+        entry = WriteQueueEntry(
+            entry_id=next(_entry_ids),
+            address=address,
+            payload=payload,
+            is_counter=is_counter,
+            encrypted_with=encrypted_with,
+            counter_values=counter_values,
+            accept_ns=accept_ns,
+            ready_ns=float("inf"),
+            drain_ns=float("inf"),
+            counter_atomic=counter_atomic,
+        )
+        self._live_by_address[address] = entry
+        self.history.append(entry)
+        self.accepted += 1
+        return entry
+
+    def mark_ready(self, entry: WriteQueueEntry, ready_ns: float) -> None:
+        if ready_ns < entry.accept_ns:
+            raise SimulationError("entry cannot be ready before acceptance")
+        entry.ready_ns = ready_ns
+
+    def set_drain_time(
+        self,
+        entry: WriteQueueEntry,
+        drain_ns: float,
+        slot_release_ns: Optional[float] = None,
+    ) -> None:
+        """Finalize the drain schedule and occupy a slot.
+
+        The slot is held until ``slot_release_ns`` — the instant the
+        write issues to its bank and leaves the queue — while
+        ``drain_ns`` records when the cell write completes (the long
+        PCM write recovery no longer blocks the queue slot).
+        """
+        if drain_ns < entry.ready_ns:
+            raise SimulationError("entry cannot drain before it is ready")
+        entry.drain_ns = drain_ns
+        entry.slot_release_ns = slot_release_ns if slot_release_ns is not None else drain_ns
+        if entry.slot_release_ns > drain_ns:
+            raise SimulationError("slot cannot outlive the drain")
+        self._release_drained(entry.accept_ns)
+        heapq.heappush(self._slots, entry.slot_release_ns)
+        if len(self._slots) > self.peak_occupancy:
+            self.peak_occupancy = len(self._slots)
+
+    # -- crash semantics --------------------------------------------------------
+
+    def entries_at(self, crash_ns: float) -> List[WriteQueueEntry]:
+        """Entries resident in the queue at ``crash_ns``."""
+        return [
+            e
+            for e in self.history
+            if e.accept_ns <= crash_ns and e.drain_ns > crash_ns
+        ]
+
+    def adr_drainable_at(self, crash_ns: float) -> List[WriteQueueEntry]:
+        """Entries the ADR logic drains on a failure at ``crash_ns``.
+
+        Exactly the *ready* resident entries (paper Section 5.2.2,
+        "Steps During a System Failure").
+        """
+        return [e for e in self.entries_at(crash_ns) if e.ready_ns <= crash_ns]
+
+    def dropped_at(self, crash_ns: float) -> List[WriteQueueEntry]:
+        """Resident entries whose ready bit was still 0 at the failure."""
+        return [e for e in self.entries_at(crash_ns) if e.ready_ns > crash_ns]

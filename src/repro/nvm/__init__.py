@@ -1,0 +1,23 @@
+"""The non-volatile main memory substrate.
+
+Models an 8 GB PCM DIMM behind a DDR3-533 interface: a sparse
+line-addressed byte store, bank-level timing, the data/counter address
+map, and per-line wear statistics.
+"""
+
+from .address import AddressMap
+from .device import NVMDevice, PersistedLine
+from .startgap import StartGapLeveler, simulate_leveling
+from .timing import BankTimingModel, BusModel
+from .wear import WearTracker
+
+__all__ = [
+    "AddressMap",
+    "NVMDevice",
+    "PersistedLine",
+    "StartGapLeveler",
+    "simulate_leveling",
+    "BankTimingModel",
+    "BusModel",
+    "WearTracker",
+]

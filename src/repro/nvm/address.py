@@ -1,0 +1,106 @@
+"""Physical address layout of the encrypted NVMM.
+
+The separate data-and-counter design (paper Figure 5(c)) stores counters
+in their own region of the same NVM.  We reserve the top 1/9 of the
+device for counters — each 64 B data line needs 8 B of counter storage —
+and hand out the rest as the data region.
+
+The map also provides the line/bank arithmetic the controller needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import CACHE_LINE_SIZE, COUNTERS_PER_LINE
+from ..errors import AddressError
+from ..utils.bitops import align_down, is_power_of_two
+
+
+@dataclass(frozen=True)
+class AddressMap:
+    """Partition of the physical address space into data + counters."""
+
+    memory_size_bytes: int
+    num_banks: int = 8
+
+    def __post_init__(self) -> None:
+        if self.memory_size_bytes % CACHE_LINE_SIZE != 0:
+            raise AddressError(
+                "memory size must be a multiple of the %d B line size" % CACHE_LINE_SIZE
+            )
+        if self.memory_size_bytes < CACHE_LINE_SIZE * (COUNTERS_PER_LINE + 1):
+            raise AddressError("memory too small to host data and counter regions")
+        if not is_power_of_two(self.num_banks):
+            raise AddressError("bank count must be a power of two")
+
+    @property
+    def counter_region_base(self) -> int:
+        """First byte of the counter region (data region ends here).
+
+        Each 64 B data line needs 8 B of counter storage, so data gets
+        8/9 of the device (rounded down to a line boundary); the rest
+        always suffices to hold every data line's counter.
+        """
+        data_bytes = self.memory_size_bytes * COUNTERS_PER_LINE // (COUNTERS_PER_LINE + 1)
+        return align_down(data_bytes, CACHE_LINE_SIZE)
+
+    @property
+    def data_region_bytes(self) -> int:
+        return self.counter_region_base
+
+    @property
+    def counter_region_bytes(self) -> int:
+        return self.memory_size_bytes - self.counter_region_base
+
+    # -- classification -----------------------------------------------------
+
+    def is_data_address(self, address: int) -> bool:
+        return 0 <= address < self.counter_region_base
+
+    def is_counter_address(self, address: int) -> bool:
+        return self.counter_region_base <= address < self.memory_size_bytes
+
+    def check_data_address(self, address: int) -> None:
+        if not self.is_data_address(address):
+            raise AddressError("0x%x is not a data address" % address)
+
+    # -- line arithmetic ------------------------------------------------------
+
+    @staticmethod
+    def line_base(address: int) -> int:
+        """Base address of the 64 B line containing ``address``."""
+        return align_down(address, CACHE_LINE_SIZE)
+
+    @staticmethod
+    def line_index(address: int) -> int:
+        return address // CACHE_LINE_SIZE
+
+    def bank_of(self, address: int) -> int:
+        """Bank servicing this line (line-interleaved across banks)."""
+        return self.line_index(address) % self.num_banks
+
+    def row_of(self, address: int, lines_per_row: int = 64) -> int:
+        """Row-buffer row of this line within its bank.
+
+        With line-interleaving, consecutive lines stripe across banks
+        and land in the same per-bank row, so streaming accesses enjoy
+        row-buffer hits.
+        """
+        return (self.line_index(address) // self.num_banks) // lines_per_row
+
+    # -- data <-> counter mapping -----------------------------------------------
+
+    def counter_address_of(self, data_address: int) -> int:
+        """NVM address of the 8 B counter for the data line at ``data_address``."""
+        self.check_data_address(data_address)
+        return self.counter_region_base + self.line_index(data_address) * 8
+
+    def counter_line_address_of(self, data_address: int) -> int:
+        """NVM address of the 64 B counter line covering ``data_address``."""
+        return align_down(self.counter_address_of(data_address), CACHE_LINE_SIZE)
+
+    def data_group_base(self, data_address: int) -> int:
+        """Base data address of the 8-line group sharing one counter line."""
+        self.check_data_address(data_address)
+        return align_down(data_address, CACHE_LINE_SIZE * COUNTERS_PER_LINE)

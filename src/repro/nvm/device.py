@@ -1,0 +1,103 @@
+"""The persistent byte store of the NVM DIMM.
+
+Functionally, the device is a sparse map from line address to the 64 B
+of *ciphertext* most recently persisted there (plaintext when the design
+does not encrypt).  Alongside each line we keep the counter value it was
+encrypted with — not as architectural state (the architectural counters
+live in :class:`repro.crypto.counters.CounterStore`) but as ground truth
+so experiments can verify whether a post-crash image is decryptable.
+
+A crash image is a deep snapshot of this store plus the architectural
+counter store; recovery decrypts the image with the *architectural*
+counters and compares against ground truth to detect Eq.-4 failures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional
+
+from ..config import CACHE_LINE_SIZE
+from ..errors import AddressError
+from ..utils.bitops import align_down
+from .address import AddressMap
+from .wear import WearTracker
+
+_ZERO_LINE = bytes(CACHE_LINE_SIZE)
+
+
+@dataclass
+class PersistedLine:
+    """One line as stored in NVM: payload plus encryption ground truth."""
+
+    payload: bytes
+    #: Counter used to encrypt ``payload`` (0 = stored in the clear).
+    encrypted_with: int
+
+    def __post_init__(self) -> None:
+        if len(self.payload) != CACHE_LINE_SIZE:
+            raise AddressError("persisted lines are exactly %d bytes" % CACHE_LINE_SIZE)
+
+
+class NVMDevice:
+    """Sparse line-granular persistent store with wear accounting."""
+
+    def __init__(self, address_map: AddressMap, track_wear: bool = True) -> None:
+        self.address_map = address_map
+        self._lines: Dict[int, PersistedLine] = {}
+        self.wear: Optional[WearTracker] = WearTracker() if track_wear else None
+        self.line_writes = 0
+        self.line_reads = 0
+
+    # -- persistence -----------------------------------------------------------
+
+    def persist_line(
+        self, address: int, payload: Optional[bytes], encrypted_with: int = 0
+    ) -> None:
+        """Durably store one line.
+
+        ``payload`` may be None in timing-only mode; the write is still
+        counted for traffic/wear statistics and the counter ground
+        truth is still recorded so atomicity checks work.
+        """
+        line = align_down(address, CACHE_LINE_SIZE)
+        if line < 0 or line >= self.address_map.memory_size_bytes:
+            raise AddressError("address 0x%x outside the device" % address)
+        data = payload if payload is not None else _ZERO_LINE
+        self._lines[line] = PersistedLine(payload=data, encrypted_with=encrypted_with)
+        self.line_writes += 1
+        if self.wear is not None:
+            self.wear.record_write(line)
+
+    def read_line(self, address: int) -> PersistedLine:
+        """Fetch one line; unwritten lines read as zeroes in the clear."""
+        line = align_down(address, CACHE_LINE_SIZE)
+        if line < 0 or line >= self.address_map.memory_size_bytes:
+            raise AddressError("address 0x%x outside the device" % address)
+        self.line_reads += 1
+        stored = self._lines.get(line)
+        if stored is None:
+            return PersistedLine(payload=_ZERO_LINE, encrypted_with=0)
+        return stored
+
+    def contains_line(self, address: int) -> bool:
+        return align_down(address, CACHE_LINE_SIZE) in self._lines
+
+    def touched_lines(self) -> Iterator[int]:
+        return iter(sorted(self._lines))
+
+    # -- crash support -------------------------------------------------------------
+
+    def snapshot(self) -> Dict[int, PersistedLine]:
+        """Deep-enough copy for crash images (payloads are immutable)."""
+        return dict(self._lines)
+
+    def restore(self, snapshot: Dict[int, PersistedLine]) -> None:
+        self._lines = dict(snapshot)
+
+    # -- statistics ---------------------------------------------------------------
+
+    @property
+    def footprint_bytes(self) -> int:
+        """Bytes of the device actually materialized."""
+        return len(self._lines) * CACHE_LINE_SIZE

@@ -1,0 +1,12 @@
+"""Persistency support: the ADR persist journal and ordering primitives.
+
+The journal is the simulator's ground truth for *when* each write became
+durable; the crash injector replays it to reconstruct the exact NVM
+image at any instant, honouring the ready-bit/ADR drain rules of the
+paper's Section 5.2.2.
+"""
+
+from .journal import JournalKind, JournalRecord, PersistJournal
+from .model import PersistencyTracker
+
+__all__ = ["JournalKind", "JournalRecord", "PersistJournal", "PersistencyTracker"]

@@ -1,0 +1,237 @@
+"""The persist journal: a timestamped log of every NVM write.
+
+The live simulation applies writes to the device eagerly (modeling
+write-queue forwarding), so the device's end state is only correct for
+crash-free runs.  To reason about crashes, every write — data line,
+counter line, or co-located pair — is journaled with three timestamps:
+
+* ``accept_ns``  — entered an ADR-protected write queue,
+* ``ready_ns``   — ready bit set (== accept for unpaired entries;
+  == max of the pair's accepts for counter-atomic pairs),
+* ``drain_ns``   — reached the NVM array.
+
+Coalescing *amends* an existing journal record rather than adding a new
+one; each amendment carries its own effective time, so a crash between
+the original insertion and the amendment correctly resurrects the
+pre-amendment payload.
+
+Crash semantics (paper, "Steps During a System Failure"): at failure
+time T, a record persists iff ``drain_ns <= T`` (already in the array)
+or ``ready_ns <= T`` (ADR drains ready queue entries).  Unready entries
+are dropped — both halves of an incomplete pair vanish together.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..config import CACHE_LINE_SIZE
+from ..errors import SimulationError
+
+
+class JournalKind(enum.Enum):
+    DATA = "data"
+    COUNTER = "counter"
+
+
+@dataclass
+class _Amendment:
+    effective_ns: float
+    payload: Optional[bytes]
+    encrypted_with: int
+    group_base: Optional[int] = None
+    counters: Optional[Tuple[int, ...]] = None
+
+
+@dataclass
+class JournalRecord:
+    """One durable write and its amendment history."""
+
+    kind: JournalKind
+    entry_id: int
+    address: int
+    accept_ns: float
+    ready_ns: float
+    drain_ns: float
+    payload: Optional[bytes] = None
+    encrypted_with: int = 0
+    #: Counter records: base data address of the covered 8-line group.
+    group_base: Optional[int] = None
+    counters: Optional[Tuple[int, ...]] = None
+    #: True when the record persists a single counter slot (co-located
+    #: and ideal designs) rather than a whole counter line.
+    single_slot: bool = False
+    partner_id: Optional[int] = None
+    amendments: List[_Amendment] = field(default_factory=list)
+
+    def persists_at(self, crash_ns: float, adr: bool = True) -> bool:
+        """Does this record survive a failure at ``crash_ns``?"""
+        if self.drain_ns <= crash_ns:
+            return True
+        if adr and self.ready_ns <= crash_ns:
+            return True
+        return False
+
+    def effective_values(self, crash_ns: float) -> _Amendment:
+        """Payload/counters as of ``crash_ns`` (latest applicable amendment)."""
+        chosen = _Amendment(
+            effective_ns=self.accept_ns,
+            payload=self.payload,
+            encrypted_with=self.encrypted_with,
+            group_base=self.group_base,
+            counters=self.counters,
+        )
+        for amendment in self.amendments:
+            if amendment.effective_ns <= crash_ns:
+                chosen = amendment
+        return chosen
+
+
+class PersistJournal:
+    """Ordered log of all writes with crash-time reconstruction."""
+
+    def __init__(self) -> None:
+        self.records: List[JournalRecord] = []
+        self._by_entry_id: Dict[int, JournalRecord] = {}
+        self._auto_id = -1  # negative ids for records without queue entries
+
+    def _next_auto_id(self) -> int:
+        self._auto_id -= 1
+        return self._auto_id
+
+    # -- recording ----------------------------------------------------------
+
+    def record_data(
+        self,
+        entry_id: int,
+        address: int,
+        payload: Optional[bytes],
+        encrypted_with: int,
+        accept_ns: float,
+        ready_ns: float,
+        drain_ns: float,
+        partner_id: Optional[int] = None,
+    ) -> JournalRecord:
+        record = JournalRecord(
+            kind=JournalKind.DATA,
+            entry_id=entry_id,
+            address=address,
+            accept_ns=accept_ns,
+            ready_ns=ready_ns,
+            drain_ns=drain_ns,
+            payload=payload,
+            encrypted_with=encrypted_with,
+            partner_id=partner_id,
+        )
+        self.records.append(record)
+        self._by_entry_id[entry_id] = record
+        return record
+
+    def record_counter(
+        self,
+        address: int,
+        counters: Tuple[int, ...],
+        group_base: int,
+        accept_ns: float,
+        ready_ns: float,
+        drain_ns: float,
+        entry_id: Optional[int] = None,
+        single_slot: bool = False,
+    ) -> JournalRecord:
+        record = JournalRecord(
+            kind=JournalKind.COUNTER,
+            entry_id=entry_id if entry_id is not None else self._next_auto_id(),
+            address=address,
+            accept_ns=accept_ns,
+            ready_ns=ready_ns,
+            drain_ns=drain_ns,
+            group_base=group_base,
+            counters=counters,
+            single_slot=single_slot,
+        )
+        self.records.append(record)
+        self._by_entry_id[record.entry_id] = record
+        return record
+
+    # -- amendments (write-queue coalescing) -----------------------------------
+
+    def amend_data(
+        self,
+        entry_id: int,
+        payload: Optional[bytes],
+        encrypted_with: int,
+        effective_ns: float,
+    ) -> None:
+        record = self._by_entry_id.get(entry_id)
+        if record is None or record.kind is not JournalKind.DATA:
+            raise SimulationError("amending unknown data journal record %d" % entry_id)
+        record.amendments.append(
+            _Amendment(
+                effective_ns=effective_ns,
+                payload=payload,
+                encrypted_with=encrypted_with,
+            )
+        )
+
+    def amend_counter(
+        self,
+        entry_id: int,
+        group_base: int,
+        counters: Tuple[int, ...],
+        effective_ns: float,
+    ) -> None:
+        record = self._by_entry_id.get(entry_id)
+        if record is None or record.kind is not JournalKind.COUNTER:
+            raise SimulationError("amending unknown counter journal record %d" % entry_id)
+        record.amendments.append(
+            _Amendment(
+                effective_ns=effective_ns,
+                payload=None,
+                encrypted_with=0,
+                group_base=group_base,
+                counters=counters,
+            )
+        )
+
+    # -- reconstruction -------------------------------------------------------
+
+    def reconstruct(
+        self, crash_ns: float, adr: bool = True
+    ) -> Tuple[Dict[int, Tuple[Optional[bytes], int]], Dict[int, int]]:
+        """NVM image at ``crash_ns``.
+
+        Returns ``(data_lines, counter_lines)`` where ``data_lines``
+        maps line address -> (payload, encrypted_with) and
+        ``counter_lines`` maps data line address -> architectural
+        counter value.  Records are replayed in acceptance order.
+        """
+        data_lines: Dict[int, Tuple[Optional[bytes], int]] = {}
+        counters: Dict[int, int] = {}
+        for record in self.records:
+            if not record.persists_at(crash_ns, adr=adr):
+                continue
+            values = record.effective_values(crash_ns)
+            if record.kind is JournalKind.DATA:
+                data_lines[record.address] = (values.payload, values.encrypted_with)
+            else:
+                group_base = values.group_base
+                line_counters = values.counters
+                if group_base is None or line_counters is None:
+                    raise SimulationError("counter record without counter values")
+                if record.single_slot:
+                    counters[group_base] = line_counters[0]
+                else:
+                    for slot, value in enumerate(line_counters):
+                        counters[group_base + slot * CACHE_LINE_SIZE] = value
+        return data_lines, counters
+
+    # -- introspection -----------------------------------------------------------
+
+    def final_image(self) -> Tuple[Dict[int, Tuple[Optional[bytes], int]], Dict[int, int]]:
+        """The crash-free end state (replay at T = infinity)."""
+        return self.reconstruct(float("inf"))
+
+    def __len__(self) -> int:
+        return len(self.records)

@@ -1,0 +1,204 @@
+"""The machine: cores + caches + memory controller, replaying traces.
+
+Scheduling: each core is a cursor into its trace with a local clock.
+The machine repeatedly picks the core with the earliest clock and
+executes its next operation, so shared-resource contention (L2, write
+queues, banks, bus) is resolved in global time order.  This is the
+standard conservative discrete-event discipline at operation
+granularity — sufficient because every inter-core interaction in this
+model happens through timestamped shared resources.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..config import SystemConfig
+from ..core.designs import DesignPolicy, get_design
+from ..errors import SimulationError, TraceError
+from ..mem.controller import MemoryController
+from ..mem.hierarchy import CacheHierarchy
+from ..persist.model import PersistencyTracker
+from .stats import CoreStats, MachineStats
+from .trace import Op, OpKind, Trace
+
+
+@dataclass
+class SimulationResult:
+    """Everything a finished run exposes to experiments and checkers."""
+
+    stats: MachineStats
+    controller: MemoryController
+    hierarchy: CacheHierarchy
+    config: SystemConfig
+    policy: DesignPolicy
+    #: Per-core list of txn_end completion times (after the commit
+    #: barrier) — validators use these for commit-durability checks.
+    txn_end_times: List[List[float]] = None  # type: ignore[assignment]
+
+    @property
+    def journal(self):
+        return self.controller.journal
+
+
+class _CoreState:
+    """Execution cursor of one core."""
+
+    __slots__ = ("core_id", "trace", "index", "clock_ns", "tracker", "stats")
+
+    def __init__(self, core_id: int, trace: Trace) -> None:
+        self.core_id = core_id
+        self.trace = trace
+        self.index = 0
+        self.clock_ns = 0.0
+        self.tracker = PersistencyTracker()
+        self.stats = CoreStats(core_id=core_id)
+
+    @property
+    def done(self) -> bool:
+        return self.index >= len(self.trace.ops)
+
+
+class Machine:
+    """A complete simulated system under one design point."""
+
+    def __init__(self, config: SystemConfig, design: str | DesignPolicy) -> None:
+        self.config = config
+        self.policy = get_design(design) if isinstance(design, str) else design
+        self.controller = MemoryController(config, self.policy)
+        self.hierarchy = CacheHierarchy(config, self.controller)
+        self._txn_end_times: List[List[float]] = []
+
+    # ------------------------------------------------------------------
+
+    def run(self, traces: Sequence[Trace]) -> SimulationResult:
+        """Replay one trace per core to completion."""
+        if len(traces) > self.config.num_cores:
+            raise TraceError(
+                "%d traces but only %d cores" % (len(traces), self.config.num_cores)
+            )
+        cores = [_CoreState(i, trace) for i, trace in enumerate(traces)]
+        self._txn_end_times = [[] for _ in traces]
+        pending = [c for c in cores if not c.done]
+        while pending:
+            # Conservative order: always advance the earliest core.
+            core = min(pending, key=lambda c: c.clock_ns)
+            self._step(core)
+            if core.done:
+                core.stats.finish_ns = core.clock_ns
+                pending = [c for c in cores if not c.done]
+        return self._finish(cores)
+
+    def _step(self, core: _CoreState) -> None:
+        op = core.trace.ops[core.index]
+        core.index += 1
+        core.stats.ops_executed += 1
+        now = core.clock_ns + self.config.core.op_overhead_ns
+        handler = self._HANDLERS[op.kind]
+        core.clock_ns = handler(self, core, op, now)
+
+    # -- op handlers -------------------------------------------------------
+
+    def _op_load(self, core: _CoreState, op: Op, now: float) -> float:
+        core.stats.loads += 1
+        access = self.hierarchy.load(core.core_id, op.address, op.length, now)
+        core.stats.load_stall_ns += access.complete_ns - now
+        return access.complete_ns
+
+    def _op_store(self, core: _CoreState, op: Op, now: float) -> float:
+        core.stats.stores += 1
+        if op.counter_atomic:
+            core.stats.ca_stores += 1
+        access = self.hierarchy.store(
+            core.core_id,
+            op.address,
+            op.data,
+            op.length,
+            now,
+            counter_atomic=op.counter_atomic,
+        )
+        return access.complete_ns
+
+    def _op_clwb(self, core: _CoreState, op: Op, now: float) -> float:
+        core.stats.clwbs += 1
+        accept = self.hierarchy.clwb(core.core_id, op.address, now)
+        if accept is not None:
+            core.tracker.note_writeback(accept)
+        return now + self.config.l1.hit_latency_ns
+
+    def _op_ccwb(self, core: _CoreState, op: Op, now: float) -> float:
+        core.stats.ccwbs += 1
+        ticket = self.controller.counter_cache_writeback(op.address, now)
+        if ticket is not None:
+            core.tracker.note_writeback(ticket.accept_ns)
+        return now + self.config.l1.hit_latency_ns
+
+    def _op_sfence(self, core: _CoreState, op: Op, now: float) -> float:
+        core.stats.fences += 1
+        release = core.tracker.fence(now)
+        core.stats.fence_stall_ns += release - now
+        return release
+
+    def _op_compute(self, core: _CoreState, op: Op, now: float) -> float:
+        return now + op.duration_ns
+
+    def _op_txn_begin(self, core: _CoreState, op: Op, now: float) -> float:
+        return now
+
+    def _op_txn_end(self, core: _CoreState, op: Op, now: float) -> float:
+        core.stats.transactions += 1
+        self._txn_end_times[core.core_id].append(now)
+        return now
+
+    def _op_label(self, core: _CoreState, op: Op, now: float) -> float:
+        return now
+
+    _HANDLERS = {
+        OpKind.LOAD: _op_load,
+        OpKind.STORE: _op_store,
+        OpKind.CLWB: _op_clwb,
+        OpKind.CCWB: _op_ccwb,
+        OpKind.SFENCE: _op_sfence,
+        OpKind.COMPUTE: _op_compute,
+        OpKind.TXN_BEGIN: _op_txn_begin,
+        OpKind.TXN_END: _op_txn_end,
+        OpKind.LABEL: _op_label,
+    }
+
+    # -- result assembly -----------------------------------------------------
+
+    def _finish(self, cores: List[_CoreState]) -> SimulationResult:
+        runtime = max((c.clock_ns for c in cores), default=0.0)
+        cc_stats = self.controller.counter_cache_stats
+        stats = MachineStats(
+            design=self.policy.name,
+            num_cores=self.config.num_cores,
+            runtime_ns=runtime,
+            per_core=[c.stats for c in cores],
+            bytes_written=self.controller.stats.bytes_written,
+            bytes_read=self.controller.stats.bytes_read,
+            transactions=sum(c.stats.transactions for c in cores),
+            counter_cache_miss_rate=cc_stats.miss_rate if cc_stats else None,
+            data_wq_peak=self.controller.data_queue.peak_occupancy,
+            counter_wq_peak=self.controller.counter_queue.peak_occupancy,
+            coalesced_data_writes=self.controller.stats.coalesced_data_writes,
+            coalesced_counter_writes=self.controller.stats.coalesced_counter_writes,
+            paired_writes=self.controller.stats.paired_writes,
+            mean_read_latency_ns=self.controller.stats.mean_read_latency_ns,
+        )
+        return SimulationResult(
+            stats=stats,
+            controller=self.controller,
+            hierarchy=self.hierarchy,
+            config=self.config,
+            policy=self.policy,
+            txn_end_times=self._txn_end_times,
+        )
+
+
+def run_design(
+    config: SystemConfig, design: str | DesignPolicy, traces: Sequence[Trace]
+) -> SimulationResult:
+    """One-shot helper: build a machine and run the traces."""
+    return Machine(config, design).run(traces)

@@ -1,0 +1,166 @@
+"""Trace serialization: save and replay simulation inputs.
+
+Traces are the simulator's unit of reproducibility — the same trace
+replayed under two designs is what makes the paper's comparisons
+apples-to-apples.  This module gives traces a stable on-disk form so
+experiments can be archived, diffed, and replayed without re-running
+workload generation.
+
+Format: one op per line, whitespace-separated fields, ``#`` comments::
+
+    # trace: array-core0
+    T+                        # txn_begin
+    W 0x1000 8 ca 0102030405060708   # store, hex payload, counter-atomic
+    W 0x1040 8 -  a1a2a3a4a5a6a7a8   # store, plain
+    R 0x1000 8                # load
+    F 0x1000                  # clwb
+    C 0x1000                  # counter_cache_writeback
+    S                         # sfence
+    P 25.0                    # compute (ns)
+    T-                        # txn_end
+
+The format is line-oriented and append-friendly; payloads are optional
+(timing-only traces omit them).
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable, List, Optional, TextIO, Union
+
+from ..errors import TraceError
+from .trace import Op, OpKind, Trace
+
+_KIND_TO_CODE = {
+    OpKind.LOAD: "R",
+    OpKind.STORE: "W",
+    OpKind.CLWB: "F",
+    OpKind.CCWB: "C",
+    OpKind.SFENCE: "S",
+    OpKind.COMPUTE: "P",
+    OpKind.TXN_BEGIN: "T+",
+    OpKind.TXN_END: "T-",
+    OpKind.LABEL: "L",
+}
+_CODE_TO_KIND = {code: kind for kind, code in _KIND_TO_CODE.items()}
+
+
+def dump_trace(trace: Trace, stream: TextIO) -> None:
+    """Write one trace in the line format."""
+    stream.write("# trace: %s\n" % (trace.name or "unnamed"))
+    for op in trace.ops:
+        stream.write(_format_op(op))
+        stream.write("\n")
+
+
+def dumps_trace(trace: Trace) -> str:
+    """Serialize a trace to a string."""
+    buffer = io.StringIO()
+    dump_trace(trace, buffer)
+    return buffer.getvalue()
+
+
+def _format_op(op: Op) -> str:
+    code = _KIND_TO_CODE[op.kind]
+    if op.kind is OpKind.LOAD:
+        return "%s 0x%x %d" % (code, op.address, op.length)
+    if op.kind is OpKind.STORE:
+        flag = "ca" if op.counter_atomic else "-"
+        payload = op.data.hex() if op.data is not None else "-"
+        return "%s 0x%x %d %s %s" % (code, op.address, op.length, flag, payload)
+    if op.kind in (OpKind.CLWB, OpKind.CCWB):
+        return "%s 0x%x" % (code, op.address)
+    if op.kind is OpKind.COMPUTE:
+        return "%s %g" % (code, op.duration_ns)
+    if op.kind is OpKind.LABEL:
+        return "%s %s" % (code, op.note.replace(" ", "_") or "-")
+    if op.kind in (OpKind.TXN_BEGIN, OpKind.TXN_END):
+        note = op.note.replace(" ", "_")
+        return "%s %s" % (code, note) if note else code
+    return code  # SFENCE
+
+
+def load_trace(stream: Union[TextIO, Iterable[str]], name: str = "") -> Trace:
+    """Parse a trace from the line format."""
+    ops: List[Op] = []
+    trace_name = name
+    for line_number, raw in enumerate(stream, start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            if "trace:" in line and not trace_name:
+                trace_name = line.split("trace:", 1)[1].strip()
+            continue
+        try:
+            ops.append(_parse_line(line))
+        except (ValueError, IndexError, KeyError) as exc:
+            raise TraceError(
+                "bad trace line %d: %r (%s)" % (line_number, line, exc)
+            ) from exc
+    return Trace(ops=ops, name=trace_name)
+
+
+def loads_trace(text: str, name: str = "") -> Trace:
+    """Parse a trace from a string."""
+    return load_trace(io.StringIO(text), name=name)
+
+
+def _parse_line(line: str) -> Op:
+    fields = line.split()
+    code = fields[0]
+    kind = _CODE_TO_KIND.get(code)
+    if kind is None:
+        raise TraceError("unknown op code %r" % code)
+    if kind is OpKind.LOAD:
+        return Op(kind=kind, address=int(fields[1], 0), length=int(fields[2]))
+    if kind is OpKind.STORE:
+        address = int(fields[1], 0)
+        length = int(fields[2])
+        counter_atomic = fields[3] == "ca"
+        data: Optional[bytes] = None
+        if len(fields) > 4 and fields[4] != "-":
+            data = bytes.fromhex(fields[4])
+        return Op(
+            kind=kind,
+            address=address,
+            length=length,
+            data=data,
+            counter_atomic=counter_atomic,
+        )
+    if kind in (OpKind.CLWB, OpKind.CCWB):
+        return Op(kind=kind, address=int(fields[1], 0))
+    if kind is OpKind.COMPUTE:
+        return Op(kind=kind, duration_ns=float(fields[1]))
+    if kind is OpKind.LABEL:
+        note = fields[1].replace("_", " ") if len(fields) > 1 else ""
+        return Op(kind=kind, note="" if note == "-" else note)
+    if kind in (OpKind.TXN_BEGIN, OpKind.TXN_END):
+        note = fields[1].replace("_", " ") if len(fields) > 1 else ""
+        return Op(kind=kind, note=note)
+    return Op(kind=kind)  # SFENCE
+
+
+def save_traces(traces: Iterable[Trace], path: str) -> None:
+    """Write several traces to one file, separated by ``=== core N``."""
+    with open(path, "w", encoding="utf-8") as stream:
+        for index, trace in enumerate(traces):
+            stream.write("=== core %d\n" % index)
+            dump_trace(trace, stream)
+
+
+def load_traces(path: str) -> List[Trace]:
+    """Read a multi-trace file written by :func:`save_traces`."""
+    traces: List[Trace] = []
+    current: List[str] = []
+    with open(path, "r", encoding="utf-8") as stream:
+        for line in stream:
+            if line.startswith("=== core"):
+                if current:
+                    traces.append(load_trace(current))
+                current = []
+            else:
+                current.append(line)
+    if current:
+        traces.append(load_trace(current))
+    return traces

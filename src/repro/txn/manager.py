@@ -1,0 +1,64 @@
+"""Uniform front door over the transaction mechanisms.
+
+Workloads ask for "a transaction mechanism" by name so every workload
+can run under undo logging (the paper's default), redo logging, or —
+for structures that fit it — shadow copying.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, List, Tuple, Union
+
+from ..errors import TransactionError
+from ..sim.trace import TraceBuilder
+from .checksum_undo import ChecksummedUndoLog
+from .heap import CoreArena
+from .redolog import RedoLogTransactions
+from .undolog import UndoLogTransactions
+
+
+class TransactionMechanism(enum.Enum):
+    UNDO = "undo"
+    REDO = "redo"
+    CHECKSUM_UNDO = "checksum-undo"
+
+
+#: Any concrete line-transaction generator.
+LineTransactions = Union[
+    UndoLogTransactions, RedoLogTransactions, ChecksummedUndoLog
+]
+
+
+def make_transactions(
+    mechanism: Union[str, TransactionMechanism],
+    builder: TraceBuilder,
+    arena: CoreArena,
+) -> LineTransactions:
+    """Instantiate the requested mechanism over one arena."""
+    if isinstance(mechanism, str):
+        try:
+            mechanism = TransactionMechanism(mechanism)
+        except ValueError:
+            raise TransactionError(
+                "unknown transaction mechanism %r" % mechanism
+            ) from None
+    if mechanism is TransactionMechanism.UNDO:
+        return UndoLogTransactions(builder, arena)
+    if mechanism is TransactionMechanism.CHECKSUM_UNDO:
+        return ChecksummedUndoLog(builder, arena)
+    return RedoLogTransactions(builder, arena)
+
+
+def apply_line_writes(
+    txns: LineTransactions,
+    writes: List[Tuple[int, bytes, bytes]],
+) -> None:
+    """Run one transaction over (address, old, new) line writes.
+
+    Redo logging ignores the pre-images; undo logging logs them.
+    """
+    if isinstance(txns, (UndoLogTransactions, ChecksummedUndoLog)):
+        txns.run(writes)
+        return
+    txns.run([(address, new) for address, _old, new in writes])

@@ -1,0 +1,130 @@
+"""Shadow-copy transactions with selective counter-atomicity.
+
+Shadow copying keeps two complete copies of a region (A and B) plus a
+``CounterAtomic`` *active* selector.  A transaction writes the new
+version into the inactive copy (relaxable writes), flushes it, ccwb's
+its counters, barriers, then flips the selector — the single write that
+changes which copy recovery uses, hence the single counter-atomic
+write.  Recovery is trivial: read the selector, use that copy.
+
+This is the mechanism the paper's linked-list example (Figure 4)
+reduces to when the "structure" is the head pointer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..config import CACHE_LINE_SIZE
+from ..core.primitives import CounterAtomic, PersistentVar, Plain
+from ..crash.recovery import RecoveredMemory
+from ..errors import TransactionError
+from ..sim.trace import TraceBuilder
+from .heap import CoreArena
+
+_SELECTOR_OFFSET = 0
+_SEQ_OFFSET = 8
+
+
+@dataclass
+class ShadowRegion:
+    """Two copies of one region plus the selector line."""
+
+    selector_line: int
+    copy_a: int
+    copy_b: int
+    region_bytes: int
+
+    def copy_base(self, which: int) -> int:
+        return self.copy_a if which == 0 else self.copy_b
+
+
+class ShadowTransactions:
+    """Generates shadow-copy transactions into a trace builder."""
+
+    def __init__(
+        self, builder: TraceBuilder, arena: CoreArena, region_bytes: int
+    ) -> None:
+        if region_bytes % CACHE_LINE_SIZE != 0:
+            raise TransactionError("shadow region must be line-granular")
+        self.builder = builder
+        self.arena = arena
+        self.region = ShadowRegion(
+            selector_line=arena.txn_record,
+            copy_a=arena.heap.alloc(region_bytes),
+            copy_b=arena.heap.alloc(region_bytes),
+            region_bytes=region_bytes,
+        )
+        self.selector_var: PersistentVar = CounterAtomic(
+            self.region.selector_line + _SELECTOR_OFFSET, name="shadow.active"
+        )
+        self.seq_var: PersistentVar = Plain(
+            self.region.selector_line + _SEQ_OFFSET, name="shadow.seq"
+        )
+        self._active = 0
+        self._seq = 0
+        self.committed = 0
+
+    @property
+    def active_copy(self) -> int:
+        """Base address of the currently active copy."""
+        return self.region.copy_base(self._active)
+
+    @property
+    def inactive_copy(self) -> int:
+        return self.region.copy_base(1 - self._active)
+
+    def commit_new_version(
+        self, line_payloads: Sequence[Tuple[int, bytes]]
+    ) -> None:
+        """Write a new version and flip the selector.
+
+        ``line_payloads``: (line offset within the region, 64 B payload)
+        for every line that differs from the active copy; unchanged
+        lines must already be equal in both copies (the caller keeps
+        the copies converged, e.g. by writing every line or by running
+        pairs of transactions).
+        """
+        builder = self.builder
+        self._seq += 1
+        builder.txn_begin("shadow#%d" % self._seq)
+        builder.label("shadow-write")
+        target_base = self.inactive_copy
+        touched: List[int] = []
+        for offset, payload in line_payloads:
+            if offset % CACHE_LINE_SIZE != 0 or offset >= self.region.region_bytes:
+                raise TransactionError("bad shadow line offset %d" % offset)
+            if len(payload) != CACHE_LINE_SIZE:
+                raise TransactionError("shadow works on whole 64 B lines")
+            address = target_base + offset
+            builder.store(address, payload)
+            builder.clwb(address)
+            touched.append(address)
+        for address in touched:
+            builder.ccwb(address)
+        builder.persist_barrier()
+        builder.label("shadow-flip")
+        builder.store_var(self.seq_var, self._seq)
+        builder.store_var(self.selector_var, 1 - self._active)
+        builder.clwb(self.region.selector_line)
+        builder.persist_barrier()
+        self._active = 1 - self._active
+        self.committed += 1
+        builder.txn_end("shadow#%d" % self._seq)
+
+
+def recover_shadow(
+    recovered: RecoveredMemory, region: ShadowRegion
+) -> Tuple[int, int]:
+    """Post-crash shadow recovery.
+
+    Returns ``(active_index, active_base)``.  The selector line is
+    counter-atomic, so the strict read must succeed; the active copy's
+    lines were ccwb'd + barriered before every flip, so they are
+    decryptable too.
+    """
+    selector = recovered.read_u64(region.selector_line + _SELECTOR_OFFSET)
+    if selector not in (0, 1):
+        raise TransactionError("corrupt shadow selector: %d" % selector)
+    return int(selector), region.copy_base(int(selector))

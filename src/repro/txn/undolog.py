@@ -1,0 +1,260 @@
+"""Undo-logging transactions with selective counter-atomicity.
+
+This is the paper's running example (Figure 9 / Table 1), implemented
+with the exact stage structure and primitive placement:
+
+* **prepare** — back up every target line into the log (relaxable
+  writes), ``clwb`` the log lines, ``counter_cache_writeback()`` over
+  the log, ``persist_barrier()``; then *arm* the transaction record
+  with a ``CounterAtomic`` store of ``valid = 1`` and barrier.
+* **mutate** — update the data lines in place (relaxable), ``clwb``,
+  ``counter_cache_writeback()`` over the data, ``persist_barrier()``.
+* **commit** — ``CounterAtomic`` store of ``valid = 0`` + barrier.
+
+The valid flag is the only write whose counter must persist atomically
+with its data: it decides which version recovery restores.  Everything
+else is covered by a ccwb + barrier *before* the next flip of the
+valid flag, which is what makes the relaxation safe (Section 4.2).
+
+Log layout (per arena)::
+
+    txn_record line : [ valid u64 | seq u64 | nentries u64 | pad ]
+    entry i         : header line [ magic u64 | target u64 | seq u64 | pad ]
+                      payload line [ 64 B pre-image of the target line ]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..config import CACHE_LINE_SIZE
+from ..core.primitives import CounterAtomic, PersistentVar, Plain
+from ..crash.recovery import RecoveredMemory
+from ..errors import TransactionError
+from ..sim.trace import TraceBuilder
+from ..utils.bitops import u64_to_bytes
+from .heap import LOG_ENTRY_BYTES, CoreArena
+
+#: Marks an initialized log entry header.
+LOG_MAGIC = 0x554E444F4C4F4721  # "UNDOLOG!"
+
+_VALID_OFFSET = 0
+_SEQ_OFFSET = 8
+_NENTRIES_OFFSET = 16
+_FIRST_ENTRY_OFFSET = 24
+
+#: Modeled non-memory work (address computation, loop and logging
+#: bookkeeping, 64 B copies done as eight scalar stores) per log entry
+#: and per in-place line update.  The gem5 runs these replace execute
+#: real instruction streams; these constants keep the core from
+#: emitting writes unrealistically faster than a 4 GHz OoO core could.
+PREPARE_COMPUTE_NS = 70.0
+MUTATE_COMPUTE_NS = 45.0
+STAGE_COMPUTE_NS = 25.0
+
+
+@dataclass
+class _OpenTransaction:
+    seq: int
+    writes: List[Tuple[int, bytes, bytes]]  # (line address, old, new)
+    counter_atomic_targets: Dict[int, bool]
+
+
+class UndoLogTransactions:
+    """Generates undo-logged transactions into a trace builder."""
+
+    def __init__(self, builder: TraceBuilder, arena: CoreArena) -> None:
+        self.builder = builder
+        self.arena = arena
+        self.valid_var: PersistentVar = CounterAtomic(
+            arena.txn_record + _VALID_OFFSET, name="txn.valid"
+        )
+        self.seq_var: PersistentVar = Plain(arena.txn_record + _SEQ_OFFSET, name="txn.seq")
+        self.nentries_var: PersistentVar = Plain(
+            arena.txn_record + _NENTRIES_OFFSET, name="txn.nentries"
+        )
+        self._seq = 0
+        self._open: Optional[_OpenTransaction] = None
+        self.committed = 0
+        #: Circular-log cursor: each transaction appends fresh entries
+        #: and wraps, as real undo logs do; reusing entry 0 every
+        #: transaction would fabricate hot lines the write queue then
+        #: coalesces unrealistically well.
+        self._log_cursor = 0
+        self._txn_first_entry = 0
+
+    # -- transaction construction ------------------------------------------
+
+    def begin(self) -> None:
+        if self._open is not None:
+            raise TransactionError("transaction already open (no nesting)")
+        self._seq += 1
+        self._open = _OpenTransaction(
+            seq=self._seq, writes=[], counter_atomic_targets={}
+        )
+        self._txn_first_entry = self._log_cursor
+        self.builder.txn_begin("undo#%d" % self._seq)
+
+    def write_line(
+        self,
+        line_address: int,
+        old_payload: bytes,
+        new_payload: bytes,
+        counter_atomic: bool = False,
+    ) -> None:
+        """Declare a full-line update inside the open transaction.
+
+        ``old_payload`` is the pre-image (the workload's model knows
+        it); it lands in the log.  ``counter_atomic`` marks targets the
+        workload wants paired even during mutate (rarely needed; the
+        commit record suffices for this protocol).
+        """
+        txn = self._require_open()
+        if len(old_payload) != CACHE_LINE_SIZE or len(new_payload) != CACHE_LINE_SIZE:
+            raise TransactionError("undo log works on whole 64 B lines")
+        if line_address % CACHE_LINE_SIZE != 0:
+            raise TransactionError("target must be line-aligned")
+        if len(txn.writes) >= self.arena.log_capacity:
+            raise TransactionError(
+                "transaction exceeds log capacity (%d lines)" % self.arena.log_capacity
+            )
+        txn.writes.append((line_address, bytes(old_payload), bytes(new_payload)))
+        txn.counter_atomic_targets[line_address] = counter_atomic
+
+    def commit(self) -> None:
+        """Emit the full three-stage protocol for the open transaction."""
+        txn = self._require_open()
+        builder = self.builder
+        if txn.writes:
+            self._emit_prepare(txn)
+            self._emit_mutate(txn)
+            self._emit_commit(txn)
+        self._open = None
+        self.committed += 1
+        builder.txn_end("undo#%d" % txn.seq)
+
+    # -- stages ---------------------------------------------------------------
+
+    def _entry_address(self, index: int) -> int:
+        return self.arena.log_base + (index % self.arena.log_capacity) * LOG_ENTRY_BYTES
+
+    def _emit_prepare(self, txn: _OpenTransaction) -> None:
+        builder = self.builder
+        builder.label("prepare")
+        for offset, (target, old, _new) in enumerate(txn.writes):
+            header = self._entry_address(self._txn_first_entry + offset)
+            payload = header + CACHE_LINE_SIZE
+            header_bytes = (
+                u64_to_bytes(LOG_MAGIC)
+                + u64_to_bytes(target)
+                + u64_to_bytes(txn.seq)
+                + bytes(CACHE_LINE_SIZE - 24)
+            )
+            builder.compute(PREPARE_COMPUTE_NS)
+            builder.store(header, header_bytes)
+            builder.store(payload, old)
+            builder.clwb(header)
+            builder.clwb(payload)
+        for offset in range(len(txn.writes)):
+            # Flush both lines of the entry: a 128 B entry can straddle
+            # a counter-group boundary, in which case the two lines'
+            # counters live in different counter lines.
+            header = self._entry_address(self._txn_first_entry + offset)
+            builder.ccwb(header)
+            builder.ccwb(header + CACHE_LINE_SIZE)
+        builder.compute(STAGE_COMPUTE_NS)
+        builder.persist_barrier()
+        # Arm: the transaction record flips the recoverable version
+        # from "data" to "log", so it must be counter-atomic.
+        builder.store_var(self.seq_var, txn.seq)
+        builder.store_var(self.nentries_var, len(txn.writes))
+        builder.store_u64(
+            self.arena.txn_record + _FIRST_ENTRY_OFFSET,
+            self._txn_first_entry % self.arena.log_capacity,
+        )
+        builder.store_var(self.valid_var, 1)
+        builder.clwb(self.arena.txn_record)
+        builder.persist_barrier()
+
+    def _emit_mutate(self, txn: _OpenTransaction) -> None:
+        builder = self.builder
+        builder.label("mutate")
+        for target, _old, new in txn.writes:
+            builder.compute(MUTATE_COMPUTE_NS)
+            builder.store(
+                target,
+                new,
+                counter_atomic=txn.counter_atomic_targets.get(target, False),
+            )
+            builder.clwb(target)
+        for target, _old, _new in txn.writes:
+            builder.ccwb(target)
+        builder.compute(STAGE_COMPUTE_NS)
+        builder.persist_barrier()
+
+    def _emit_commit(self, txn: _OpenTransaction) -> None:
+        builder = self.builder
+        builder.label("commit")
+        builder.store_var(self.valid_var, 0)
+        builder.clwb(self.arena.txn_record)
+        builder.persist_barrier()
+        self._log_cursor = (self._log_cursor + len(txn.writes)) % self.arena.log_capacity
+
+    def _require_open(self) -> _OpenTransaction:
+        if self._open is None:
+            raise TransactionError("no open transaction")
+        return self._open
+
+    # -- convenience -----------------------------------------------------------
+
+    def run(self, writes: Sequence[Tuple[int, bytes, bytes]]) -> None:
+        """begin + write_line* + commit in one call."""
+        self.begin()
+        for line_address, old, new in writes:
+            self.write_line(line_address, old, new)
+        self.commit()
+
+
+def recover_undo_log(
+    recovered: RecoveredMemory, arena: CoreArena
+) -> List[int]:
+    """Post-crash undo recovery for one arena.
+
+    Reads the transaction record; if a transaction was armed, restores
+    every logged pre-image.  Returns the list of restored line
+    addresses.  All reads are *strict*: the protocol guarantees the
+    record and (when armed) the log are decryptable, so a decryption
+    failure here is a genuine counter-atomicity violation and raises.
+    """
+    record = arena.txn_record
+    valid = recovered.read_u64(record + _VALID_OFFSET)
+    if valid == 0:
+        return []
+    if valid != 1:
+        raise TransactionError("corrupt transaction record: valid=%d" % valid)
+    seq = recovered.read_u64(record + _SEQ_OFFSET)
+    nentries = recovered.read_u64(record + _NENTRIES_OFFSET)
+    first = recovered.read_u64(record + _FIRST_ENTRY_OFFSET)
+    if nentries > arena.log_capacity or first >= arena.log_capacity:
+        raise TransactionError("corrupt transaction record")
+    restored: List[int] = []
+    for index in range(nentries):
+        slot = (first + index) % arena.log_capacity
+        header = arena.log_base + slot * LOG_ENTRY_BYTES
+        magic = recovered.read_u64(header)
+        if magic != LOG_MAGIC:
+            raise TransactionError("corrupt log entry %d (bad magic)" % index)
+        entry_seq = recovered.read_u64(header + 16)
+        if entry_seq != seq:
+            raise TransactionError(
+                "log entry %d has seq %d, record has %d" % (index, entry_seq, seq)
+            )
+        target = recovered.read_u64(header + 8)
+        pre_image = recovered.read(header + CACHE_LINE_SIZE, CACHE_LINE_SIZE)
+        recovered.plaintext_lines[target] = pre_image
+        recovered.garbage_lines.discard(target)
+        restored.append(target)
+    # The restore re-encrypts with fresh counters; the record is cleared.
+    recovered.plaintext_lines[record] = bytes(CACHE_LINE_SIZE)
+    return restored

@@ -1,0 +1,28 @@
+"""Small shared utilities: bit manipulation, statistics, formatting."""
+
+from .bitops import (
+    align_down,
+    align_up,
+    bytes_to_u64,
+    is_aligned,
+    is_power_of_two,
+    log2_int,
+    u64_to_bytes,
+)
+from .stats import Counter, Histogram, RunningMean, geometric_mean
+from .tables import format_table
+
+__all__ = [
+    "align_down",
+    "align_up",
+    "bytes_to_u64",
+    "is_aligned",
+    "is_power_of_two",
+    "log2_int",
+    "u64_to_bytes",
+    "Counter",
+    "Histogram",
+    "RunningMean",
+    "geometric_mean",
+    "format_table",
+]

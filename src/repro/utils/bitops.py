@@ -1,0 +1,78 @@
+"""Bit- and address-manipulation helpers used throughout the simulator."""
+
+from __future__ import annotations
+
+import struct
+
+from ..errors import AlignmentError
+
+_U64 = struct.Struct("<Q")
+
+MASK64 = (1 << 64) - 1
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return True if ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def log2_int(value: int) -> int:
+    """Exact integer log2; raises ValueError for non powers of two."""
+    if not is_power_of_two(value):
+        raise ValueError("%d is not a power of two" % value)
+    return value.bit_length() - 1
+
+
+def align_down(address: int, granularity: int) -> int:
+    """Round ``address`` down to a multiple of ``granularity``."""
+    return address - (address % granularity)
+
+
+def align_up(address: int, granularity: int) -> int:
+    """Round ``address`` up to a multiple of ``granularity``."""
+    remainder = address % granularity
+    if remainder == 0:
+        return address
+    return address + granularity - remainder
+
+
+def is_aligned(address: int, granularity: int) -> bool:
+    """Return True if ``address`` is a multiple of ``granularity``."""
+    return address % granularity == 0
+
+
+def require_aligned(address: int, granularity: int, what: str = "address") -> None:
+    """Raise :class:`AlignmentError` unless ``address`` is aligned."""
+    if address % granularity != 0:
+        raise AlignmentError(
+            "%s 0x%x is not %d-byte aligned" % (what, address, granularity)
+        )
+
+
+def u64_to_bytes(value: int) -> bytes:
+    """Little-endian 8-byte encoding of an unsigned 64-bit integer."""
+    return _U64.pack(value & MASK64)
+
+
+def bytes_to_u64(data: bytes, offset: int = 0) -> int:
+    """Decode an unsigned 64-bit little-endian integer from ``data``."""
+    return _U64.unpack_from(data, offset)[0]
+
+
+def rotl64(value: int, amount: int) -> int:
+    """Rotate a 64-bit value left by ``amount`` bits."""
+    amount %= 64
+    value &= MASK64
+    return ((value << amount) | (value >> (64 - amount))) & MASK64
+
+
+def rotr64(value: int, amount: int) -> int:
+    """Rotate a 64-bit value right by ``amount`` bits."""
+    return rotl64(value, 64 - (amount % 64))
+
+
+def xor_bytes(left: bytes, right: bytes) -> bytes:
+    """XOR two equal-length byte strings."""
+    if len(left) != len(right):
+        raise ValueError("cannot XOR byte strings of different lengths")
+    return bytes(a ^ b for a, b in zip(left, right))

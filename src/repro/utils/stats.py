@@ -1,0 +1,142 @@
+"""Lightweight statistics accumulators for simulator counters."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+class Counter:
+    """A named monotonically increasing counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def add(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only move forward")
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __repr__(self) -> str:
+        return "Counter(%s=%d)" % (self.name, self.value)
+
+
+class RunningMean:
+    """Streaming mean/variance (Welford's algorithm)."""
+
+    __slots__ = ("count", "_mean", "_m2", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+    def merge(self, other: "RunningMean") -> None:
+        """Fold another accumulator into this one."""
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self._mean = other._mean
+            self._m2 = other._m2
+            self.minimum = other.minimum
+            self.maximum = other.maximum
+            return
+        total = self.count + other.count
+        delta = other._mean - self._mean
+        self._m2 += other._m2 + delta * delta * self.count * other.count / total
+        self._mean += delta * other.count / total
+        self.count = total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+
+
+class Histogram:
+    """A fixed-bucket histogram for latencies and queue depths."""
+
+    def __init__(self, bucket_edges: Iterable[float]) -> None:
+        self.edges: List[float] = sorted(bucket_edges)
+        if not self.edges:
+            raise ValueError("histogram needs at least one bucket edge")
+        # One bucket per edge plus an overflow bucket.
+        self.buckets: List[int] = [0] * (len(self.edges) + 1)
+        self.total = 0
+
+    def add(self, value: float) -> None:
+        self.total += 1
+        for index, edge in enumerate(self.edges):
+            if value <= edge:
+                self.buckets[index] += 1
+                return
+        self.buckets[-1] += 1
+
+    def fraction_at_or_below(self, edge: float) -> float:
+        """Fraction of samples at or below ``edge`` (must be an edge)."""
+        if self.total == 0:
+            return 0.0
+        covered = 0
+        for index, bucket_edge in enumerate(self.edges):
+            if bucket_edge <= edge:
+                covered += self.buckets[index]
+        return covered / self.total
+
+    def as_dict(self) -> Dict[str, int]:
+        labels = ["<=%g" % edge for edge in self.edges] + [">%g" % self.edges[-1]]
+        return dict(zip(labels, self.buckets))
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean; the paper's normalized averages use this shape."""
+    values = list(values)
+    if not values:
+        raise ValueError("geometric mean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def weighted_mean(pairs: Iterable[Tuple[float, float]]) -> float:
+    """Arithmetic mean of (value, weight) pairs."""
+    total_weight = 0.0
+    total = 0.0
+    for value, weight in pairs:
+        total += value * weight
+        total_weight += weight
+    if total_weight == 0:
+        raise ValueError("weighted mean requires non-zero total weight")
+    return total / total_weight

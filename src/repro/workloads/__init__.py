@@ -1,0 +1,47 @@
+"""The five evaluation workloads (paper Section 6.2).
+
+Each workload manipulates a persistent data structure through the
+transactional layer, generating a per-core trace plus the bookkeeping
+(per-transaction pre/post images) that the crash checker uses to decide
+whether a recovered state is consistent.
+
+* Array Swap — swaps random items in a persistent array,
+* Queue — random en/dequeues on a persistent circular queue,
+* Hash Table — random inserts into a persistent hash table,
+* B-Tree — random inserts into a persistent B-tree,
+* Red-Black Tree — random inserts into a persistent red-black tree.
+"""
+
+from .base import (
+    LineModel,
+    PrefixValidator,
+    TxnRecorder,
+    Workload,
+    WorkloadParams,
+    WorkloadRun,
+)
+from .array_swap import ArraySwapWorkload
+from .queue import QueueWorkload
+from .hashtable import HashTableWorkload
+from .mixed import MixedKVWorkload
+from .btree import BTreeWorkload
+from .rbtree import RBTreeWorkload
+from .registry import WORKLOADS, get_workload, list_workloads
+
+__all__ = [
+    "LineModel",
+    "PrefixValidator",
+    "TxnRecorder",
+    "Workload",
+    "WorkloadParams",
+    "WorkloadRun",
+    "ArraySwapWorkload",
+    "QueueWorkload",
+    "HashTableWorkload",
+    "MixedKVWorkload",
+    "BTreeWorkload",
+    "RBTreeWorkload",
+    "WORKLOADS",
+    "get_workload",
+    "list_workloads",
+]

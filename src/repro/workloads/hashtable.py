@@ -1,0 +1,100 @@
+"""Hash Table: random inserts into a persistent hash table (§6.2).
+
+Open addressing with linear probing at bucket (cache line) granularity:
+each 64 B bucket line holds four (key, value) pairs of 8 bytes each.  An
+insert probes bucket lines (emitting LOADs for each probe), then writes
+the pair into the first free slot inside one transaction.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Tuple
+
+from ..config import CACHE_LINE_SIZE
+from ..errors import WorkloadError
+from .base import TxnRecorder, Workload, WorkloadParams, zipf_index
+
+_PAIRS_PER_BUCKET = 4  # 4 * (8 B key + 8 B value) = 64 B
+_EMPTY_KEY = 0
+
+
+def _mix(key: int) -> int:
+    """64-bit finalizer (xorshift-multiply) for bucket selection."""
+    key &= (1 << 64) - 1
+    key ^= key >> 33
+    key = (key * 0xFF51AFD7ED558CCD) & ((1 << 64) - 1)
+    key ^= key >> 33
+    return key
+
+
+class HashTableWorkload(Workload):
+    """Inserts random values into a persistent hash table."""
+
+    name = "hash"
+
+    def __init__(self, params: WorkloadParams = None) -> None:  # type: ignore[assignment]
+        super().__init__(params)
+        buckets = max(8, self.params.footprint_bytes // CACHE_LINE_SIZE)
+        # Keep the table at most ~half full so probes terminate fast.
+        needed = (self.params.operations * 2) // _PAIRS_PER_BUCKET + 8
+        self.num_buckets = max(buckets, needed)
+        self.base = 0
+        self._occupancy = 0
+
+    def _bucket_address(self, bucket: int) -> int:
+        return self.base + (bucket % self.num_buckets) * CACHE_LINE_SIZE
+
+    def populate(self, recorder: TxnRecorder, rng: random.Random) -> None:
+        arena = getattr(recorder.txns, "arena", None)
+        if arena is None:
+            raise WorkloadError("transaction mechanism lacks an arena")
+        self.base = arena.heap.alloc(self.num_buckets * CACHE_LINE_SIZE)
+        # Empty table: all-zero lines are already the initial NVM state,
+        # so no populate transactions are needed.
+
+    def _find_slot(
+        self, recorder: TxnRecorder, key: int
+    ) -> Optional[Tuple[int, int]]:
+        """Probe for a free slot; returns (bucket address, pair index)."""
+        start = _mix(key) % self.num_buckets
+        for probe in range(self.num_buckets):
+            bucket_address = self._bucket_address(start + probe)
+            line = recorder.read_line(bucket_address)
+            for pair in range(_PAIRS_PER_BUCKET):
+                offset = pair * 16
+                existing = int.from_bytes(line[offset : offset + 8], "little")
+                if existing == _EMPTY_KEY or existing == key:
+                    return (bucket_address, pair)
+        return None
+
+    def run_operations(self, recorder: TxnRecorder, rng: random.Random) -> int:
+        operations = 0
+        remaining = self.params.operations
+        while remaining > 0:
+            batch = min(self.params.ops_per_txn, remaining)
+            recorder.begin()
+            for _ in range(batch):
+                if self.params.zipf_alpha > 0:
+                    # Skewed keys: draw from a hot subspace so bucket
+                    # (and counter-line) reuse mirrors real key mixes.
+                    key = (
+                        zipf_index(rng, 1 << 24, self.params.zipf_alpha) * 2 + 1
+                    )
+                else:
+                    key = rng.getrandbits(48) | 1  # never the empty marker
+                slot = self._find_slot(recorder, key)
+                if slot is None:
+                    raise WorkloadError("hash table full; grow footprint")
+                bucket_address, pair = slot
+                was_empty = (
+                    recorder.model.read_u64(bucket_address + pair * 16) == _EMPTY_KEY
+                )
+                recorder.write_u64(bucket_address + pair * 16, key)
+                recorder.write_u64(bucket_address + pair * 16 + 8, _mix(key) or 1)
+                if was_empty:
+                    self._occupancy += 1
+                operations += 1
+            recorder.commit()
+            remaining -= batch
+        return operations

@@ -1,0 +1,173 @@
+"""Mixed-operation key-value workload (beyond the paper's insert-only mix).
+
+The paper's five microbenchmarks are write-dominated (§6.2 describes
+inserts/swaps only).  Real persistent-memory applications interleave
+lookups with updates, and the read/write mix changes which design costs
+dominate: read-heavy mixes punish the co-located design's serialized
+decryption, write-heavy mixes punish FCA's counter pairing.  This
+workload makes the mix a parameter so experiments can sweep it.
+
+Operations over an open-addressing table (same layout as
+:mod:`repro.workloads.hashtable`):
+
+* ``get``    — probe for a key inserted earlier (pure reads),
+* ``put``    — insert or update a key (one transactional bucket write),
+* ``delete`` — tombstone a key (one transactional bucket write).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from ..config import CACHE_LINE_SIZE
+from ..errors import WorkloadError
+from .base import TxnRecorder, Workload, WorkloadParams, zipf_index
+
+_PAIRS_PER_BUCKET = 4
+_EMPTY_KEY = 0
+_TOMBSTONE_KEY = (1 << 64) - 1
+
+
+def _mix(key: int) -> int:
+    key &= (1 << 64) - 1
+    key ^= key >> 33
+    key = (key * 0xFF51AFD7ED558CCD) & ((1 << 64) - 1)
+    key ^= key >> 33
+    return key
+
+
+class MixedKVWorkload(Workload):
+    """Configurable get/put/delete mix over a persistent hash table."""
+
+    name = "mixed"
+
+    def __init__(
+        self,
+        params: Optional[WorkloadParams] = None,
+        get_fraction: float = 0.5,
+        delete_fraction: float = 0.1,
+    ) -> None:
+        super().__init__(params)
+        if not 0.0 <= get_fraction <= 1.0:
+            raise WorkloadError("get fraction must be in [0, 1]")
+        if not 0.0 <= delete_fraction <= 1.0 - get_fraction:
+            raise WorkloadError("get + delete fractions must not exceed 1")
+        self.get_fraction = get_fraction
+        self.delete_fraction = delete_fraction
+        buckets = max(16, self.params.footprint_bytes // CACHE_LINE_SIZE)
+        needed = (self.params.operations * 2) // _PAIRS_PER_BUCKET + 8
+        self.num_buckets = max(buckets, needed)
+        self.base = 0
+        self._live_keys: List[int] = []
+        self.gets = 0
+        self.puts = 0
+        self.deletes = 0
+        self.get_hits = 0
+
+    # -- table mechanics -----------------------------------------------------
+
+    def _bucket_address(self, bucket: int) -> int:
+        return self.base + (bucket % self.num_buckets) * CACHE_LINE_SIZE
+
+    def _probe(
+        self, recorder: TxnRecorder, key: int, for_insert: bool
+    ) -> Optional[Tuple[int, int]]:
+        """Probe bucket lines; returns (bucket address, pair index).
+
+        For inserts, tombstoned or empty slots are acceptable; for
+        lookups, probing stops at the first truly empty slot.
+        """
+        start = _mix(key) % self.num_buckets
+        first_free: Optional[Tuple[int, int]] = None
+        for probe in range(self.num_buckets):
+            bucket_address = self._bucket_address(start + probe)
+            line = recorder.read_line(bucket_address)
+            for pair in range(_PAIRS_PER_BUCKET):
+                offset = pair * 16
+                existing = int.from_bytes(line[offset : offset + 8], "little")
+                if existing == key:
+                    return (bucket_address, pair)
+                if existing == _TOMBSTONE_KEY:
+                    if first_free is None:
+                        first_free = (bucket_address, pair)
+                    continue
+                if existing == _EMPTY_KEY:
+                    if for_insert:
+                        return first_free or (bucket_address, pair)
+                    return None
+        return first_free if for_insert else None
+
+    # -- operations ---------------------------------------------------------------
+
+    def _do_put(self, recorder: TxnRecorder, rng: random.Random) -> None:
+        key = (rng.getrandbits(48) | 1) & (_TOMBSTONE_KEY - 1)
+        slot = self._probe(recorder, key, for_insert=True)
+        if slot is None:
+            raise WorkloadError("mixed table full; grow footprint")
+        bucket_address, pair = slot
+        recorder.write_u64(bucket_address + pair * 16, key)
+        recorder.write_u64(bucket_address + pair * 16 + 8, _mix(key) or 1)
+        self._live_keys.append(key)
+        self.puts += 1
+
+    def _do_get(self, recorder: TxnRecorder, rng: random.Random) -> None:
+        self.gets += 1
+        if not self._live_keys:
+            # Miss lookup on a random key.
+            self._probe(recorder, rng.getrandbits(48) | 1, for_insert=False)
+            return
+        index = zipf_index(rng, len(self._live_keys), self.params.zipf_alpha)
+        key = self._live_keys[index]
+        slot = self._probe(recorder, key, for_insert=False)
+        if slot is not None:
+            self.get_hits += 1
+
+    def _do_delete(self, recorder: TxnRecorder, rng: random.Random) -> None:
+        if not self._live_keys:
+            return
+        index = rng.randrange(len(self._live_keys))
+        key = self._live_keys.pop(index)
+        slot = self._probe(recorder, key, for_insert=False)
+        if slot is None:
+            raise WorkloadError("live key %d vanished from the table" % key)
+        bucket_address, pair = slot
+        recorder.write_u64(bucket_address + pair * 16, _TOMBSTONE_KEY)
+        recorder.write_u64(bucket_address + pair * 16 + 8, 0)
+        self.deletes += 1
+
+    # -- workload interface ------------------------------------------------------------
+
+    def populate(self, recorder: TxnRecorder, rng: random.Random) -> None:
+        arena = getattr(recorder.txns, "arena", None)
+        if arena is None:
+            raise WorkloadError("transaction mechanism lacks an arena")
+        self.base = arena.heap.alloc(self.num_buckets * CACHE_LINE_SIZE)
+        # Seed some keys so the first gets/deletes have targets.
+        seed_count = max(4, self.params.operations // 4)
+        inserted = 0
+        while inserted < seed_count:
+            recorder.begin()
+            for _ in range(min(16, seed_count - inserted)):
+                self._do_put(recorder, rng)
+                inserted += 1
+            recorder.commit()
+
+    def run_operations(self, recorder: TxnRecorder, rng: random.Random) -> int:
+        operations = 0
+        remaining = self.params.operations
+        while remaining > 0:
+            batch = min(self.params.ops_per_txn, remaining)
+            recorder.begin()
+            for _ in range(batch):
+                roll = rng.random()
+                if roll < self.get_fraction:
+                    self._do_get(recorder, rng)
+                elif roll < self.get_fraction + self.delete_fraction:
+                    self._do_delete(recorder, rng)
+                else:
+                    self._do_put(recorder, rng)
+                operations += 1
+            recorder.commit()
+            remaining -= batch
+        return operations

@@ -1,0 +1,46 @@
+"""Workload registry: name -> class, in the paper's plot order."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Type
+
+from ..errors import WorkloadError
+from .array_swap import ArraySwapWorkload
+from .base import Workload, WorkloadParams
+from .btree import BTreeWorkload
+from .hashtable import HashTableWorkload
+from .mixed import MixedKVWorkload
+from .queue import QueueWorkload
+from .rbtree import RBTreeWorkload
+
+#: The five workloads in the order of the paper's figures.
+WORKLOADS: Dict[str, Type[Workload]] = {
+    ArraySwapWorkload.name: ArraySwapWorkload,
+    QueueWorkload.name: QueueWorkload,
+    HashTableWorkload.name: HashTableWorkload,
+    BTreeWorkload.name: BTreeWorkload,
+    RBTreeWorkload.name: RBTreeWorkload,
+}
+
+#: Extra workloads beyond the paper's five (not part of the figures).
+EXTRA_WORKLOADS: Dict[str, Type[Workload]] = {
+    MixedKVWorkload.name: MixedKVWorkload,
+}
+
+
+def list_workloads(include_extra: bool = False) -> List[str]:
+    names = list(WORKLOADS)
+    if include_extra:
+        names.extend(EXTRA_WORKLOADS)
+    return names
+
+
+def get_workload(name: str, params: Optional[WorkloadParams] = None) -> Workload:
+    """Instantiate a workload by evaluation name."""
+    cls = WORKLOADS.get(name) or EXTRA_WORKLOADS.get(name)
+    if cls is None:
+        raise WorkloadError(
+            "unknown workload %r; available: %s"
+            % (name, ", ".join(list(WORKLOADS) + list(EXTRA_WORKLOADS)))
+        )
+    return cls(params)

@@ -1,0 +1,92 @@
+"""Tests for the ASCII chart renderers."""
+
+import pytest
+
+from repro.bench.charts import CHART_STYLE, render_bars, render_chart, render_lines
+from repro.bench.report import ExperimentResult, Series
+
+
+def sample_result(experiment="fig12"):
+    return ExperimentResult(
+        experiment=experiment,
+        title="Sample",
+        series=[
+            Series("sca", {"array": 1.1, "queue": 1.2}),
+            Series("fca", {"array": 1.3, "queue": 1.5}),
+        ],
+    )
+
+
+class TestBars:
+    def test_contains_all_series_and_labels(self):
+        text = render_bars(sample_result())
+        for token in ("sca", "fca", "array", "queue", "1.100", "1.500"):
+            assert token in text
+
+    def test_largest_value_gets_longest_bar(self):
+        text = render_bars(sample_result())
+        lines = [l for l in text.splitlines() if "█" in l]
+        longest = max(lines, key=lambda l: l.count("█"))
+        assert "1.500" in longest
+
+    def test_baseline_tick_drawn(self):
+        text = render_bars(sample_result(), baseline=1.0)
+        assert "<- 1.0" in text
+
+    def test_no_baseline(self):
+        text = render_bars(sample_result(), baseline=None)
+        assert "<-" not in text
+
+    def test_zero_values_handled(self):
+        result = ExperimentResult(
+            experiment="x", title="t", series=[Series("a", {"l": 0.0})]
+        )
+        assert "0.000" in render_bars(result, baseline=None)
+
+
+class TestLines:
+    def test_contains_legend_and_axis(self):
+        text = render_lines(sample_result("fig13"))
+        assert "A = sca" in text
+        assert "B = fca" in text
+        assert "+--" in text
+
+    def test_markers_plotted(self):
+        text = render_lines(sample_result("fig13"))
+        assert "A" in text and "B" in text
+
+    def test_flat_series_does_not_crash(self):
+        result = ExperimentResult(
+            experiment="x", title="t", series=[Series("a", {"p": 1.0, "q": 1.0})]
+        )
+        assert "1.000" in render_lines(result)
+
+    def test_empty_labels(self):
+        result = ExperimentResult(experiment="x", title="t", series=[Series("a", {})])
+        assert render_lines(result) == "t"
+
+
+class TestDispatch:
+    def test_every_experiment_has_a_style(self):
+        from repro.bench.experiments import EXPERIMENTS
+
+        for name in EXPERIMENTS:
+            assert name in CHART_STYLE
+
+    def test_dispatch_by_experiment(self):
+        bars = render_chart(sample_result("fig12"))
+        lines = render_chart(sample_result("fig13"))
+        assert "█" in bars
+        assert "A = sca" in lines
+
+    def test_unknown_experiment_defaults_to_bars(self):
+        assert "█" in render_chart(sample_result("mystery"))
+
+
+class TestCliIntegration:
+    def test_chart_flag(self, capsys):
+        from repro.bench.cli import main
+
+        assert main(["table2", "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out

@@ -1,0 +1,133 @@
+"""Tests for the benchmark harness and reporting."""
+
+import pytest
+
+from repro.bench.harness import build_traces, run_workload, run_workload_multicore
+from repro.bench.report import ExperimentResult, Series
+from repro.config import KB, fast_config
+from repro.workloads.base import WorkloadParams
+
+PARAMS = WorkloadParams(operations=8, footprint_bytes=8 * KB)
+
+
+class TestHarness:
+    def test_run_workload_returns_stats_and_runs(self):
+        outcome = run_workload("sca", "array", params=PARAMS)
+        assert outcome.design == "sca"
+        assert outcome.workload == "array"
+        assert outcome.stats.runtime_ns > 0
+        assert len(outcome.runs) == 1
+
+    def test_validator_accepts_crash_free_final_state(self):
+        from repro.crash.injector import CrashInjector
+        from repro.crash.recovery import RecoveryManager
+
+        outcome = run_workload("sca", "array", params=PARAMS)
+        injector = CrashInjector(outcome.result)
+        recovered = RecoveryManager(outcome.result.config.encryption).recover(
+            injector.crash_at(outcome.stats.runtime_ns + 1e9)
+        )
+        assert outcome.validator(0)(recovered) == []
+
+    def test_multicore_builds_one_trace_per_core(self):
+        config = fast_config(num_cores=2)
+        traces, runs, _layout = build_traces("array", config, params=PARAMS)
+        assert len(traces) == 2
+        assert len(runs) == 2
+
+    def test_run_workload_multicore(self):
+        outcomes = run_workload_multicore("sca", "array", (1, 2), params=PARAMS)
+        assert set(outcomes) == {1, 2}
+        assert outcomes[2].stats.num_cores == 2
+
+
+class TestReport:
+    def _result(self):
+        series = Series("sca", {"array": 1.1, "queue": 1.2})
+        return ExperimentResult(
+            experiment="figX",
+            title="Test figure",
+            series=[series],
+            claims={"holds": True, "fails": False},
+            notes=["a note"],
+        )
+
+    def test_labels_union(self):
+        result = self._result()
+        assert result.labels() == ["array", "queue"]
+
+    def test_series_lookup(self):
+        result = self._result()
+        assert result.series_by_name("sca").points["array"] == 1.1
+        with pytest.raises(KeyError):
+            result.series_by_name("nope")
+
+    def test_render_contains_everything(self):
+        text = self._result().render()
+        assert "Test figure" in text
+        assert "1.100" in text
+        assert "claim [ok]: holds" in text
+        assert "claim [MISS]: fails" in text
+        assert "note: a note" in text
+
+    def test_missing_cells_rendered_as_dash(self):
+        result = ExperimentResult(
+            experiment="e",
+            title="t",
+            series=[Series("a", {"x": 1.0}), Series("b", {"y": 2.0})],
+        )
+        assert "-" in result.render()
+
+
+class TestCli:
+    def test_list_mode(self, capsys):
+        from repro.bench.cli import main
+
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig12" in out and "table2" in out
+
+    def test_table2_runs_clean(self, capsys):
+        from repro.bench.cli import main
+
+        assert main(["table2"]) == 0
+        assert "Table 2" in capsys.readouterr().out
+
+    def test_unknown_experiment_errors(self):
+        from repro.bench.cli import main
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            main(["fig99"])
+
+
+class TestJsonExport:
+    def test_result_as_dict(self):
+        result = ExperimentResult(
+            experiment="e",
+            title="t",
+            series=[Series("a", {"x": 1.0})],
+            claims={"c": True},
+            notes=["n"],
+        )
+        data = result.as_dict()
+        assert data["series"]["a"]["x"] == 1.0
+        assert data["claims"] == {"c": True}
+
+    def test_cli_json_file(self, tmp_path, capsys):
+        import json
+
+        from repro.bench.cli import main
+
+        path = tmp_path / "out.json"
+        assert main(["table2", "--json", str(path)]) == 0
+        data = json.loads(path.read_text())
+        assert data["results"][0]["experiment"] == "table2"
+        assert data["results"][0]["scale"] == "quick"
+
+    def test_cli_json_stdout(self, capsys):
+        from repro.bench.cli import main
+
+        assert main(["table2", "--json", "-"]) == 0
+        out = capsys.readouterr().out
+        assert '"experiment": "table2"' in out

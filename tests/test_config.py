@@ -1,0 +1,179 @@
+"""Tests for repro.config: validation, derivation, Table 2 defaults."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import (
+    CACHE_LINE_SIZE,
+    KB,
+    MB,
+    CacheConfig,
+    CoreConfig,
+    CounterCacheConfig,
+    EncryptionConfig,
+    MemoryControllerConfig,
+    NVMTimingConfig,
+    SystemConfig,
+    bench_config,
+    config_from_mapping,
+    default_config,
+    fast_config,
+)
+from repro.errors import ConfigurationError
+
+
+class TestTable2Defaults:
+    def test_default_queue_geometry(self):
+        config = default_config()
+        assert config.controller.read_queue_entries == 32
+        assert config.controller.data_write_queue_entries == 64
+        assert config.controller.counter_write_queue_entries == 16
+
+    def test_default_counter_cache(self):
+        config = default_config()
+        assert config.counter_cache.size_bytes == 1 * MB
+        assert config.counter_cache.ways == 16
+
+    def test_default_pcm_timing(self):
+        nvm = default_config().nvm
+        assert nvm.t_rcd_ns == 48.0
+        assert nvm.t_cl_ns == 15.0
+        assert nvm.t_cwd_ns == 13.0
+        assert nvm.t_faw_ns == 50.0
+        assert nvm.t_wtr_ns == 7.5
+        assert nvm.t_wr_ns == 300.0
+
+    def test_default_encryption_latency(self):
+        assert default_config().encryption.latency_ns == 40.0
+
+    def test_describe_mentions_all_major_components(self):
+        text = " ".join(default_config().describe().values())
+        for fragment in ("GHz", "PCM", "entries", "40 ns"):
+            assert fragment in text
+
+
+class TestCacheConfig:
+    def test_sets_and_lines(self):
+        cache = CacheConfig(size_bytes=8 * KB, ways=4, hit_latency_ns=1.0)
+        assert cache.num_lines == 128
+        assert cache.num_sets == 32
+
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig(size_bytes=192 * 64, ways=4, hit_latency_ns=1.0)
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig(size_bytes=0, ways=4, hit_latency_ns=1.0)
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig(size_bytes=4 * KB, ways=4, hit_latency_ns=-1.0)
+
+
+class TestNVMTimingConfig:
+    def test_read_access_combines_rcd_and_cl(self):
+        nvm = NVMTimingConfig()
+        assert nvm.read_access_ns == pytest.approx(63.0)
+
+    def test_write_access_includes_write_recovery(self):
+        nvm = NVMTimingConfig()
+        assert nvm.write_access_ns == pytest.approx(313.0)
+
+    def test_latency_scales_apply(self):
+        nvm = NVMTimingConfig(read_latency_scale=2.0, write_latency_scale=0.5)
+        assert nvm.read_access_ns == pytest.approx(126.0)
+        assert nvm.write_access_ns == pytest.approx(156.5)
+
+    def test_burst_64B_on_64bit_bus_is_8_beats(self):
+        nvm = NVMTimingConfig()
+        assert nvm.burst_ns(64) == pytest.approx(8 * nvm.beat_ns)
+
+    def test_burst_72B_on_72bit_bus_is_also_8_beats(self):
+        """The co-located design's key property: the wider bus moves
+        data + counter in the same number of beats (Section 3.2.1)."""
+        narrow = NVMTimingConfig(bus_width_bits=64)
+        wide = NVMTimingConfig(bus_width_bits=72)
+        assert wide.burst_ns(72) == pytest.approx(narrow.burst_ns(64))
+
+    def test_rejects_odd_bus_width(self):
+        with pytest.raises(ConfigurationError):
+            NVMTimingConfig(bus_width_bits=80)
+
+    def test_rejects_zero_latency_scale(self):
+        with pytest.raises(ConfigurationError):
+            NVMTimingConfig(read_latency_scale=0.0)
+
+
+class TestMemoryControllerConfig:
+    def test_rejects_unknown_drain_policy(self):
+        with pytest.raises(ConfigurationError):
+            MemoryControllerConfig(drain_policy="random")
+
+    def test_fifo_policy_accepted(self):
+        assert MemoryControllerConfig(drain_policy="fifo").drain_policy == "fifo"
+
+
+class TestEncryptionConfig:
+    def test_rejects_short_key(self):
+        with pytest.raises(ConfigurationError):
+            EncryptionConfig(key=b"short")
+
+    def test_rejects_unknown_cipher(self):
+        with pytest.raises(ConfigurationError):
+            EncryptionConfig(cipher="des")
+
+
+class TestSystemConfig:
+    def test_scaled_replaces_top_level(self):
+        config = default_config().scaled(num_cores=4)
+        assert config.num_cores == 4
+
+    def test_with_nvm_replaces_timing(self):
+        config = default_config().with_nvm(t_wr_ns=150.0)
+        assert config.nvm.t_wr_ns == 150.0
+        assert config.nvm.t_rcd_ns == 48.0
+
+    def test_with_counter_cache_resizes(self):
+        config = default_config().with_counter_cache(128 * KB)
+        assert config.counter_cache.size_bytes == 128 * KB
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(num_cores=0)
+
+    def test_rejects_unaligned_memory(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(memory_size_bytes=MB + 8)
+
+    def test_fast_config_is_functional_by_default(self):
+        assert fast_config().functional is True
+
+    def test_bench_config_scales_shared_caches_with_cores(self):
+        one = bench_config(1)
+        eight = bench_config(8)
+        assert eight.l2.size_bytes == 8 * one.l2.size_bytes
+        assert eight.counter_cache.size_bytes == 8 * one.counter_cache.size_bytes
+
+
+class TestConfigFromMapping:
+    def test_flat_key(self):
+        config = config_from_mapping({"num_cores": 2})
+        assert config.num_cores == 2
+
+    def test_dotted_key(self):
+        config = config_from_mapping({"nvm.t_wr_ns": 100.0})
+        assert config.nvm.t_wr_ns == 100.0
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ConfigurationError):
+            config_from_mapping({"does_not_exist": 1})
+
+    def test_unknown_group_rejected(self):
+        with pytest.raises(ConfigurationError):
+            config_from_mapping({"nope.t_wr_ns": 1.0})
+
+    def test_unknown_nested_field_rejected(self):
+        with pytest.raises(ConfigurationError):
+            config_from_mapping({"nvm.bogus": 1.0})

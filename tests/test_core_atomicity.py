@@ -1,0 +1,71 @@
+"""Tests for the Table 1 atomicity classification."""
+
+import pytest
+
+from repro.core.atomicity import (
+    TABLE1,
+    AtomicityClass,
+    TxnStage,
+    classify_write,
+    required_counter_atomic_fraction,
+    stage_rule,
+)
+
+
+class TestTable1:
+    def test_three_stages(self):
+        assert [rule.stage for rule in TABLE1] == [
+            TxnStage.PREPARE,
+            TxnStage.MUTATE,
+            TxnStage.COMMIT,
+        ]
+
+    def test_only_commit_requires_counter_atomicity(self):
+        required = {rule.stage: rule.counter_atomicity_required for rule in TABLE1}
+        assert required == {
+            TxnStage.PREPARE: False,
+            TxnStage.MUTATE: False,
+            TxnStage.COMMIT: True,
+        }
+
+    def test_prepare_recovers_from_data(self):
+        assert stage_rule(TxnStage.PREPARE).recovery_source == "data"
+
+    def test_mutate_recovers_from_backup(self):
+        assert stage_rule(TxnStage.MUTATE).recovery_source == "backup"
+
+    def test_commit_recovery_decided_by_record(self):
+        assert stage_rule(TxnStage.COMMIT).recovery_source == "commit-record"
+
+
+class TestClassification:
+    def test_prepare_writes_relaxable(self):
+        assert classify_write(TxnStage.PREPARE) is AtomicityClass.RELAXABLE
+
+    def test_mutate_writes_relaxable(self):
+        assert classify_write(TxnStage.MUTATE) is AtomicityClass.RELAXABLE
+
+    def test_commit_record_is_commit_point(self):
+        assert (
+            classify_write(TxnStage.COMMIT, is_commit_record=True)
+            is AtomicityClass.COMMIT_POINT
+        )
+
+    def test_any_commit_stage_write_is_commit_point(self):
+        assert classify_write(TxnStage.COMMIT) is AtomicityClass.COMMIT_POINT
+
+
+class TestCounterAtomicFraction:
+    def test_fraction_shrinks_with_transaction_size(self):
+        """The Figure 16 driver: bigger transactions amortize the
+        commit record's counter-atomic write."""
+        fractions = [required_counter_atomic_fraction(n) for n in (1, 4, 16, 64)]
+        assert fractions == sorted(fractions, reverse=True)
+
+    def test_single_line_value(self):
+        # 1 line -> 2 writes (log + data) + 1 commit record.
+        assert required_counter_atomic_fraction(1) == pytest.approx(1 / 3)
+
+    def test_zero_lines_rejected(self):
+        with pytest.raises(ValueError):
+            required_counter_atomic_fraction(0)

@@ -1,0 +1,115 @@
+"""Tests for the design-point policies."""
+
+import pytest
+
+from repro.core.designs import (
+    ALL_DESIGNS,
+    BASELINE_DESIGNS,
+    DesignPolicy,
+    get_design,
+    list_designs,
+)
+from repro.errors import ConfigurationError
+
+
+class TestRegistry:
+    def test_all_six_evaluation_designs_present(self):
+        names = list_designs()
+        assert names == [
+            "no-encryption",
+            "ideal",
+            "co-located",
+            "co-located-cc",
+            "fca",
+            "sca",
+        ]
+
+    def test_unsafe_available_when_requested(self):
+        assert "unsafe" in list_designs(include_unsafe=True)
+        assert "unsafe" not in list_designs()
+
+    def test_lookup_by_name(self):
+        assert get_design("sca").name == "sca"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_design("fastest")
+
+    def test_baseline_designs_subset(self):
+        assert set(BASELINE_DESIGNS) <= set(ALL_DESIGNS)
+
+
+class TestPolicyProperties:
+    def test_sca_pairs_only_annotated_writes(self):
+        sca = get_design("sca")
+        assert sca.write_is_paired(counter_atomic=True)
+        assert not sca.write_is_paired(counter_atomic=False)
+
+    def test_fca_pairs_everything(self):
+        fca = get_design("fca")
+        assert fca.write_is_paired(counter_atomic=True)
+        assert fca.write_is_paired(counter_atomic=False)
+
+    def test_colocated_never_pairs(self):
+        for name in ("co-located", "co-located-cc"):
+            policy = get_design(name)
+            assert not policy.write_is_paired(True)
+
+    def test_crash_consistency_classification(self):
+        """All evaluation designs guarantee crash consistency; the
+        unsafe demonstration design does not (paper Figures 3-4)."""
+        for design in ALL_DESIGNS:
+            assert design.crash_consistent, design.name
+        assert not get_design("unsafe").crash_consistent
+
+    def test_separate_counters_only_for_split_layouts(self):
+        assert get_design("sca").uses_separate_counters
+        assert get_design("fca").uses_separate_counters
+        assert not get_design("co-located").uses_separate_counters
+        assert not get_design("no-encryption").uses_separate_counters
+
+    def test_bus_widths(self):
+        assert get_design("co-located").bus_width_bits == 72
+        assert get_design("co-located-cc").bus_width_bits == 72
+        assert get_design("sca").bus_width_bits == 64
+
+
+class TestPolicyValidation:
+    def _valid_kwargs(self):
+        return dict(
+            name="x",
+            description="",
+            encrypts=True,
+            colocated=False,
+            has_counter_cache=True,
+            pair_all_writes=False,
+            pair_ca_writes=False,
+            counter_evict_writes=False,
+            ccwb_enabled=False,
+            magic_counter_persistence=False,
+            bus_width_bits=64,
+        )
+
+    def test_rejects_pairing_both_modes(self):
+        kwargs = self._valid_kwargs()
+        kwargs.update(pair_all_writes=True, pair_ca_writes=True)
+        with pytest.raises(ConfigurationError):
+            DesignPolicy(**kwargs)
+
+    def test_rejects_colocated_with_pairing(self):
+        kwargs = self._valid_kwargs()
+        kwargs.update(colocated=True, pair_ca_writes=True, bus_width_bits=72)
+        with pytest.raises(ConfigurationError):
+            DesignPolicy(**kwargs)
+
+    def test_rejects_colocated_narrow_bus(self):
+        kwargs = self._valid_kwargs()
+        kwargs.update(colocated=True, bus_width_bits=64)
+        with pytest.raises(ConfigurationError):
+            DesignPolicy(**kwargs)
+
+    def test_rejects_encryption_features_without_encryption(self):
+        kwargs = self._valid_kwargs()
+        kwargs.update(encrypts=False)
+        with pytest.raises(ConfigurationError):
+            DesignPolicy(**kwargs)

@@ -1,0 +1,49 @@
+"""Tests for the CounterAtomic / Plain variable primitives."""
+
+import pytest
+
+from repro.core.primitives import CounterAtomic, PersistentVar, Plain
+from repro.errors import AddressError
+from repro.utils.bitops import u64_to_bytes
+
+
+class TestDeclaration:
+    def test_counter_atomic_sets_annotation(self):
+        var = CounterAtomic(0x1000, name="valid")
+        assert var.counter_atomic
+        assert var.name == "valid"
+
+    def test_plain_is_not_annotated(self):
+        assert not Plain(0x1000).counter_atomic
+
+    def test_alignment_enforced(self):
+        with pytest.raises(AddressError):
+            CounterAtomic(0x1001)
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(AddressError):
+            Plain(-8)
+
+    def test_line_address(self):
+        assert PersistentVar(address=0x1048).line_address == 0x1040
+
+
+class TestEncoding:
+    def test_encode_decode_round_trip(self):
+        var = Plain(0x1000)
+        assert PersistentVar.decode(var.encode(12345)) == 12345
+
+    def test_encoding_is_little_endian_u64(self):
+        assert Plain(0).encode(1) == u64_to_bytes(1)
+
+
+class TestTraceIntegration:
+    def test_store_var_carries_annotation(self):
+        from repro.sim.trace import OpKind, TraceBuilder
+
+        builder = TraceBuilder("t")
+        builder.store_var(CounterAtomic(0x1000), 7)
+        builder.store_var(Plain(0x1008), 8)
+        stores = [op for op in builder.build() if op.kind is OpKind.STORE]
+        assert stores[0].counter_atomic is True
+        assert stores[1].counter_atomic is False

@@ -1,0 +1,95 @@
+"""Tests for the crash-consistency sweep machinery itself."""
+
+import pytest
+
+from repro.bench.harness import run_workload
+from repro.config import KB
+from repro.crash.checker import (
+    CrashConsistencyReport,
+    CrashOutcome,
+    sweep_crash_points,
+)
+from repro.workloads.base import WorkloadParams
+
+PARAMS = WorkloadParams(operations=5, footprint_bytes=8 * KB)
+
+
+class TestReportAccounting:
+    def test_counts(self):
+        report = CrashConsistencyReport(
+            design="x",
+            outcomes=[
+                CrashOutcome(crash_ns=1.0, consistent=True),
+                CrashOutcome(crash_ns=2.0, consistent=False, problems=["p"]),
+                CrashOutcome(crash_ns=3.0, consistent=True),
+            ],
+        )
+        assert report.total == 3
+        assert report.consistent == 2
+        assert report.inconsistent == 1
+        assert not report.all_consistent
+
+    def test_first_failure(self):
+        report = CrashConsistencyReport(
+            design="x",
+            outcomes=[
+                CrashOutcome(crash_ns=1.0, consistent=True),
+                CrashOutcome(crash_ns=2.0, consistent=False, problems=["bad"]),
+            ],
+        )
+        assert report.first_failure().crash_ns == 2.0
+
+    def test_first_failure_none_when_clean(self):
+        report = CrashConsistencyReport(
+            design="x", outcomes=[CrashOutcome(crash_ns=1.0, consistent=True)]
+        )
+        assert report.first_failure() is None
+
+    def test_undecryptable_crashes(self):
+        report = CrashConsistencyReport(
+            design="x",
+            outcomes=[
+                CrashOutcome(crash_ns=1.0, consistent=False, undecryptable_lines=2),
+                CrashOutcome(crash_ns=2.0, consistent=True, undecryptable_lines=0),
+            ],
+        )
+        assert report.undecryptable_crashes == 1
+
+
+class TestSweepMechanics:
+    def test_max_points_bounds_work(self):
+        outcome = run_workload("sca", "array", params=PARAMS)
+        small = sweep_crash_points(outcome.result, outcome.validator(0), max_points=10)
+        assert small.total <= 12  # per-kind halves plus endpoints
+
+    def test_unbounded_sweep_covers_all_events(self):
+        outcome = run_workload("sca", "array", params=PARAMS)
+        full = sweep_crash_points(outcome.result, outcome.validator(0), max_points=None)
+        limited = sweep_crash_points(outcome.result, outcome.validator(0), max_points=10)
+        assert full.total >= limited.total
+
+    def test_midpoints_can_be_disabled(self):
+        outcome = run_workload("sca", "array", params=PARAMS)
+        with_mid = sweep_crash_points(
+            outcome.result, outcome.validator(0), max_points=40, include_midpoints=True
+        )
+        without = sweep_crash_points(
+            outcome.result, outcome.validator(0), max_points=40, include_midpoints=False
+        )
+        assert without.total <= with_mid.total
+
+    def test_validator_problems_propagate(self):
+        outcome = run_workload("sca", "array", params=PARAMS)
+
+        def paranoid_validator(_recovered):
+            return ["always unhappy"]
+
+        report = sweep_crash_points(outcome.result, paranoid_validator, max_points=5)
+        assert report.inconsistent == report.total
+        assert report.outcomes[0].problems == ["always unhappy"]
+
+    def test_sweep_times_are_increasing(self):
+        outcome = run_workload("sca", "array", params=PARAMS)
+        report = sweep_crash_points(outcome.result, outcome.validator(0), max_points=30)
+        times = [o.crash_ns for o in report.outcomes]
+        assert times == sorted(times)

@@ -1,0 +1,92 @@
+"""Tests for crash-image reconstruction (ADR + ready-bit semantics)."""
+
+import pytest
+
+from repro.config import fast_config
+from repro.crash.injector import CrashInjector
+from repro.sim.machine import Machine
+from repro.sim.trace import TraceBuilder
+
+
+def run_simple(design="sca", lines=4):
+    builder = TraceBuilder("t")
+    builder.txn_begin()
+    for i in range(lines):
+        builder.store_u64(0x1000 + i * 64, i + 1)
+        builder.clwb(0x1000 + i * 64)
+    builder.ccwb(0x1000)
+    builder.persist_barrier()
+    builder.txn_end()
+    return Machine(fast_config(), design).run([builder.build()])
+
+
+class TestCrashImages:
+    def test_crash_before_anything_is_empty(self):
+        injector = CrashInjector(run_simple())
+        image = injector.crash_at(0.0)
+        assert list(image.device.touched_lines()) == []
+
+    def test_crash_after_everything_has_all_lines(self):
+        result = run_simple(lines=4)
+        injector = CrashInjector(result)
+        image = injector.crash_at(result.stats.runtime_ns + 1e6)
+        data_lines = [
+            a for a in image.device.touched_lines()
+            if image.address_map.is_data_address(a)
+        ]
+        assert len(data_lines) == 4
+
+    def test_images_monotone_in_time(self):
+        result = run_simple(lines=6)
+        injector = CrashInjector(result)
+        times = injector.interesting_times()
+        previous = set()
+        for crash_ns in times:
+            image = injector.crash_at(crash_ns)
+            current = set(image.device.touched_lines())
+            assert previous <= current
+            previous = current
+
+    def test_adr_off_keeps_fewer_lines(self):
+        result = run_simple(lines=6)
+        injector = CrashInjector(result)
+        # Pick a moment in the middle of the run.
+        mid = result.stats.runtime_ns / 2
+        with_adr = set(injector.crash_at(mid, adr=True).device.touched_lines())
+        without = set(injector.crash_at(mid, adr=False).device.touched_lines())
+        assert without <= with_adr
+
+    def test_image_isolated_from_live_device(self):
+        result = run_simple()
+        injector = CrashInjector(result)
+        image = injector.crash_at(result.stats.runtime_ns + 1e6)
+        image.device.persist_line(0x9000, bytes(64))
+        assert not result.controller.device.contains_line(0x9000)
+
+
+class TestCrashPointEnumeration:
+    def test_interesting_times_sorted(self):
+        injector = CrashInjector(run_simple())
+        times = injector.interesting_times()
+        assert times == sorted(times)
+        assert len(times) > 0
+
+    def test_limit_respected_with_endpoints(self):
+        injector = CrashInjector(run_simple(lines=8))
+        all_times = injector.interesting_times()
+        limited = injector.interesting_times(limit=5)
+        assert len(limited) == 5
+        assert limited[0] == all_times[0]
+        assert limited[-1] == all_times[-1]
+
+    def test_midpoints_between_boundaries(self):
+        injector = CrashInjector(run_simple())
+        midpoints = injector.midpoint_times()
+        boundaries = set()
+        for record in injector._journal.records:
+            boundaries.update(
+                t for t in (record.accept_ns, record.ready_ns, record.drain_ns)
+                if t != float("inf")
+            )
+        for m in midpoints:
+            assert m not in boundaries

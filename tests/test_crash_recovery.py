@@ -1,0 +1,106 @@
+"""Tests for post-crash decryption and the recovered-memory view."""
+
+import pytest
+
+from repro.config import fast_config
+from repro.crash.injector import CrashInjector
+from repro.crash.recovery import RecoveryManager
+from repro.errors import DecryptionFailure
+from repro.sim.machine import Machine
+from repro.sim.trace import TraceBuilder
+
+
+def run_trace(design, build):
+    builder = TraceBuilder("t")
+    build(builder)
+    return Machine(fast_config(), design).run([builder.build()])
+
+
+def flushed_writes(builder):
+    builder.store_u64(0x1000, 0xAB)
+    builder.clwb(0x1000)
+    builder.ccwb(0x1000)
+    builder.persist_barrier()
+
+
+class TestDecryption:
+    def test_flushed_data_recovers(self):
+        result = run_trace("sca", flushed_writes)
+        injector = CrashInjector(result)
+        recovered = RecoveryManager(result.config.encryption).recover(
+            injector.crash_at(result.stats.runtime_ns + 1e6)
+        )
+        assert recovered.read_u64(0x1000) == 0xAB
+        assert not recovered.garbage_lines
+
+    def test_unsafe_design_leaves_garbage(self):
+        """Without ccwb support or pairing, the counter never persists:
+        the data line in NVM cannot be decrypted (Figure 3(a))."""
+        result = run_trace("unsafe", flushed_writes)
+        injector = CrashInjector(result)
+        recovered = RecoveryManager(result.config.encryption).recover(
+            injector.crash_at(result.stats.runtime_ns + 1e6)
+        )
+        assert recovered.is_garbage(0x1000)
+        with pytest.raises(DecryptionFailure):
+            recovered.read_u64(0x1000)
+
+    def test_non_strict_read_returns_garbage_bytes(self):
+        result = run_trace("unsafe", flushed_writes)
+        injector = CrashInjector(result)
+        recovered = RecoveryManager(result.config.encryption).recover(
+            injector.crash_at(result.stats.runtime_ns + 1e6)
+        )
+        garbage = recovered.read(0x1000, 8, strict=False)
+        assert garbage != (0xAB).to_bytes(8, "little")
+
+    def test_unencrypted_recovery(self):
+        result = run_trace("no-encryption", flushed_writes)
+        injector = CrashInjector(result)
+        recovered = RecoveryManager(result.config.encryption).recover(
+            injector.crash_at(result.stats.runtime_ns + 1e6), encrypted=False
+        )
+        assert recovered.read_u64(0x1000) == 0xAB
+
+    def test_untouched_lines_read_zero(self):
+        result = run_trace("sca", flushed_writes)
+        injector = CrashInjector(result)
+        recovered = RecoveryManager(result.config.encryption).recover(
+            injector.crash_at(result.stats.runtime_ns + 1e6)
+        )
+        assert recovered.read_u64(0x7000) == 0
+
+    def test_multi_line_read_spans(self):
+        def build(builder):
+            builder.store(0x1000, bytes(range(64)))
+            builder.store(0x1040, bytes(range(64, 128)))
+            builder.clwb(0x1000)
+            builder.clwb(0x1040)
+            builder.ccwb(0x1000)
+            builder.persist_barrier()
+
+        result = run_trace("sca", build)
+        injector = CrashInjector(result)
+        recovered = RecoveryManager(result.config.encryption).recover(
+            injector.crash_at(result.stats.runtime_ns + 1e6)
+        )
+        assert recovered.read(0x1030, 32) == bytes(range(48, 80))
+
+    def test_violations_listing(self):
+        result = run_trace("unsafe", flushed_writes)
+        injector = CrashInjector(result)
+        manager = RecoveryManager(result.config.encryption)
+        image = injector.crash_at(result.stats.runtime_ns + 1e6)
+        violations = manager.violations(image)
+        assert any(v.address == 0x1000 for v in violations)
+
+
+class TestCrashTiming:
+    def test_data_absent_before_clwb_acceptance(self):
+        """Stores alone are volatile: a crash before the clwb's queue
+        acceptance loses the line entirely (cache contents vanish)."""
+        result = run_trace("sca", flushed_writes)
+        injector = CrashInjector(result)
+        image = injector.crash_at(1.0)  # before any writeback
+        recovered = RecoveryManager(result.config.encryption).recover(image)
+        assert recovered.read_u64(0x1000) == 0

@@ -1,0 +1,68 @@
+"""AES-128 correctness against the FIPS-197 / NIST published vectors."""
+
+import pytest
+
+from repro.crypto.aes import AES128
+from repro.errors import CryptoError
+
+
+class TestKnownVectors:
+    def test_fips197_appendix_b(self):
+        """The FIPS-197 Appendix B worked example."""
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        plaintext = bytes.fromhex("3243f6a8885a308d313198a2e0370734")
+        expected = bytes.fromhex("3925841d02dc09fbdc118597196a0b32")
+        assert AES128(key).encrypt_block(plaintext) == expected
+
+    def test_fips197_appendix_c1(self):
+        """FIPS-197 Appendix C.1 (AES-128 example vector)."""
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        plaintext = bytes.fromhex("00112233445566778899aabbccddeeff")
+        expected = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+        assert AES128(key).encrypt_block(plaintext) == expected
+
+    def test_nist_sp800_38a_ecb_block1(self):
+        """First ECB block of the NIST SP 800-38A AES-128 test."""
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        plaintext = bytes.fromhex("6bc1bee22e409f96e93d7e117393172a")
+        expected = bytes.fromhex("3ad77bb40d7a3660a89ecaf32466ef97")
+        assert AES128(key).encrypt_block(plaintext) == expected
+
+
+class TestRoundTrip:
+    def test_decrypt_inverts_encrypt(self):
+        key = bytes(range(16))
+        aes = AES128(key)
+        for seed in range(8):
+            block = bytes((seed * 17 + i * 31) % 256 for i in range(16))
+            assert aes.decrypt_block(aes.encrypt_block(block)) == block
+
+    def test_different_keys_differ(self):
+        block = bytes(16)
+        first = AES128(b"A" * 16).encrypt_block(block)
+        second = AES128(b"B" * 16).encrypt_block(block)
+        assert first != second
+
+    def test_single_bit_flip_diffuses(self):
+        """Flipping one plaintext bit changes roughly half the output."""
+        aes = AES128(bytes(range(16)))
+        base = aes.encrypt_block(bytes(16))
+        flipped = aes.encrypt_block(bytes([1] + [0] * 15))
+        differing_bits = sum(
+            bin(a ^ b).count("1") for a, b in zip(base, flipped)
+        )
+        assert 32 <= differing_bits <= 96
+
+
+class TestValidation:
+    def test_rejects_wrong_key_length(self):
+        with pytest.raises(CryptoError):
+            AES128(b"too-short")
+
+    def test_rejects_wrong_block_length_encrypt(self):
+        with pytest.raises(CryptoError):
+            AES128(bytes(16)).encrypt_block(b"short")
+
+    def test_rejects_wrong_block_length_decrypt(self):
+        with pytest.raises(CryptoError):
+            AES128(bytes(16)).decrypt_block(b"short")

@@ -1,0 +1,106 @@
+"""Tests for counter-line compression (base + delta)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.compression import (
+    CompressedCounterLine,
+    compress_counter_line,
+    compressed_size_bytes,
+    decompress_counter_line,
+    traffic_savings,
+)
+from repro.errors import CryptoError
+
+CLUSTERED = (1000, 1001, 1002, 1000, 1003, 1001, 1004, 1002)
+SPREAD = (1, 1 << 40, 7, 1 << 39, 2, 3, 4, 5)
+
+
+class TestRoundTrip:
+    def test_clustered_counters_round_trip(self):
+        assert decompress_counter_line(compress_counter_line(CLUSTERED)) == CLUSTERED
+
+    def test_spread_counters_round_trip(self):
+        assert decompress_counter_line(compress_counter_line(SPREAD)) == SPREAD
+
+    def test_all_equal_uses_one_byte_deltas(self):
+        compressed = compress_counter_line((42,) * 8)
+        assert compressed.delta_width == 1
+        assert compressed.size_bytes == 1 + 8 + 8
+
+    @given(st.lists(st.integers(0, 2**48 - 1), min_size=8, max_size=8))
+    @settings(max_examples=100)
+    def test_arbitrary_lines_round_trip(self, counters):
+        line = tuple(counters)
+        assert decompress_counter_line(compress_counter_line(line)) == line
+
+
+class TestSizes:
+    def test_clustered_compresses_well(self):
+        assert compressed_size_bytes(CLUSTERED) == 17  # 1 + 8 + 8*1
+        assert compressed_size_bytes(CLUSTERED) < 64
+
+    def test_size_matches_payload(self):
+        for line in (CLUSTERED, SPREAD, (0,) * 8):
+            assert compress_counter_line(line).size_bytes == compressed_size_bytes(line)
+
+    def test_width_grows_with_spread(self):
+        narrow = compress_counter_line((0, 1, 2, 3, 4, 5, 6, 7))
+        wide = compress_counter_line((0, 1 << 20, 0, 0, 0, 0, 0, 0))
+        assert narrow.delta_width < wide.delta_width
+
+    def test_worst_case_never_exceeds_73_bytes(self):
+        # header + base + 8 * 8-byte deltas.
+        assert compressed_size_bytes(SPREAD) <= 73
+
+
+class TestSavings:
+    def test_sequential_writes_save_most(self):
+        """Counter lines from a streaming write burst (deltas 0-7)
+        compress to about a quarter of their raw size."""
+        lines = [tuple(range(base, base + 8)) for base in range(0, 800, 8)]
+        assert traffic_savings(lines) > 0.7
+
+    def test_empty_input(self):
+        assert traffic_savings([]) == 0.0
+
+    def test_savings_from_real_run(self):
+        """Compression measured on the counter lines of an actual
+        simulation's journal."""
+        from repro.bench.harness import run_workload
+        from repro.persist.journal import JournalKind
+        from repro.workloads.base import WorkloadParams
+
+        outcome = run_workload(
+            "sca", "array", params=WorkloadParams(operations=15, footprint_bytes=8192)
+        )
+        lines = [
+            record.counters
+            for record in outcome.result.journal.records
+            if record.kind is JournalKind.COUNTER and not record.single_slot
+        ]
+        assert lines, "run produced no counter-line writes"
+        assert 0.0 < traffic_savings(lines) <= 1.0
+
+
+class TestValidation:
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(CryptoError):
+            compress_counter_line((1, 2, 3))
+        with pytest.raises(CryptoError):
+            compressed_size_bytes((1, 2, 3))
+
+    def test_negative_counter_rejected(self):
+        with pytest.raises(CryptoError):
+            compress_counter_line((-1, 0, 0, 0, 0, 0, 0, 0))
+
+    def test_corrupt_payload_rejected(self):
+        compressed = compress_counter_line(CLUSTERED)
+        corrupt = CompressedCounterLine(
+            base=compressed.base,
+            delta_width=compressed.delta_width,
+            payload=b"\x03" + compressed.payload[1:],
+        )
+        with pytest.raises(CryptoError):
+            decompress_counter_line(corrupt)

@@ -1,0 +1,143 @@
+"""Tests for the encryption engine (write/read paths, counter flow)."""
+
+import pytest
+
+from repro.config import CACHE_LINE_SIZE, CounterCacheConfig, EncryptionConfig
+from repro.crypto.counters import CounterStore
+from repro.crypto.engine import EncryptionEngine
+
+BASE = 1 << 20
+
+
+@pytest.fixture
+def engine():
+    store = CounterStore(counter_region_base=BASE, memory_size_bytes=2 << 20)
+    return EncryptionEngine(
+        config=EncryptionConfig(),
+        cache_config=CounterCacheConfig(size_bytes=4 * 1024, ways=4),
+        counter_store=store,
+        functional=True,
+    )
+
+
+LINE = bytes(i % 256 for i in range(CACHE_LINE_SIZE))
+
+
+class TestWritePath:
+    def test_global_counter_monotonic(self, engine):
+        first = engine.encrypt_for_write(0x40, LINE)
+        second = engine.encrypt_for_write(0x80, LINE)
+        assert second.counter > first.counter
+
+    def test_ciphertext_differs_from_plaintext(self, engine):
+        result = engine.encrypt_for_write(0x40, LINE)
+        assert result.ciphertext != LINE
+
+    def test_rewrites_use_fresh_counters(self, engine):
+        """Counter-mode never reuses a pad: rewriting the same line with
+        the same data yields different ciphertext."""
+        first = engine.encrypt_for_write(0x40, LINE)
+        second = engine.encrypt_for_write(0x40, LINE)
+        assert first.counter != second.counter
+        assert first.ciphertext != second.ciphertext
+
+    def test_write_miss_then_hit(self, engine):
+        miss = engine.encrypt_for_write(0x40, LINE)
+        hit = engine.encrypt_for_write(0x40, LINE)
+        assert miss.counter_cache_hit is False
+        assert hit.counter_cache_hit is True
+
+    def test_counter_cached_after_write(self, engine):
+        result = engine.encrypt_for_write(0x40, LINE)
+        assert engine.counter_cache.lookup_for_read(0x40) == result.counter
+
+    def test_timing_only_mode_produces_no_ciphertext(self):
+        store = CounterStore(counter_region_base=BASE, memory_size_bytes=2 << 20)
+        engine = EncryptionEngine(
+            config=EncryptionConfig(),
+            cache_config=CounterCacheConfig(size_bytes=4 * 1024, ways=4),
+            counter_store=store,
+            functional=False,
+        )
+        result = engine.encrypt_for_write(0x40, None)
+        assert result.ciphertext is None
+        assert result.counter == 1
+
+
+class TestReadPath:
+    def test_round_trip_through_engine(self, engine):
+        written = engine.encrypt_for_write(0x40, LINE)
+        engine.persist_counter_line(0, engine.counter_store.read_counter_line(0))
+        engine.counter_store.write(0x40, written.counter)
+        read = engine.decrypt_for_read(0x40, written.ciphertext)
+        assert read.plaintext == LINE
+
+    def test_read_uses_cached_counter_over_store(self, engine):
+        """The cache's (newer) counter wins over the architectural one —
+        the working copy is what decrypts forwarded data."""
+        written = engine.encrypt_for_write(0x40, LINE)
+        # Architectural store deliberately left stale (counter = 0).
+        read = engine.decrypt_for_read(0x40, written.ciphertext)
+        assert read.counter == written.counter
+        assert read.plaintext == LINE
+
+    def test_read_miss_fills_from_store(self, engine):
+        engine.counter_store.write(0x40, 55)
+        read = engine.decrypt_for_read(0x40, None)
+        assert read.counter == 55
+        assert read.counter_cache_hit is False
+        # Second read hits.
+        again = engine.decrypt_for_read(0x40, None)
+        assert again.counter_cache_hit is True
+
+    def test_miss_statistics_count_one_access_per_read(self, engine):
+        engine.decrypt_for_read(0x40, None)
+        stats = engine.counter_cache.stats
+        assert stats.read_misses == 1
+        assert stats.read_hits == 0
+
+
+class TestEvictionChain:
+    def test_dirty_eviction_surfaces_payload(self):
+        """Filling past the cache's capacity evicts dirty counter lines
+        whose values must reach the caller for writeback."""
+        from repro.config import CounterCacheConfig
+        from repro.crypto.counter_cache import GROUP_SPAN
+
+        store = CounterStore(counter_region_base=BASE, memory_size_bytes=2 << 20)
+        engine = EncryptionEngine(
+            config=EncryptionConfig(),
+            cache_config=CounterCacheConfig(size_bytes=1024, ways=2),
+            counter_store=store,
+            functional=False,
+        )
+        evicted = []
+        # Touch many distinct groups so dirty lines get pushed out.
+        for group in range(64):
+            result = engine.encrypt_for_write(group * GROUP_SPAN, None)
+            if result.evicted_counter_line is not None:
+                evicted.append(result.evicted_counter_line)
+        assert evicted, "expected dirty evictions from a tiny cache"
+        for group_base, counters in evicted:
+            assert len(counters) == 8
+            assert any(value > 0 for value in counters)
+
+    def test_persisting_evicted_line_syncs_store(self):
+        from repro.config import CounterCacheConfig
+        from repro.crypto.counter_cache import GROUP_SPAN
+
+        store = CounterStore(counter_region_base=BASE, memory_size_bytes=2 << 20)
+        engine = EncryptionEngine(
+            config=EncryptionConfig(),
+            cache_config=CounterCacheConfig(size_bytes=1024, ways=2),
+            counter_store=store,
+            functional=False,
+        )
+        first = engine.encrypt_for_write(0, None)
+        for group in range(1, 64):
+            result = engine.encrypt_for_write(group * GROUP_SPAN, None)
+            if result.evicted_counter_line is not None:
+                group_base, counters = result.evicted_counter_line
+                engine.persist_counter_line(group_base, counters)
+        # Group 0's counter was evicted and persisted at some point.
+        assert store.read(0) == first.counter

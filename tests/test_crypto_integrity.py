@@ -1,0 +1,88 @@
+"""Tests for per-line integrity tags."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import CACHE_LINE_SIZE, EncryptionConfig
+from repro.crypto.integrity import TAG_BYTES, IntegrityEngine, TaggedLine, derive_tag_key
+from repro.errors import CryptoError
+
+LINE = bytes(i % 256 for i in range(CACHE_LINE_SIZE))
+
+
+@pytest.fixture
+def engine():
+    return IntegrityEngine(EncryptionConfig())
+
+
+class TestTags:
+    def test_tag_length(self, engine):
+        assert len(engine.tag(0x40, 1, LINE)) == TAG_BYTES
+
+    def test_deterministic(self, engine):
+        assert engine.tag(0x40, 1, LINE) == engine.tag(0x40, 1, LINE)
+
+    def test_verify_accepts_true_inputs(self, engine):
+        tag = engine.tag(0x40, 9, LINE)
+        assert engine.verify(0x40, 9, LINE, tag)
+
+    def test_verify_rejects_wrong_counter(self, engine):
+        tag = engine.tag(0x40, 9, LINE)
+        assert not engine.verify(0x40, 8, LINE, tag)
+        assert not engine.verify(0x40, 10, LINE, tag)
+
+    def test_verify_rejects_wrong_address(self, engine):
+        tag = engine.tag(0x40, 9, LINE)
+        assert not engine.verify(0x80, 9, LINE, tag)
+
+    def test_verify_rejects_modified_ciphertext(self, engine):
+        tag = engine.tag(0x40, 9, LINE)
+        tampered = bytes([LINE[0] ^ 1]) + LINE[1:]
+        assert not engine.verify(0x40, 9, tampered, tag)
+
+    def test_last_byte_tamper_detected(self, engine):
+        """The chaining absorbs every block, including the last."""
+        tag = engine.tag(0x40, 9, LINE)
+        tampered = LINE[:-1] + bytes([LINE[-1] ^ 0x80])
+        assert not engine.verify(0x40, 9, tampered, tag)
+
+    def test_wrong_line_size_rejected(self, engine):
+        with pytest.raises(CryptoError):
+            engine.tag(0x40, 1, b"short")
+
+    def test_wrong_tag_size_rejected(self, engine):
+        with pytest.raises(CryptoError):
+            engine.verify(0x40, 1, LINE, b"tiny")
+
+    def test_tag_key_independent_of_data_key_usage(self):
+        config_a = EncryptionConfig(key=b"A" * 16)
+        config_b = EncryptionConfig(key=b"B" * 16)
+        assert derive_tag_key(config_a) != derive_tag_key(config_b)
+        tag_a = IntegrityEngine(config_a).tag(0x40, 1, LINE)
+        tag_b = IntegrityEngine(config_b).tag(0x40, 1, LINE)
+        assert tag_a != tag_b
+
+
+class TestTaggedLine:
+    def test_verify_with(self, engine):
+        tag = engine.tag(0x40, 5, LINE)
+        line = TaggedLine(address=0x40, ciphertext=LINE, tag=tag)
+        assert line.verify_with(engine, 5)
+        assert not line.verify_with(engine, 6)
+
+
+class TestProperties:
+    @given(
+        st.integers(0, 2**30).map(lambda a: a * 64),
+        st.integers(1, 2**32),
+        st.integers(1, 63),
+    )
+    @settings(max_examples=100)
+    def test_no_nearby_counter_collisions(self, address, counter, offset):
+        """A tag never verifies under a nearby wrong counter — the
+        property the Osiris-style search relies on."""
+        engine = IntegrityEngine(EncryptionConfig())
+        tag = engine.tag(address, counter, LINE)
+        assert engine.verify(address, counter, LINE, tag)
+        assert not engine.verify(address, counter + offset, LINE, tag)

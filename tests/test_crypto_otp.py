@@ -1,0 +1,102 @@
+"""Counter-mode OTP construction tests (paper Eq. 1-4)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import CACHE_LINE_SIZE, EncryptionConfig
+from repro.crypto.aes import AES128
+from repro.crypto.otp import OTPCipher, decrypt_line, encrypt_line, make_block_cipher
+from repro.errors import CryptoError
+
+LINE = st.binary(min_size=CACHE_LINE_SIZE, max_size=CACHE_LINE_SIZE)
+ADDRESSES = st.integers(min_value=0, max_value=2**40).map(lambda a: a - (a % 64))
+COUNTERS = st.integers(min_value=0, max_value=2**40)
+
+
+@pytest.fixture
+def cipher():
+    return OTPCipher(make_block_cipher(EncryptionConfig()))
+
+
+class TestRoundTrip:
+    @given(LINE, ADDRESSES, COUNTERS)
+    @settings(max_examples=100)
+    def test_decrypt_with_same_counter_recovers_plaintext(self, line, address, counter):
+        cipher = OTPCipher(make_block_cipher(EncryptionConfig()))
+        assert cipher.decrypt(address, counter, cipher.encrypt(address, counter, line)) == line
+
+    @given(LINE, ADDRESSES, COUNTERS)
+    @settings(max_examples=100)
+    def test_decrypt_with_stale_counter_yields_garbage(self, line, address, counter):
+        """Paper Eq. 4: a counter mismatch produces wrong plaintext."""
+        cipher = OTPCipher(make_block_cipher(EncryptionConfig()))
+        ciphertext = cipher.encrypt(address, counter + 1, line)
+        assert cipher.decrypt(address, counter, ciphertext) != line
+
+    def test_decrypt_with_wrong_address_yields_garbage(self, cipher):
+        """The pad binds the line's address, preventing relocation."""
+        line = bytes(range(64))
+        ciphertext = cipher.encrypt(0x1000, 7, line)
+        assert cipher.decrypt(0x1040, 7, ciphertext) != line
+
+
+class TestPadProperties:
+    def test_pad_deterministic(self, cipher):
+        assert cipher.pad(0x40, 3) == cipher.pad(0x40, 3)
+
+    def test_pad_counter_unique(self, cipher):
+        pads = {cipher.pad(0x40, c) for c in range(64)}
+        assert len(pads) == 64
+
+    def test_pad_address_unique(self, cipher):
+        pads = {cipher.pad(a * 64, 1) for a in range(64)}
+        assert len(pads) == 64
+
+    def test_pad_blocks_differ_within_line(self, cipher):
+        """Each 16 B block of the line gets its own pad block."""
+        pad = cipher.pad(0x40, 1)
+        blocks = [pad[i : i + 16] for i in range(0, 64, 16)]
+        assert len(set(blocks)) == 4
+
+    def test_pad_cache_eviction_does_not_change_results(self):
+        small = OTPCipher(make_block_cipher(EncryptionConfig()))
+        small._pad_cache_limit = 4
+        reference = small.pad(0, 1)
+        for i in range(20):
+            small.pad(i * 64, i)
+        assert small.pad(0, 1) == reference
+
+
+class TestAESBackend:
+    def test_aes_cipher_round_trips(self):
+        config = EncryptionConfig(cipher="aes")
+        cipher = OTPCipher(make_block_cipher(config))
+        line = bytes(range(64))
+        assert cipher.decrypt(0x80, 5, cipher.encrypt(0x80, 5, line)) == line
+
+    def test_aes_and_prf_pads_differ(self):
+        """Different ciphers are different OTP generators, same interface."""
+        line = bytes(64)
+        aes = encrypt_line(EncryptionConfig(cipher="aes"), 0, 1, line)
+        prf = encrypt_line(EncryptionConfig(cipher="prf"), 0, 1, line)
+        assert aes != prf
+
+
+class TestValidation:
+    def test_rejects_wrong_plaintext_length(self, cipher):
+        with pytest.raises(CryptoError):
+            cipher.encrypt(0, 1, b"short")
+
+    def test_rejects_wrong_ciphertext_length(self, cipher):
+        with pytest.raises(CryptoError):
+            cipher.decrypt(0, 1, b"short")
+
+    def test_rejects_misaligned_line_size(self):
+        with pytest.raises(CryptoError):
+            OTPCipher(AES128(bytes(16)), line_size=50)
+
+    def test_convenience_wrappers_round_trip(self):
+        config = EncryptionConfig()
+        line = bytes(i % 256 for i in range(64))
+        assert decrypt_line(config, 0x40, 9, encrypt_line(config, 0x40, 9, line)) == line

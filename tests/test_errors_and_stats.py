@@ -1,0 +1,115 @@
+"""Tests for the exception hierarchy and stats datatypes."""
+
+import pytest
+
+from repro import errors
+from repro.config import fast_config
+from repro.errors import (
+    ConfigurationError,
+    CryptoError,
+    DecryptionFailure,
+    ReproError,
+    SimulationError,
+)
+from repro.sim.machine import Machine
+from repro.sim.stats import CoreStats
+from repro.sim.trace import TraceBuilder
+
+
+class TestHierarchy:
+    def test_every_library_error_derives_from_repro_error(self):
+        exception_types = [
+            getattr(errors, name)
+            for name in dir(errors)
+            if isinstance(getattr(errors, name), type)
+            and issubclass(getattr(errors, name), Exception)
+        ]
+        for exc_type in exception_types:
+            assert issubclass(exc_type, ReproError) or exc_type is ReproError
+
+    def test_decryption_failure_carries_address(self):
+        failure = DecryptionFailure(0x1040)
+        assert failure.address == 0x1040
+        assert "0x1040" in str(failure)
+        assert isinstance(failure, CryptoError)
+
+    def test_decryption_failure_custom_message(self):
+        failure = DecryptionFailure(0x40, "custom text")
+        assert str(failure) == "custom text"
+
+    def test_catching_base_class_catches_all(self):
+        with pytest.raises(ReproError):
+            raise ConfigurationError("x")
+        with pytest.raises(ReproError):
+            raise SimulationError("y")
+
+
+class TestCoreStats:
+    def _run(self):
+        builder = TraceBuilder("t")
+        builder.txn_begin()
+        builder.store_u64(0x1000, 1, counter_atomic=True)
+        builder.store_u64(0x1040, 2)
+        builder.load(0x1000, 8)
+        builder.clwb(0x1000)
+        builder.ccwb(0x1000)
+        builder.persist_barrier()
+        builder.txn_end()
+        return Machine(fast_config(), "sca").run([builder.build()])
+
+    def test_op_counters(self):
+        stats = self._run().stats.per_core[0]
+        assert stats.stores == 2
+        assert stats.ca_stores == 1
+        assert stats.loads == 1
+        assert stats.clwbs == 1
+        assert stats.ccwbs == 1
+        assert stats.fences == 1
+        assert stats.transactions == 1
+        assert stats.ops_executed == 8
+
+    def test_as_dict_round_trip(self):
+        stats = self._run().stats.per_core[0]
+        data = stats.as_dict()
+        assert data["stores"] == 2
+        assert data["transactions"] == 1
+        assert data["finish_ns"] > 0
+
+    def test_machine_summary(self):
+        result = self._run()
+        summary = result.stats.summary()
+        assert summary["design"] == "sca"
+        assert summary["transactions"] == 1
+        assert summary["throughput_txn_per_s"] > 0
+
+
+class TestExperimentRegistry:
+    def test_get_experiment_by_name(self):
+        from repro.bench.experiments import get_experiment
+
+        assert get_experiment("fig12").name == "fig12"
+
+    def test_unknown_experiment_rejected(self):
+        from repro.bench.experiments import get_experiment
+
+        with pytest.raises(ConfigurationError):
+            get_experiment("fig99")
+
+    def test_bad_scale_rejected(self):
+        from repro.bench.experiments import Table2Config
+
+        with pytest.raises(ConfigurationError):
+            Table2Config().run(scale="enormous")
+
+    def test_experiment_ids_match_bench_files(self):
+        """Every registered experiment has a bench module (deliverable
+        d: one bench per table/figure)."""
+        import os
+
+        from repro.bench.experiments import EXPERIMENTS
+
+        bench_dir = os.path.join(os.path.dirname(__file__), "..", "benchmarks")
+        files = os.listdir(bench_dir)
+        for name in EXPERIMENTS:
+            matches = [f for f in files if name in f]
+            assert matches, "no bench module for %s" % name

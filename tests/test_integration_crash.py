@@ -1,0 +1,87 @@
+"""The headline crash-consistency integration tests.
+
+Every crash-consistent design must recover a consistent state from a
+power failure injected at *every* interesting instant of every
+workload; the unsafe design must fail somewhere.  This is the paper's
+central correctness claim, exercised end to end.
+"""
+
+import pytest
+
+from repro.bench.harness import run_workload
+from repro.config import KB, fast_config
+from repro.crash.checker import sweep_crash_points
+from repro.workloads.base import WorkloadParams
+
+PARAMS = WorkloadParams(operations=8, footprint_bytes=8 * KB)
+SAFE_DESIGNS = ["sca", "fca", "ideal", "co-located", "co-located-cc", "no-encryption"]
+
+
+class TestCrashConsistencySweeps:
+    @pytest.mark.parametrize("design", SAFE_DESIGNS)
+    @pytest.mark.parametrize("workload", ["array", "queue", "hash"])
+    def test_safe_design_recovers_everywhere(self, design, workload):
+        outcome = run_workload(design, workload, params=PARAMS)
+        report = sweep_crash_points(
+            outcome.result, outcome.validator(0), max_points=80
+        )
+        failure = report.first_failure()
+        assert report.all_consistent, (
+            "first failure at %.1f ns: %s"
+            % (failure.crash_ns, failure.problems[:1])
+        )
+
+    @pytest.mark.parametrize("design", SAFE_DESIGNS)
+    def test_trees_recover_everywhere(self, design):
+        outcome = run_workload(design, "rbtree", params=PARAMS)
+        report = sweep_crash_points(
+            outcome.result, outcome.validator(0), max_points=60
+        )
+        assert report.all_consistent
+
+    def test_unsafe_design_fails_somewhere(self):
+        outcome = run_workload("unsafe", "array", params=PARAMS)
+        report = sweep_crash_points(
+            outcome.result, outcome.validator(0), max_points=80
+        )
+        assert not report.all_consistent
+        assert report.undecryptable_crashes > 0
+
+    def test_redo_mechanism_recovers_everywhere(self):
+        outcome = run_workload("sca", "array", mechanism="redo", params=PARAMS)
+        report = sweep_crash_points(
+            outcome.result, outcome.validator(0), max_points=80
+        )
+        assert report.all_consistent
+
+    def test_multicore_crash_recovery(self):
+        config = fast_config(num_cores=2)
+        outcome = run_workload("sca", "array", config=config, params=PARAMS)
+        for core in range(2):
+            report = sweep_crash_points(
+                outcome.result, outcome.validator(core), max_points=40
+            )
+            assert report.all_consistent, "core %d inconsistent" % core
+
+
+class TestCommitDurability:
+    def test_committed_transactions_survive(self):
+        """A transaction whose commit barrier finished before the crash
+        must be present in the recovered state (the validator enforces
+        the minimum prefix)."""
+        outcome = run_workload("sca", "array", params=PARAMS)
+        end_times = outcome.result.txn_end_times[0]
+        assert end_times
+        report = sweep_crash_points(
+            outcome.result, outcome.validator(0), max_points=100
+        )
+        assert report.all_consistent
+
+
+class TestReportShape:
+    def test_report_accounting(self):
+        outcome = run_workload("sca", "array", params=PARAMS)
+        report = sweep_crash_points(outcome.result, outcome.validator(0), max_points=30)
+        assert report.total == len(report.outcomes)
+        assert report.consistent + report.inconsistent == report.total
+        assert report.design == "sca"

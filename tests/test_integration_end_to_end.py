@@ -1,0 +1,92 @@
+"""End-to-end integration: workloads x designs, functional correctness."""
+
+import pytest
+
+from repro.bench.harness import run_workload
+from repro.config import CACHE_LINE_SIZE, KB, fast_config
+from repro.core.designs import list_designs
+from repro.workloads.base import WorkloadParams
+
+PARAMS = WorkloadParams(operations=10, footprint_bytes=8 * KB)
+ALL_DESIGNS = list_designs(include_unsafe=True)
+ALL_WORKLOADS = ["array", "queue", "hash", "btree", "rbtree"]
+
+
+class TestEveryCombinationRuns:
+    @pytest.mark.parametrize("design", ALL_DESIGNS)
+    @pytest.mark.parametrize("workload", ALL_WORKLOADS)
+    def test_runs_to_completion(self, design, workload):
+        outcome = run_workload(design, workload, params=PARAMS)
+        assert outcome.stats.runtime_ns > 0
+        assert outcome.stats.transactions == len(outcome.runs[0].history)
+
+
+class TestFunctionalCorrectness:
+    @pytest.mark.parametrize("design", ["sca", "fca", "co-located-cc", "no-encryption"])
+    def test_memory_matches_workload_model(self, design):
+        """After a crash-free run, the hierarchy's view of every touched
+        line equals the workload's plaintext model — the whole stack
+        (caches, encryption, queues, NVM) moves bytes correctly."""
+        outcome = run_workload(design, "array", params=PARAMS)
+        hierarchy = outcome.result.hierarchy
+        model = outcome.runs[0].final_model
+        for line in model.touched_lines():
+            actual = hierarchy.read_current(0, line, CACHE_LINE_SIZE)
+            assert actual == model.line(line), "mismatch at 0x%x" % line
+
+    def test_multicore_functional_correctness(self):
+        config = fast_config(num_cores=2)
+        outcome = run_workload("sca", "queue", config=config, params=PARAMS)
+        for core, run in enumerate(outcome.runs):
+            model = run.final_model
+            for line in model.touched_lines():
+                actual = outcome.result.hierarchy.read_current(
+                    core, line, CACHE_LINE_SIZE
+                )
+                assert actual == model.line(line)
+
+
+class TestDesignOrderings:
+    """The coarse performance relationships the paper establishes."""
+
+    def _runtime(self, design, workload="array"):
+        params = WorkloadParams(operations=25, footprint_bytes=16 * KB)
+        return run_workload(design, workload, params=params).stats.runtime_ns
+
+    def test_no_encryption_is_fastest(self):
+        baseline = self._runtime("no-encryption")
+        for design in ("sca", "fca", "co-located", "co-located-cc"):
+            assert self._runtime(design) >= baseline
+
+    def test_sca_not_slower_than_fca(self):
+        assert self._runtime("sca") <= self._runtime("fca") * 1.001
+
+    def test_counter_cache_helps_colocated(self):
+        assert self._runtime("co-located-cc") <= self._runtime("co-located")
+
+    def test_write_traffic_ordering(self):
+        params = WorkloadParams(operations=25, footprint_bytes=16 * KB)
+        traffic = {
+            design: run_workload(design, "array", params=params).stats.bytes_written
+            for design in ("no-encryption", "sca", "fca")
+        }
+        assert traffic["no-encryption"] <= traffic["sca"] <= traffic["fca"]
+
+
+class TestTrafficAccounting:
+    def test_journal_agrees_with_device(self):
+        """The journal's final image equals the live device state."""
+        outcome = run_workload("sca", "array", params=PARAMS)
+        controller = outcome.result.controller
+        data_lines, counters = controller.journal.final_image()
+        for address, (payload, encrypted_with) in data_lines.items():
+            stored = controller.device.read_line(address)
+            assert stored.payload == payload
+            assert stored.encrypted_with == encrypted_with
+        for address, counter in counters.items():
+            assert controller.counter_store.read(address) == counter
+
+    def test_wear_tracking_matches_write_count(self):
+        outcome = run_workload("no-encryption", "array", params=PARAMS)
+        device = outcome.result.controller.device
+        assert device.wear.total_writes == device.line_writes

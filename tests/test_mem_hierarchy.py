@@ -1,0 +1,154 @@
+"""Tests for the L1/L2 hierarchy over the memory controller."""
+
+import pytest
+
+from repro.config import CACHE_LINE_SIZE, fast_config
+from repro.core.designs import get_design
+from repro.errors import AddressError
+from repro.mem.controller import MemoryController
+from repro.mem.hierarchy import CacheHierarchy
+
+
+def make_hierarchy(design="sca", cores=1):
+    config = fast_config(num_cores=cores)
+    controller = MemoryController(config, get_design(design))
+    return CacheHierarchy(config, controller), controller
+
+
+class TestLoadPath:
+    def test_cold_load_comes_from_memory(self):
+        hierarchy, _ = make_hierarchy()
+        access = hierarchy.load(0, 0x1000, 8, 0.0)
+        assert access.served_by == "memory"
+        assert access.data == bytes(8)
+
+    def test_second_load_hits_l1(self):
+        hierarchy, _ = make_hierarchy()
+        hierarchy.load(0, 0x1000, 8, 0.0)
+        access = hierarchy.load(0, 0x1000, 8, 1000.0)
+        assert access.served_by == "l1"
+
+    def test_sibling_core_hits_shared_l2(self):
+        hierarchy, _ = make_hierarchy(cores=2)
+        hierarchy.load(0, 0x1000, 8, 0.0)
+        access = hierarchy.load(1, 0x1000, 8, 1000.0)
+        assert access.served_by == "l2"
+
+    def test_l1_hit_is_fastest(self):
+        hierarchy, _ = make_hierarchy()
+        hierarchy.load(0, 0x1000, 8, 0.0)
+        hit = hierarchy.load(0, 0x1000, 8, 1000.0)
+        assert hit.complete_ns - 1000.0 == pytest.approx(
+            hierarchy.config.l1.hit_latency_ns
+        )
+
+
+class TestStorePath:
+    def test_store_then_load_round_trip(self):
+        hierarchy, _ = make_hierarchy()
+        hierarchy.store(0, 0x1000, b"\xaa" * 8, 8, 0.0)
+        access = hierarchy.load(0, 0x1000, 8, 100.0)
+        assert access.data == b"\xaa" * 8
+
+    def test_store_allocates_on_miss(self):
+        hierarchy, _ = make_hierarchy()
+        access = hierarchy.store(0, 0x1000, b"\xbb" * 8, 8, 0.0)
+        assert access.served_by == "memory"
+        assert hierarchy.l1s[0].contains(0x1000)
+
+    def test_store_preserves_rest_of_line(self):
+        hierarchy, controller = make_hierarchy()
+        controller.write_line(0x1000, bytes(range(64)), 0.0)
+        hierarchy.store(0, 0x1008, b"\xff" * 8, 8, 100.0)
+        data = hierarchy.load(0, 0x1000, 8, 200.0).data
+        assert data == bytes(range(8))
+
+    def test_cross_line_access_rejected(self):
+        hierarchy, _ = make_hierarchy()
+        with pytest.raises(AddressError):
+            hierarchy.load(0, 0x103C, 16, 0.0)
+        with pytest.raises(AddressError):
+            hierarchy.store(0, 0x103C, b"x" * 16, 16, 0.0)
+
+
+class TestClwb:
+    def test_clwb_pushes_data_to_nvm(self):
+        hierarchy, controller = make_hierarchy()
+        hierarchy.store(0, 0x1000, b"\xcc" * 8, 8, 0.0)
+        accept = hierarchy.clwb(0, 0x1000, 100.0)
+        assert accept is not None
+        stored = controller.device.read_line(0x1000)
+        plaintext = controller.engine.cipher.decrypt(
+            0x1000, stored.encrypted_with, stored.payload
+        )
+        assert plaintext[:8] == b"\xcc" * 8
+
+    def test_clwb_keeps_line_cached(self):
+        hierarchy, _ = make_hierarchy()
+        hierarchy.store(0, 0x1000, b"\xcc" * 8, 8, 0.0)
+        hierarchy.clwb(0, 0x1000, 100.0)
+        assert hierarchy.load(0, 0x1000, 8, 200.0).served_by == "l1"
+
+    def test_clwb_clean_line_is_noop(self):
+        hierarchy, _ = make_hierarchy()
+        hierarchy.load(0, 0x1000, 8, 0.0)
+        assert hierarchy.clwb(0, 0x1000, 100.0) is None
+
+    def test_clwb_carries_counter_atomic_flag(self):
+        hierarchy, controller = make_hierarchy()
+        hierarchy.store(0, 0x1000, b"\x01" * 8, 8, 0.0, counter_atomic=True)
+        hierarchy.clwb(0, 0x1000, 100.0)
+        assert controller.stats.paired_writes == 1
+
+    def test_clwb_finds_dirty_line_in_l2(self):
+        """A line evicted from L1 into L2 is still clwb-able."""
+        hierarchy, controller = make_hierarchy()
+        hierarchy.store(0, 0x1000, b"\xdd" * 8, 8, 0.0)
+        # Evict from L1 by filling its set.
+        l1 = hierarchy.l1s[0]
+        stride = l1.num_sets * CACHE_LINE_SIZE
+        base = 0x1000
+        for way in range(1, l1.ways + 1):
+            hierarchy.load(0, base + way * stride, 8, 10.0 * way)
+        assert not l1.contains(0x1000)
+        accept = hierarchy.clwb(0, 0x1000, 1000.0)
+        assert accept is not None
+
+
+class TestEvictionWritebacks:
+    def test_dirty_l2_eviction_reaches_controller(self):
+        hierarchy, controller = make_hierarchy()
+        l2 = hierarchy.l2
+        stride = l2.num_sets * CACHE_LINE_SIZE
+        hierarchy.store(0, 0x0, b"\xee" * 8, 8, 0.0)
+        writes_before = controller.stats.data_writes
+        # Blow through both L1 and L2 sets for address 0's set with
+        # enough pressure that the dirty line falls out of both levels.
+        for way in range(1, 3 * l2.ways + 2):
+            hierarchy.load(0, way * stride, 8, 100.0 * way)
+        assert controller.stats.data_writes > writes_before
+
+
+class TestReadCurrent:
+    def test_reads_through_cache(self):
+        hierarchy, _ = make_hierarchy()
+        hierarchy.store(0, 0x1000, b"\x42" * 8, 8, 0.0)
+        assert hierarchy.read_current(0, 0x1000, 8) == b"\x42" * 8
+
+    def test_reads_decrypted_nvm_when_uncached(self):
+        hierarchy, controller = make_hierarchy()
+        hierarchy.store(0, 0x1000, b"\x42" * 8, 8, 0.0)
+        hierarchy.clwb(0, 0x1000, 10.0)
+        hierarchy.invalidate_all()
+        assert hierarchy.read_current(0, 0x1000, 8) == b"\x42" * 8
+
+
+class TestFlushAll:
+    def test_flush_all_dirty_persists_everything(self):
+        hierarchy, controller = make_hierarchy()
+        for i in range(8):
+            hierarchy.store(0, 0x1000 + i * 64, bytes([i]) * 8, 8, float(i))
+        hierarchy.flush_all_dirty(1000.0)
+        hierarchy.invalidate_all()
+        for i in range(8):
+            assert hierarchy.read_current(0, 0x1000 + i * 64, 8) == bytes([i]) * 8

@@ -1,0 +1,100 @@
+"""Tests for the data/counter address map."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import CACHE_LINE_SIZE, MB
+from repro.errors import AddressError
+from repro.nvm.address import AddressMap
+
+MAP = AddressMap(memory_size_bytes=64 * MB, num_banks=8)
+
+
+class TestRegions:
+    def test_counter_region_is_line_aligned(self):
+        assert MAP.counter_region_base % CACHE_LINE_SIZE == 0
+
+    def test_data_region_is_roughly_eight_ninths(self):
+        ratio = MAP.data_region_bytes / MAP.memory_size_bytes
+        assert abs(ratio - 8 / 9) < 0.001
+
+    def test_counter_region_large_enough_for_all_data_lines(self):
+        needed = (MAP.data_region_bytes // CACHE_LINE_SIZE) * 8
+        assert MAP.counter_region_bytes >= needed
+
+    def test_classification(self):
+        assert MAP.is_data_address(0)
+        assert MAP.is_data_address(MAP.counter_region_base - 1)
+        assert MAP.is_counter_address(MAP.counter_region_base)
+        assert not MAP.is_data_address(MAP.memory_size_bytes)
+
+    def test_check_data_address_raises(self):
+        with pytest.raises(AddressError):
+            MAP.check_data_address(MAP.counter_region_base)
+
+
+class TestLineArithmetic:
+    def test_line_base(self):
+        assert AddressMap.line_base(0x47) == 0x40
+
+    def test_bank_interleaving(self):
+        banks = [MAP.bank_of(i * CACHE_LINE_SIZE) for i in range(16)]
+        assert banks == list(range(8)) * 2
+
+    def test_row_of_same_for_consecutive_stripe(self):
+        """Eight consecutive lines stripe across banks within one row."""
+        rows = {MAP.row_of(i * CACHE_LINE_SIZE) for i in range(8)}
+        assert len(rows) == 1
+
+    def test_row_changes_after_row_span(self):
+        span = 8 * 64 * CACHE_LINE_SIZE  # banks * lines_per_row * line
+        assert MAP.row_of(0) != MAP.row_of(span)
+
+
+class TestCounterMapping:
+    def test_counter_address_in_counter_region(self):
+        assert MAP.is_counter_address(MAP.counter_address_of(0))
+
+    def test_counter_addresses_dense(self):
+        first = MAP.counter_address_of(0)
+        second = MAP.counter_address_of(CACHE_LINE_SIZE)
+        assert second - first == 8
+
+    def test_counter_line_covers_eight_data_lines(self):
+        lines = {
+            MAP.counter_line_address_of(i * CACHE_LINE_SIZE) for i in range(8)
+        }
+        assert len(lines) == 1
+        lines.update(MAP.counter_line_address_of(8 * CACHE_LINE_SIZE) for _ in [0])
+        assert len(lines) == 2
+
+    def test_data_group_base(self):
+        assert MAP.data_group_base(7 * CACHE_LINE_SIZE) == 0
+        assert MAP.data_group_base(8 * CACHE_LINE_SIZE) == 8 * CACHE_LINE_SIZE
+
+    def test_counter_of_counter_rejected(self):
+        with pytest.raises(AddressError):
+            MAP.counter_address_of(MAP.counter_region_base)
+
+    @given(st.integers(min_value=0, max_value=MAP.counter_region_base - 1))
+    @settings(max_examples=100)
+    def test_counter_addresses_never_collide_across_lines(self, address):
+        """Two distinct data lines never share a counter address."""
+        other = (address + CACHE_LINE_SIZE) % MAP.counter_region_base
+        if AddressMap.line_base(other) != AddressMap.line_base(address):
+            assert MAP.counter_address_of(address) != MAP.counter_address_of(other)
+
+
+class TestValidation:
+    def test_rejects_unaligned_size(self):
+        with pytest.raises(AddressError):
+            AddressMap(memory_size_bytes=MB + 7)
+
+    def test_rejects_tiny_memory(self):
+        with pytest.raises(AddressError):
+            AddressMap(memory_size_bytes=CACHE_LINE_SIZE * 4)
+
+    def test_rejects_non_power_of_two_banks(self):
+        with pytest.raises(AddressError):
+            AddressMap(memory_size_bytes=64 * MB, num_banks=6)

@@ -1,0 +1,57 @@
+"""Tests for the per-core persistency tracker (clwb/sfence bookkeeping)."""
+
+import pytest
+
+from repro.errors import PersistencyError
+from repro.persist.model import PersistencyTracker
+
+
+class TestFences:
+    def test_fence_with_nothing_outstanding_is_free(self):
+        tracker = PersistencyTracker()
+        assert tracker.fence(100.0) == 100.0
+
+    def test_fence_waits_for_latest_acceptance(self):
+        tracker = PersistencyTracker()
+        tracker.note_writeback(50.0)
+        tracker.note_writeback(200.0)
+        tracker.note_writeback(120.0)
+        assert tracker.fence(100.0) == 200.0
+
+    def test_fence_does_not_move_backward(self):
+        tracker = PersistencyTracker()
+        tracker.note_writeback(50.0)
+        assert tracker.fence(100.0) == 100.0
+
+    def test_fence_clears_pending(self):
+        tracker = PersistencyTracker()
+        tracker.note_writeback(500.0)
+        tracker.fence(0.0)
+        assert tracker.outstanding == 0
+        assert tracker.fence(1.0) == 1.0
+
+    def test_stall_accounting(self):
+        tracker = PersistencyTracker()
+        tracker.note_writeback(150.0)
+        tracker.fence(100.0)
+        assert tracker.total_fence_stall_ns == pytest.approx(50.0)
+
+    def test_negative_acceptance_rejected(self):
+        tracker = PersistencyTracker()
+        with pytest.raises(PersistencyError):
+            tracker.note_writeback(-1.0)
+
+    def test_counters(self):
+        tracker = PersistencyTracker()
+        tracker.note_writeback(1.0)
+        tracker.note_writeback(2.0)
+        tracker.fence(0.0)
+        tracker.fence(0.0)
+        assert tracker.writebacks == 2
+        assert tracker.fences == 2
+
+    def test_reset(self):
+        tracker = PersistencyTracker()
+        tracker.note_writeback(100.0)
+        tracker.reset()
+        assert tracker.outstanding == 0

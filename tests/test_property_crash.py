@@ -1,0 +1,109 @@
+"""Property-based crash-consistency testing over randomized programs.
+
+Hypothesis generates random transaction mixes (target lines, values,
+sizes); for each, we run under SCA and FCA, inject crashes at sampled
+instants, run recovery, and assert the recovered state is a consistent
+transaction prefix.  This is the strongest correctness statement the
+library makes about the paper's mechanism.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import CACHE_LINE_SIZE, fast_config
+from repro.crash.checker import sweep_crash_points
+from repro.crash.injector import CrashInjector
+from repro.crash.recovery import RecoveryManager
+from repro.sim.machine import Machine
+from repro.sim.trace import TraceBuilder
+from repro.txn.heap import MemoryLayout
+from repro.txn.undolog import UndoLogTransactions, recover_undo_log
+
+# A program is a list of transactions; each transaction writes a set of
+# (line index, fill byte) pairs.
+TRANSACTIONS = st.lists(
+    st.lists(
+        st.tuples(st.integers(0, 11), st.integers(1, 255)),
+        min_size=1,
+        max_size=4,
+    ),
+    min_size=1,
+    max_size=5,
+)
+
+
+def build_program(transactions, config):
+    """Author the undo-logged trace and the expected prefix states."""
+    layout = MemoryLayout.build(config, log_capacity=16)
+    arena = layout.arena(0)
+    builder = TraceBuilder("prop")
+    txns = UndoLogTransactions(builder, arena)
+    data_base = arena.heap.alloc(12 * CACHE_LINE_SIZE)
+
+    state = {}
+    prefix_states = [dict(state)]
+    for transaction in transactions:
+        writes = []
+        staged = dict(state)
+        for line_index, fill in transaction:
+            address = data_base + line_index * CACHE_LINE_SIZE
+            old = staged.get(address, bytes(CACHE_LINE_SIZE))
+            new = bytes([fill]) * CACHE_LINE_SIZE
+                # note: repeated lines within one txn collapse to the last write
+            staged[address] = new
+        for address, new in staged.items():
+            if state.get(address, bytes(CACHE_LINE_SIZE)) != new:
+                writes.append((address, state.get(address, bytes(CACHE_LINE_SIZE)), new))
+        if writes:
+            txns.run(writes)
+            state = staged
+            prefix_states.append(dict(state))
+        else:
+            prefix_states.append(dict(state))
+    return builder.build(), arena, prefix_states, data_base
+
+
+@pytest.mark.parametrize("design", ["sca", "fca"])
+@given(transactions=TRANSACTIONS)
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_recovery_is_always_a_transaction_prefix(design, transactions):
+    config = fast_config()
+    trace, arena, prefix_states, data_base = build_program(transactions, config)
+    result = Machine(config, design).run([trace])
+    injector = CrashInjector(result)
+    manager = RecoveryManager(config.encryption)
+    tracked = sorted({a for s in prefix_states for a in s})
+    for crash_ns in injector.interesting_times(limit=25):
+        recovered = manager.recover(injector.crash_at(crash_ns))
+        recover_undo_log(recovered, arena)
+        snapshot = {a: recovered.read(a, CACHE_LINE_SIZE) for a in tracked}
+        matched = any(
+            all(
+                snapshot[a] == prefix.get(a, bytes(CACHE_LINE_SIZE))
+                for a in tracked
+            )
+            for prefix in prefix_states
+        )
+        assert matched, "no prefix matches at %.1f ns under %s" % (crash_ns, design)
+
+
+@given(transactions=TRANSACTIONS)
+@settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_final_state_always_equals_last_prefix(transactions):
+    config = fast_config()
+    trace, arena, prefix_states, _ = build_program(transactions, config)
+    result = Machine(config, "sca").run([trace])
+    injector = CrashInjector(result)
+    manager = RecoveryManager(config.encryption)
+    recovered = manager.recover(
+        injector.crash_at(result.stats.runtime_ns + 1e9)
+    )
+    recover_undo_log(recovered, arena)
+    final = prefix_states[-1]
+    for address, expected in final.items():
+        assert recovered.read(address, CACHE_LINE_SIZE) == expected

@@ -1,0 +1,100 @@
+"""Tests for traces and the trace builder."""
+
+import pytest
+
+from repro.config import CACHE_LINE_SIZE
+from repro.errors import TraceError
+from repro.sim.trace import Op, OpKind, Trace, TraceBuilder, merge_round_robin
+
+
+class TestOpValidation:
+    def test_rejects_oversized_memory_op(self):
+        with pytest.raises(TraceError):
+            Op(kind=OpKind.LOAD, address=0, length=128)
+
+    def test_rejects_zero_length(self):
+        with pytest.raises(TraceError):
+            Op(kind=OpKind.STORE, address=0, length=0)
+
+    def test_rejects_mismatched_data_length(self):
+        with pytest.raises(TraceError):
+            Op(kind=OpKind.STORE, address=0, length=8, data=b"123")
+
+    def test_rejects_negative_compute(self):
+        with pytest.raises(TraceError):
+            Op(kind=OpKind.COMPUTE, duration_ns=-1.0)
+
+
+class TestBuilder:
+    def test_fluent_chaining(self):
+        builder = TraceBuilder("t")
+        trace = (
+            builder.txn_begin()
+            .store_u64(0x40, 1)
+            .clwb(0x40)
+            .ccwb(0x40)
+            .persist_barrier()
+            .txn_end()
+            .build()
+        )
+        kinds = [op.kind for op in trace]
+        assert kinds == [
+            OpKind.TXN_BEGIN,
+            OpKind.STORE,
+            OpKind.CLWB,
+            OpKind.CCWB,
+            OpKind.SFENCE,
+            OpKind.TXN_END,
+        ]
+
+    def test_shadow_tracks_stores(self):
+        builder = TraceBuilder("t")
+        builder.store(0x40, b"\x01\x02\x03\x04\x05\x06\x07\x08")
+        assert builder.shadow_bytes(0x40, 8) == bytes(range(1, 9))
+        assert builder.shadow_bytes(0x48, 4) == bytes(4)
+
+    def test_store_u64_little_endian(self):
+        builder = TraceBuilder("t")
+        builder.store_u64(0x40, 0x0102)
+        assert builder.shadow_bytes(0x40, 2) == b"\x02\x01"
+
+    def test_timing_only_builder_drops_payloads(self):
+        builder = TraceBuilder("t", functional=False)
+        builder.store(0x40, b"\xff" * 8)
+        store = builder.build().ops[0]
+        assert store.data is None
+        assert store.length == 8
+
+    def test_clwb_span_covers_all_lines(self):
+        builder = TraceBuilder("t")
+        builder.clwb_span(0x40, 130)  # 0x40..0xC2 -> lines 0x40, 0x80, 0xC0
+        addresses = [op.address for op in builder.build()]
+        assert addresses == [0x40, 0x80, 0xC0]
+
+    def test_ccwb_span_covers_groups(self):
+        builder = TraceBuilder("t")
+        builder.ccwb_span(0, 1024)  # two 512 B groups
+        addresses = [op.address for op in builder.build()]
+        assert addresses == [0, 512]
+
+
+class TestTrace:
+    def test_counts(self):
+        builder = TraceBuilder("t")
+        builder.load(0).load(64).store_u64(0, 1)
+        counts = builder.build().counts()
+        assert counts[OpKind.LOAD] == 2
+        assert counts[OpKind.STORE] == 1
+
+    def test_transactions_counted_by_end_markers(self):
+        builder = TraceBuilder("t")
+        builder.txn_begin().txn_end().txn_begin().txn_end()
+        assert builder.build().transactions() == 2
+
+    def test_merge_round_robin_interleaves(self):
+        a = TraceBuilder("a")
+        a.load(0).load(64)
+        b = TraceBuilder("b")
+        b.load(128)
+        merged = merge_round_robin([a.build(), b.build()])
+        assert [op.address for op in merged] == [0, 128, 64]

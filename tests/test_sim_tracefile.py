@@ -1,0 +1,139 @@
+"""Tests for trace serialization (save/load round trips)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TraceError
+from repro.sim.trace import Op, OpKind, Trace, TraceBuilder
+from repro.sim.tracefile import (
+    dumps_trace,
+    load_traces,
+    loads_trace,
+    save_traces,
+)
+
+
+def sample_trace(name="sample"):
+    builder = TraceBuilder(name)
+    builder.txn_begin("t1")
+    builder.store(0x1000, bytes(range(8)), counter_atomic=True)
+    builder.store_u64(0x1040, 7)
+    builder.load(0x1000, 8)
+    builder.clwb(0x1000)
+    builder.ccwb(0x1000)
+    builder.compute(12.5)
+    builder.label("a label")
+    builder.persist_barrier()
+    builder.txn_end("t1")
+    return builder.build()
+
+
+class TestRoundTrip:
+    def test_string_round_trip_preserves_everything(self):
+        original = sample_trace()
+        restored = loads_trace(dumps_trace(original))
+        assert restored.name == original.name
+        assert len(restored) == len(original)
+        for a, b in zip(original.ops, restored.ops):
+            assert a.kind == b.kind
+            assert a.address == b.address
+            assert a.length == b.length
+            assert a.data == b.data
+            assert a.counter_atomic == b.counter_atomic
+            assert a.duration_ns == b.duration_ns
+            assert a.note == b.note
+
+    def test_timing_only_store_round_trips(self):
+        trace = Trace(ops=[Op(kind=OpKind.STORE, address=0x40, length=16)])
+        restored = loads_trace(dumps_trace(trace))
+        assert restored.ops[0].data is None
+        assert restored.ops[0].length == 16
+
+    def test_replay_produces_identical_simulation(self):
+        """A round-tripped trace simulates byte-for-byte identically."""
+        from repro.config import fast_config
+        from repro.sim.machine import Machine
+
+        original = sample_trace()
+        restored = loads_trace(dumps_trace(original))
+        first = Machine(fast_config(), "sca").run([original])
+        second = Machine(fast_config(), "sca").run([restored])
+        assert first.stats.runtime_ns == second.stats.runtime_ns
+        assert first.stats.bytes_written == second.stats.bytes_written
+
+
+class TestFileFormat:
+    def test_comments_and_blank_lines_ignored(self):
+        text = "# a comment\n\nS\n  \nR 0x40 8\n"
+        trace = loads_trace(text)
+        assert [op.kind for op in trace] == [OpKind.SFENCE, OpKind.LOAD]
+
+    def test_name_parsed_from_header(self):
+        trace = loads_trace("# trace: my-name\nS\n")
+        assert trace.name == "my-name"
+
+    def test_bad_opcode_raises(self):
+        with pytest.raises(TraceError):
+            loads_trace("X 0x40\n")
+
+    def test_bad_field_raises_with_line_number(self):
+        with pytest.raises(TraceError) as exc_info:
+            loads_trace("S\nR zzz 8\n")
+        assert "line 2" in str(exc_info.value)
+
+
+class TestMultiTraceFiles:
+    def test_save_load_traces(self, tmp_path):
+        path = str(tmp_path / "traces.txt")
+        traces = [sample_trace("a"), sample_trace("b")]
+        save_traces(traces, path)
+        restored = load_traces(path)
+        assert len(restored) == 2
+        assert restored[0].name == "a"
+        assert restored[1].name == "b"
+        assert len(restored[0]) == len(traces[0])
+
+
+class TestProperties:
+    @given(
+        st.lists(
+            st.one_of(
+                st.builds(
+                    lambda a, l: Op(kind=OpKind.LOAD, address=a * 8, length=l),
+                    st.integers(0, 1 << 20),
+                    st.integers(1, 64),
+                ),
+                st.builds(
+                    lambda a, ca: Op(
+                        kind=OpKind.STORE,
+                        address=a * 8,
+                        length=8,
+                        data=bytes(range(8)),
+                        counter_atomic=ca,
+                    ),
+                    st.integers(0, 1 << 20),
+                    st.booleans(),
+                ),
+                st.just(Op(kind=OpKind.SFENCE)),
+                st.builds(
+                    lambda d: Op(kind=OpKind.COMPUTE, duration_ns=d),
+                    st.floats(min_value=0, max_value=1e6, allow_nan=False),
+                ),
+            ),
+            max_size=40,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_arbitrary_traces_round_trip(self, ops):
+        trace = Trace(ops=ops, name="prop")
+        restored = loads_trace(dumps_trace(trace))
+        assert len(restored) == len(trace)
+        for a, b in zip(trace.ops, restored.ops):
+            assert (a.kind, a.address, a.length, a.data, a.counter_atomic) == (
+                b.kind,
+                b.address,
+                b.length,
+                b.data,
+                b.counter_atomic,
+            )

@@ -1,0 +1,64 @@
+"""Timing-only mode: address/timing behaviour without byte movement.
+
+The Figure 15 sweeps run with ``functional=False`` for speed; these
+tests pin down that timing-only runs (a) work end to end, (b) agree
+with functional runs on every timing-relevant statistic, and (c) skip
+payload materialization.
+"""
+
+import pytest
+
+from repro.bench.harness import build_traces, run_workload
+from repro.config import KB, fast_config
+from repro.sim.machine import Machine
+from repro.workloads.base import WorkloadParams
+
+PARAMS = WorkloadParams(operations=12, footprint_bytes=8 * KB)
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("design", ["sca", "fca", "co-located-cc", "no-encryption"])
+    def test_workloads_run_without_payloads(self, design):
+        config = fast_config(functional=False)
+        outcome = run_workload(design, "array", config=config, params=PARAMS)
+        assert outcome.stats.runtime_ns > 0
+        assert outcome.stats.transactions > 0
+
+    def test_timing_matches_functional_exactly(self):
+        """Byte movement must not influence timing: the same trace in
+        functional and timing-only mode yields identical statistics."""
+        functional_config = fast_config(functional=True)
+        timing_config = fast_config(functional=False)
+        functional = run_workload("sca", "hash", config=functional_config, params=PARAMS)
+        timing = run_workload("sca", "hash", config=timing_config, params=PARAMS)
+        assert timing.stats.runtime_ns == functional.stats.runtime_ns
+        assert timing.stats.bytes_written == functional.stats.bytes_written
+        assert timing.stats.bytes_read == functional.stats.bytes_read
+        assert (
+            timing.stats.counter_cache_miss_rate
+            == functional.stats.counter_cache_miss_rate
+        )
+
+    def test_no_payloads_materialized(self):
+        config = fast_config(functional=False)
+        traces, _runs, _layout = build_traces("array", config, params=PARAMS)
+        machine = Machine(config, "sca")
+        result = machine.run(traces)
+        # Device lines exist (for counter ground truth) but caches hold
+        # no byte payloads.
+        l1 = result.hierarchy.l1s[0]
+        lines = [line for s in l1._sets for line in s.values()]
+        assert lines
+        assert all(line.payload is None for line in lines)
+
+    def test_crash_reconstruction_still_tracks_counters(self):
+        """Even without payloads, crash images preserve the
+        counter-sync ground truth (Eq. 4 checks still work)."""
+        from repro.core.invariants import check_counter_atomicity
+        from repro.crash.injector import CrashInjector
+
+        config = fast_config(functional=False)
+        outcome = run_workload("fca", "array", config=config, params=PARAMS)
+        injector = CrashInjector(outcome.result)
+        image = injector.crash_at(outcome.stats.runtime_ns / 2)
+        assert check_counter_atomicity(image.device, image.counter_store) == []

@@ -1,0 +1,92 @@
+"""Tests for the persistent heap and per-core arena layout."""
+
+import pytest
+
+from repro.config import CACHE_LINE_SIZE, fast_config
+from repro.errors import HeapError
+from repro.txn.heap import LOG_ENTRY_BYTES, MemoryLayout, PersistentHeap
+
+
+class TestHeap:
+    def test_allocations_are_disjoint(self):
+        heap = PersistentHeap(0, 1 << 20)
+        first = heap.alloc(100)
+        second = heap.alloc(100)
+        assert second >= first + 100
+
+    def test_line_alignment_default(self):
+        heap = PersistentHeap(0, 1 << 20)
+        heap.alloc(10)
+        assert heap.alloc(10) % CACHE_LINE_SIZE == 0
+
+    def test_custom_alignment(self):
+        heap = PersistentHeap(0, 1 << 20)
+        heap.alloc(3 * CACHE_LINE_SIZE)
+        assert heap.alloc(16, align=256) % 256 == 0
+
+    def test_alloc_lines(self):
+        heap = PersistentHeap(0, 1 << 20)
+        address = heap.alloc_lines(3)
+        assert address % CACHE_LINE_SIZE == 0
+        assert heap.allocations[address] == 3 * CACHE_LINE_SIZE
+
+    def test_exhaustion_raises(self):
+        heap = PersistentHeap(0, 4 * CACHE_LINE_SIZE)
+        heap.alloc(3 * CACHE_LINE_SIZE)
+        with pytest.raises(HeapError):
+            heap.alloc(2 * CACHE_LINE_SIZE)
+
+    def test_accounting(self):
+        heap = PersistentHeap(0, 1 << 20)
+        heap.alloc(CACHE_LINE_SIZE)
+        assert heap.used_bytes == CACHE_LINE_SIZE
+        assert heap.free_bytes == (1 << 20) - CACHE_LINE_SIZE
+
+    def test_invalid_parameters(self):
+        with pytest.raises(HeapError):
+            PersistentHeap(7, 100)
+        with pytest.raises(HeapError):
+            PersistentHeap(0, 0)
+        heap = PersistentHeap(0, 1 << 20)
+        with pytest.raises(HeapError):
+            heap.alloc(0)
+        with pytest.raises(HeapError):
+            heap.alloc(8, align=3)
+
+
+class TestLayout:
+    def test_per_core_arenas_disjoint(self):
+        layout = MemoryLayout.build(fast_config(num_cores=4))
+        spans = [
+            (a.heap.base, a.heap.limit) for a in layout.arenas
+        ]
+        for (b1, l1), (b2, l2) in zip(spans, spans[1:]):
+            assert l1 <= b2
+
+    def test_metadata_reserved(self):
+        layout = MemoryLayout.build(fast_config(), log_capacity=32)
+        arena = layout.arena(0)
+        assert arena.txn_record % CACHE_LINE_SIZE == 0
+        assert arena.log_base >= arena.txn_record + CACHE_LINE_SIZE
+        assert arena.log_capacity == 32
+        # User allocations start after the log.
+        user = arena.heap.alloc(64)
+        assert user >= arena.log_base + 32 * LOG_ENTRY_BYTES
+
+    def test_arena_lookup_bounds(self):
+        layout = MemoryLayout.build(fast_config(num_cores=2))
+        with pytest.raises(HeapError):
+            layout.arena(5)
+
+    def test_arenas_fit_in_data_region(self):
+        from repro.nvm.address import AddressMap
+
+        config = fast_config(num_cores=4)
+        layout = MemoryLayout.build(config)
+        address_map = AddressMap(config.memory_size_bytes)
+        for arena in layout.arenas:
+            assert arena.heap.limit <= address_map.counter_region_base
+
+    def test_tiny_arena_rejected(self):
+        with pytest.raises(HeapError):
+            MemoryLayout.build(fast_config(), log_capacity=64, arena_bytes=1024)

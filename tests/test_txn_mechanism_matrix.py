@@ -1,0 +1,56 @@
+"""Cross matrix: every workload x both log mechanisms x crash sweeps.
+
+The integration crash tests cover the common combinations; this matrix
+fills in the rest so a regression in any (workload, mechanism, design)
+cell is caught.
+"""
+
+import pytest
+
+from repro.bench.harness import run_workload
+from repro.config import KB
+from repro.crash.checker import sweep_crash_points
+from repro.workloads.base import WorkloadParams
+
+PARAMS = WorkloadParams(operations=6, footprint_bytes=8 * KB)
+WORKLOADS = ["array", "queue", "hash", "btree", "rbtree"]
+
+
+class TestRedoMatrix:
+    @pytest.mark.parametrize("workload", WORKLOADS)
+    def test_redo_crash_consistency(self, workload):
+        outcome = run_workload("sca", workload, mechanism="redo", params=PARAMS)
+        report = sweep_crash_points(outcome.result, outcome.validator(0), max_points=50)
+        failure = report.first_failure()
+        assert report.all_consistent, (
+            "%s/redo first failure at %.1f: %s"
+            % (workload, failure.crash_ns, failure.problems[:1])
+        )
+
+    @pytest.mark.parametrize("workload", WORKLOADS)
+    def test_redo_final_state_matches_model(self, workload):
+        outcome = run_workload("sca", workload, mechanism="redo", params=PARAMS)
+        hierarchy = outcome.result.hierarchy
+        model = outcome.runs[0].final_model
+        for line in model.touched_lines():
+            assert hierarchy.read_current(0, line, 64) == model.line(line)
+
+
+class TestUndoRemainingCells:
+    @pytest.mark.parametrize("workload", ["btree", "hash"])
+    @pytest.mark.parametrize("design", ["co-located", "ideal"])
+    def test_other_designs_recover(self, workload, design):
+        outcome = run_workload(design, workload, params=PARAMS)
+        report = sweep_crash_points(outcome.result, outcome.validator(0), max_points=40)
+        assert report.all_consistent
+
+
+class TestMechanismTrafficDifference:
+    def test_redo_and_undo_write_similar_totals(self):
+        """Both mechanisms log every touched line once; their traffic
+        should be in the same ballpark (redo adds a write-back stage
+        record flip, undo an arm flip)."""
+        undo = run_workload("sca", "array", mechanism="undo", params=PARAMS)
+        redo = run_workload("sca", "array", mechanism="redo", params=PARAMS)
+        ratio = redo.stats.bytes_written / undo.stats.bytes_written
+        assert 0.7 < ratio < 1.4

@@ -1,0 +1,168 @@
+"""Tests for undo-logging transactions: protocol shape and recovery."""
+
+import pytest
+
+from repro.config import CACHE_LINE_SIZE, fast_config
+from repro.crash.injector import CrashInjector
+from repro.crash.recovery import RecoveryManager
+from repro.errors import TransactionError
+from repro.sim.machine import Machine
+from repro.sim.trace import OpKind, TraceBuilder
+from repro.txn.heap import MemoryLayout
+from repro.txn.undolog import UndoLogTransactions, recover_undo_log
+
+OLD = bytes(64)
+NEW = bytes([0xAB]) * 64
+
+
+@pytest.fixture
+def setup():
+    config = fast_config()
+    layout = MemoryLayout.build(config, log_capacity=16)
+    builder = TraceBuilder("undo-test")
+    txns = UndoLogTransactions(builder, layout.arena(0))
+    return config, layout, builder, txns
+
+
+def data_line(layout, index=0):
+    arena = layout.arena(0)
+    return arena.heap.alloc_lines(1) if index == 0 else arena.heap.alloc_lines(1)
+
+
+class TestProtocolShape:
+    def test_stage_order(self, setup):
+        _config, layout, builder, txns = setup
+        target = layout.arena(0).heap.alloc_lines(1)
+        txns.run([(target, OLD, NEW)])
+        labels = [op.note for op in builder.build() if op.kind is OpKind.LABEL]
+        assert labels == ["prepare", "mutate", "commit"]
+
+    def test_commit_write_is_counter_atomic(self, setup):
+        _config, layout, builder, txns = setup
+        target = layout.arena(0).heap.alloc_lines(1)
+        txns.run([(target, OLD, NEW)])
+        ca_stores = [
+            op for op in builder.build()
+            if op.kind is OpKind.STORE and op.counter_atomic
+        ]
+        # Exactly two counter-atomic stores: arm (valid=1), commit (valid=0).
+        assert len(ca_stores) == 2
+        assert all(op.address == txns.valid_var.address for op in ca_stores)
+
+    def test_mutate_writes_are_relaxable(self, setup):
+        _config, layout, builder, txns = setup
+        target = layout.arena(0).heap.alloc_lines(1)
+        txns.run([(target, OLD, NEW)])
+        target_stores = [
+            op for op in builder.build()
+            if op.kind is OpKind.STORE and op.address == target
+        ]
+        assert target_stores
+        assert not any(op.counter_atomic for op in target_stores)
+
+    def test_ccwb_precedes_arm(self, setup):
+        """The paper's ordering: counters of the log must be persistent
+        before the valid flag flips."""
+        _config, layout, builder, txns = setup
+        target = layout.arena(0).heap.alloc_lines(1)
+        txns.run([(target, OLD, NEW)])
+        ops = builder.build().ops
+        first_ccwb = next(i for i, op in enumerate(ops) if op.kind is OpKind.CCWB)
+        arm = next(
+            i for i, op in enumerate(ops)
+            if op.kind is OpKind.STORE and op.counter_atomic
+        )
+        assert first_ccwb < arm
+
+    def test_barriers_present(self, setup):
+        _config, layout, builder, txns = setup
+        target = layout.arena(0).heap.alloc_lines(1)
+        txns.run([(target, OLD, NEW)])
+        fences = [op for op in builder.build() if op.kind is OpKind.SFENCE]
+        assert len(fences) == 4  # prepare, arm, mutate, commit
+
+    def test_empty_transaction_emits_no_protocol(self, setup):
+        _config, _layout, builder, txns = setup
+        txns.begin()
+        txns.commit()
+        kinds = {op.kind for op in builder.build()}
+        assert OpKind.STORE not in kinds
+
+
+class TestCircularLog:
+    def test_entries_advance_around_the_ring(self, setup):
+        _config, layout, builder, txns = setup
+        target = layout.arena(0).heap.alloc_lines(1)
+        txns.run([(target, OLD, NEW)])
+        txns.run([(target, NEW, OLD)])
+        stores = [op.address for op in builder.build() if op.kind is OpKind.STORE]
+        log_base = layout.arena(0).log_base
+        # The second transaction's log entry is at slot 1, not slot 0.
+        assert log_base + 128 in stores
+
+    def test_wraparound(self, setup):
+        _config, layout, builder, txns = setup
+        target = layout.arena(0).heap.alloc_lines(1)
+        capacity = layout.arena(0).log_capacity
+        for i in range(capacity + 2):
+            txns.run([(target, OLD, NEW)])
+        assert txns.committed == capacity + 2
+
+
+class TestValidation:
+    def test_nesting_rejected(self, setup):
+        _config, _layout, _builder, txns = setup
+        txns.begin()
+        with pytest.raises(TransactionError):
+            txns.begin()
+
+    def test_commit_without_begin_rejected(self, setup):
+        _config, _layout, _builder, txns = setup
+        with pytest.raises(TransactionError):
+            txns.commit()
+
+    def test_partial_line_rejected(self, setup):
+        _config, _layout, _builder, txns = setup
+        txns.begin()
+        with pytest.raises(TransactionError):
+            txns.write_line(0x1000, b"short", NEW)
+
+    def test_unaligned_target_rejected(self, setup):
+        _config, _layout, _builder, txns = setup
+        txns.begin()
+        with pytest.raises(TransactionError):
+            txns.write_line(0x1008, OLD, NEW)
+
+    def test_capacity_overflow_rejected(self, setup):
+        _config, layout, _builder, txns = setup
+        arena = layout.arena(0)
+        txns.begin()
+        for i in range(arena.log_capacity):
+            txns.write_line(arena.heap.alloc_lines(1), OLD, NEW)
+        with pytest.raises(TransactionError):
+            txns.write_line(arena.heap.alloc_lines(1), OLD, NEW)
+
+
+class TestRecovery:
+    def _run_and_recover(self, setup, crash_fraction):
+        config, layout, builder, txns = setup
+        target = layout.arena(0).heap.alloc_lines(1)
+        txns.run([(target, OLD, NEW)])
+        result = Machine(config, "sca").run([builder.build()])
+        injector = CrashInjector(result)
+        crash_ns = result.stats.runtime_ns * crash_fraction + 0.001
+        recovered = RecoveryManager(config.encryption).recover(
+            injector.crash_at(crash_ns)
+        )
+        restored = recover_undo_log(recovered, layout.arena(0))
+        return target, recovered, restored
+
+    def test_recovery_after_completion_is_noop(self, setup):
+        target, recovered, restored = self._run_and_recover(setup, 1.1)
+        assert restored == []
+        assert recovered.read(target, 64) == NEW
+
+    def test_recovery_before_anything_is_noop(self, setup):
+        target, recovered, restored = self._run_and_recover(setup, 0.0)
+        assert restored == []
+        assert recovered.read(target, 64) == OLD

@@ -1,0 +1,173 @@
+"""Tests for the utility helpers (bitops, stats, tables)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AlignmentError
+from repro.utils.bitops import (
+    align_down,
+    align_up,
+    bytes_to_u64,
+    is_aligned,
+    is_power_of_two,
+    log2_int,
+    require_aligned,
+    rotl64,
+    rotr64,
+    u64_to_bytes,
+    xor_bytes,
+)
+from repro.utils.stats import Counter, Histogram, RunningMean, geometric_mean, weighted_mean
+from repro.utils.tables import format_table
+
+
+class TestBitops:
+    def test_power_of_two(self):
+        assert is_power_of_two(1)
+        assert is_power_of_two(64)
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(48)
+
+    def test_log2(self):
+        assert log2_int(64) == 6
+        with pytest.raises(ValueError):
+            log2_int(63)
+
+    @given(st.integers(min_value=0, max_value=2**40))
+    @settings(max_examples=100)
+    def test_align_invariants(self, address):
+        down = align_down(address, 64)
+        up = align_up(address, 64)
+        assert down <= address <= up
+        assert down % 64 == 0 and up % 64 == 0
+        assert up - down in (0, 64)
+
+    def test_is_aligned(self):
+        assert is_aligned(128, 64)
+        assert not is_aligned(129, 64)
+
+    def test_require_aligned_raises(self):
+        with pytest.raises(AlignmentError):
+            require_aligned(7, 8)
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    @settings(max_examples=100)
+    def test_u64_round_trip(self, value):
+        assert bytes_to_u64(u64_to_bytes(value)) == value
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1), st.integers(0, 63))
+    @settings(max_examples=100)
+    def test_rotation_inverse(self, value, amount):
+        assert rotr64(rotl64(value, amount), amount) == value
+
+    def test_xor_bytes(self):
+        assert xor_bytes(b"\x0f\xf0", b"\xff\xff") == b"\xf0\x0f"
+        with pytest.raises(ValueError):
+            xor_bytes(b"\x00", b"\x00\x00")
+
+
+class TestCounter:
+    def test_accumulates(self):
+        counter = Counter("x")
+        counter.add()
+        counter.add(4)
+        assert int(counter) == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("x").add(-1)
+
+    def test_reset(self):
+        counter = Counter("x")
+        counter.add(3)
+        counter.reset()
+        assert int(counter) == 0
+
+
+class TestRunningMean:
+    def test_mean_and_extremes(self):
+        mean = RunningMean()
+        for value in (1.0, 2.0, 3.0):
+            mean.add(value)
+        assert mean.mean == pytest.approx(2.0)
+        assert mean.minimum == 1.0
+        assert mean.maximum == 3.0
+
+    def test_variance_matches_reference(self):
+        values = [3.0, 7.0, 7.0, 19.0]
+        mean = RunningMean()
+        for value in values:
+            mean.add(value)
+        reference = sum((v - 9.0) ** 2 for v in values) / 3
+        assert mean.variance == pytest.approx(reference)
+
+    def test_merge_equals_sequential(self):
+        left, right, combined = RunningMean(), RunningMean(), RunningMean()
+        for i, value in enumerate([1.0, 5.0, 2.0, 8.0, 3.0]):
+            (left if i % 2 else right).add(value)
+            combined.add(value)
+        left.merge(right)
+        assert left.mean == pytest.approx(combined.mean)
+        assert left.variance == pytest.approx(combined.variance)
+
+    def test_empty(self):
+        assert RunningMean().mean == 0.0
+        assert RunningMean().variance == 0.0
+
+
+class TestHistogram:
+    def test_bucketing(self):
+        histogram = Histogram([10, 100])
+        for value in (5, 50, 500):
+            histogram.add(value)
+        assert histogram.buckets == [1, 1, 1]
+
+    def test_fraction(self):
+        histogram = Histogram([10, 100])
+        for value in (1, 2, 200):
+            histogram.add(value)
+        assert histogram.fraction_at_or_below(10) == pytest.approx(2 / 3)
+
+    def test_as_dict_labels(self):
+        histogram = Histogram([10])
+        histogram.add(1)
+        assert set(histogram.as_dict()) == {"<=10", ">10"}
+
+    def test_empty_edges_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram([])
+
+
+class TestMeans:
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_geometric_mean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_weighted_mean(self):
+        assert weighted_mean([(1.0, 1.0), (3.0, 3.0)]) == pytest.approx(2.5)
+
+    def test_weighted_mean_zero_weight_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_mean([(1.0, 0.0)])
+
+
+class TestTables:
+    def test_renders_headers_and_rows(self):
+        text = format_table(["name", "value"], [["a", 1.5], ["bb", 2]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert "1.500" in text
+        assert "bb" in text
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])

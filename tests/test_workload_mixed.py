@@ -1,0 +1,115 @@
+"""Tests for the mixed get/put/delete workload."""
+
+import pytest
+
+from repro.bench.harness import run_workload
+from repro.config import KB, bench_config, fast_config
+from repro.crash.checker import sweep_crash_points
+from repro.errors import WorkloadError
+from repro.sim.trace import OpKind, TraceBuilder
+from repro.txn.heap import MemoryLayout
+from repro.txn.manager import make_transactions
+from repro.workloads.mixed import MixedKVWorkload
+from repro.workloads.base import WorkloadParams
+
+PARAMS = WorkloadParams(operations=30, footprint_bytes=8 * KB)
+
+
+def generate(workload):
+    config = fast_config()
+    layout = MemoryLayout.build(config, log_capacity=160)
+    builder = TraceBuilder("mixed")
+    txns = make_transactions("undo", builder, layout.arena(0))
+    run = workload.generate(builder, txns, layout.arena(0))
+    return builder.build(), run
+
+
+class TestMix:
+    def test_operations_split_by_fractions(self):
+        workload = MixedKVWorkload(PARAMS, get_fraction=0.5, delete_fraction=0.2)
+        generate(workload)
+        total = workload.gets + workload.deletes
+        measured_puts = workload.puts - max(4, PARAMS.operations // 4)  # minus seeding
+        assert workload.gets > 0
+        assert workload.deletes > 0
+        assert measured_puts > 0
+        assert total + measured_puts == PARAMS.operations
+
+    def test_pure_read_mix_emits_no_measured_writes(self):
+        workload = MixedKVWorkload(PARAMS, get_fraction=1.0, delete_fraction=0.0)
+        _trace, run = generate(workload)
+        seed_txns = -(-max(4, PARAMS.operations // 4) // 16)
+        # After seeding, get-only transactions stage no writes, so the
+        # recorder records empty txns only.
+        measured = run.history[seed_txns:]
+        assert all(not txn.writes for txn in measured)
+
+    def test_gets_mostly_hit_live_keys(self):
+        workload = MixedKVWorkload(PARAMS, get_fraction=0.6, delete_fraction=0.0)
+        generate(workload)
+        assert workload.get_hits >= workload.gets * 0.9
+
+    def test_deleted_keys_are_gone(self):
+        workload = MixedKVWorkload(
+            WorkloadParams(operations=40, footprint_bytes=8 * KB),
+            get_fraction=0.0,
+            delete_fraction=0.5,
+        )
+        _trace, run = generate(workload)
+        assert workload.deletes > 0
+        # Model check: tombstones exist for deletions that were not
+        # later overwritten by a put reusing the slot.
+        tombstones = 0
+        for line_address in run.final_model.touched_lines():
+            line = run.final_model.line(line_address)
+            for pair in range(4):
+                key = int.from_bytes(line[pair * 16 : pair * 16 + 8], "little")
+                if key == (1 << 64) - 1:
+                    tombstones += 1
+        assert 1 <= tombstones <= workload.deletes
+
+    def test_bad_fractions_rejected(self):
+        with pytest.raises(WorkloadError):
+            MixedKVWorkload(PARAMS, get_fraction=1.5)
+        with pytest.raises(WorkloadError):
+            MixedKVWorkload(PARAMS, get_fraction=0.8, delete_fraction=0.4)
+
+
+class TestIntegration:
+    def test_runs_under_harness(self):
+        outcome = run_workload("sca", "mixed", params=PARAMS)
+        assert outcome.stats.transactions == len(outcome.runs[0].history)
+
+    def test_crash_consistency(self):
+        outcome = run_workload(
+            "sca", "mixed", params=WorkloadParams(operations=8, footprint_bytes=8 * KB)
+        )
+        report = sweep_crash_points(outcome.result, outcome.validator(0), max_points=50)
+        assert report.all_consistent
+
+    def test_read_heavy_mix_punishes_colocated_most(self):
+        """The design-sensitivity property the mix parameter exposes:
+        a read-heavy mix widens co-located's gap to SCA."""
+        read_heavy = WorkloadParams(operations=40, footprint_bytes=64 * KB)
+        config = bench_config()
+
+        def gap(get_fraction):
+            import repro.workloads.registry as registry
+
+            workload_cls = registry.EXTRA_WORKLOADS["mixed"]
+            # Temporarily parameterize via a factory subclass.
+            class Parameterized(workload_cls):  # type: ignore[valid-type,misc]
+                def __init__(self, params=None):
+                    super().__init__(params, get_fraction=get_fraction)
+
+            registry.EXTRA_WORKLOADS["mixed"] = Parameterized
+            try:
+                sca = run_workload("sca", "mixed", config=config, params=read_heavy)
+                colocated = run_workload(
+                    "co-located", "mixed", config=config, params=read_heavy
+                )
+            finally:
+                registry.EXTRA_WORKLOADS["mixed"] = workload_cls
+            return colocated.stats.runtime_ns / sca.stats.runtime_ns
+
+        assert gap(0.8) > gap(0.0)

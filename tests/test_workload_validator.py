@@ -1,0 +1,137 @@
+"""Tests for the prefix validator and access-distribution helpers."""
+
+import random
+
+import pytest
+
+from repro.bench.harness import run_workload
+from repro.config import CACHE_LINE_SIZE, KB
+from repro.crash.injector import CrashInjector
+from repro.crash.recovery import RecoveryManager
+from repro.errors import WorkloadError
+from repro.workloads.base import (
+    PrefixValidator,
+    RecordedTxn,
+    WorkloadParams,
+    WorkloadRun,
+    zipf_index,
+)
+
+PARAMS = WorkloadParams(operations=6, footprint_bytes=8 * KB)
+
+
+def final_recovered(outcome):
+    injector = CrashInjector(outcome.result)
+    return RecoveryManager(outcome.result.config.encryption).recover(
+        injector.crash_at(outcome.stats.runtime_ns + 1e9)
+    )
+
+
+class TestPrefixValidator:
+    def test_final_state_is_the_full_prefix(self):
+        outcome = run_workload("sca", "array", params=PARAMS)
+        assert outcome.validator(0)(final_recovered(outcome)) == []
+
+    def test_detects_corrupted_line(self):
+        outcome = run_workload("sca", "array", params=PARAMS)
+        recovered = final_recovered(outcome)
+        victim = outcome.runs[0].history[-1].writes[0][0]
+        recovered.plaintext_lines[victim] = b"\xde\xad" * 32
+        problems = outcome.validator(0)(recovered)
+        assert problems
+        assert "prefix" in problems[0]
+
+    def test_commit_durability_enforced(self):
+        """A crash time after txn k's commit must not accept prefixes
+        shorter than k+1."""
+        outcome = run_workload("sca", "array", params=PARAMS)
+        run = outcome.runs[0]
+        end_times = outcome.result.txn_end_times[0]
+        validator = PrefixValidator(run, txn_end_times=end_times)
+        recovered = final_recovered(outcome)
+        # Roll the memory back to the initial (empty) state but claim
+        # the crash happened after the last commit: must be rejected.
+        recovered.plaintext_lines = {
+            line: bytes(CACHE_LINE_SIZE) for line in recovered.plaintext_lines
+        }
+        recovered.image.crash_ns = end_times[-1] + 1.0
+        # Clear the txn record so recovery is a no-op.
+        problems = validator(recovered)
+        assert problems
+
+    def test_unknown_mechanism_raises(self):
+        """An unknown mechanism is a caller bug, not a crash outcome."""
+        outcome = run_workload("sca", "array", params=PARAMS)
+        run = outcome.runs[0]
+        broken = WorkloadRun(
+            name=run.name,
+            arena=run.arena,
+            initial_image=run.initial_image,
+            history=run.history,
+            final_model=run.final_model,
+            mechanism="journaling",
+            operations=run.operations,
+        )
+        validator = PrefixValidator(broken)
+        with pytest.raises(WorkloadError):
+            validator(final_recovered(outcome))
+
+    def test_tracked_lines_cover_history(self):
+        outcome = run_workload("sca", "queue", params=PARAMS)
+        run = outcome.runs[0]
+        tracked = run.tracked_lines()
+        for txn in run.history:
+            for line, _old, _new in txn.writes:
+                assert line in tracked
+
+
+class TestZipfIndex:
+    def test_uniform_when_alpha_zero(self):
+        rng = random.Random(1)
+        counts = [0] * 10
+        for _ in range(10000):
+            counts[zipf_index(rng, 10, 0.0)] += 1
+        assert min(counts) > 700  # roughly uniform
+
+    def test_skew_concentrates_low_indices(self):
+        rng = random.Random(1)
+        hits_low = sum(1 for _ in range(5000) if zipf_index(rng, 1000, 1.5) < 100)
+        assert hits_low > 2500  # far above the uniform 10%
+
+    def test_bounds_respected(self):
+        rng = random.Random(2)
+        for alpha in (0.0, 0.5, 2.0):
+            for _ in range(500):
+                index = zipf_index(rng, 7, alpha)
+                assert 0 <= index < 7
+
+    def test_single_element_population(self):
+        rng = random.Random(3)
+        assert zipf_index(rng, 1, 2.0) == 0
+
+    def test_negative_alpha_rejected_by_params(self):
+        with pytest.raises(WorkloadError):
+            WorkloadParams(operations=1, zipf_alpha=-0.5)
+
+    def test_skewed_workload_has_better_counter_locality(self):
+        """The fig15 rationale: skew raises counter-cache hit rates."""
+        uniform = run_workload(
+            "array",
+            "array",
+            params=WorkloadParams(operations=60, footprint_bytes=64 * KB),
+        ) if False else run_workload(
+            "sca",
+            "array",
+            params=WorkloadParams(operations=60, footprint_bytes=64 * KB),
+        )
+        skewed = run_workload(
+            "sca",
+            "array",
+            params=WorkloadParams(
+                operations=60, footprint_bytes=64 * KB, zipf_alpha=2.0
+            ),
+        )
+        assert (
+            skewed.stats.counter_cache_miss_rate
+            <= uniform.stats.counter_cache_miss_rate
+        )

@@ -1,0 +1,216 @@
+"""Tests for the five evaluation workloads and their infrastructure."""
+
+import random
+
+import pytest
+
+from repro.config import CACHE_LINE_SIZE, KB, fast_config
+from repro.errors import TransactionError
+from repro.sim.trace import OpKind, TraceBuilder
+from repro.txn.heap import MemoryLayout
+from repro.txn.manager import make_transactions
+from repro.workloads.base import LineModel, TxnRecorder, WorkloadParams
+from repro.workloads.btree import BTreeWorkload
+from repro.workloads.rbtree import RBTreeWorkload
+from repro.workloads.registry import WORKLOADS, get_workload, list_workloads
+
+PARAMS = WorkloadParams(operations=15, footprint_bytes=8 * KB)
+
+
+def generate(name, params=PARAMS, mechanism="undo", cores=1, core=0):
+    config = fast_config(num_cores=cores)
+    layout = MemoryLayout.build(config, log_capacity=160)
+    workload = get_workload(name, params)
+    builder = TraceBuilder(name)
+    txns = make_transactions(mechanism, builder, layout.arena(core))
+    run = workload.generate(builder, txns, layout.arena(core), mechanism=mechanism)
+    return workload, builder.build(), run
+
+
+class TestLineModel:
+    def test_u64_round_trip(self):
+        model = LineModel()
+        model.write_u64(0x48, 0xDEADBEEF)
+        assert model.read_u64(0x48) == 0xDEADBEEF
+
+    def test_untouched_reads_zero(self):
+        assert LineModel().read_u64(0x1000) == 0
+
+    def test_cross_line_bytes(self):
+        model = LineModel()
+        touched = model.write_bytes(0x3C, bytes(range(8)))
+        assert touched == [0x0, 0x40]
+        assert model.line(0x0)[60:] == bytes(range(4))
+        assert model.line(0x40)[:4] == bytes(range(4, 8))
+
+    def test_snapshot_is_immutable_copy(self):
+        model = LineModel()
+        model.write_u64(0, 1)
+        snapshot = model.snapshot()
+        model.write_u64(0, 2)
+        assert snapshot[0][:8] == (1).to_bytes(8, "little")
+
+
+class TestTxnRecorder:
+    def _recorder(self):
+        config = fast_config()
+        layout = MemoryLayout.build(config, log_capacity=16)
+        builder = TraceBuilder("r")
+        txns = make_transactions("undo", builder, layout.arena(0))
+        return TxnRecorder(builder, txns, LineModel()), builder, layout
+
+    def test_write_outside_txn_rejected(self):
+        recorder, _, _ = self._recorder()
+        with pytest.raises(TransactionError):
+            recorder.write_u64(0x1000, 1)
+
+    def test_commit_records_pre_and_post_images(self):
+        recorder, _, layout = self._recorder()
+        target = layout.arena(0).heap.alloc_lines(1)
+        recorder.begin()
+        recorder.write_u64(target, 42)
+        recorded = recorder.commit()
+        assert len(recorded.writes) == 1
+        line, old, new = recorded.writes[0]
+        assert line == target
+        assert old == bytes(64)
+        assert new[:8] == (42).to_bytes(8, "little")
+
+    def test_noop_writes_dropped(self):
+        recorder, _, layout = self._recorder()
+        target = layout.arena(0).heap.alloc_lines(1)
+        recorder.begin()
+        recorder.write_u64(target, 0)  # same as initial zero
+        recorded = recorder.commit()
+        assert recorded.writes == []
+
+    def test_reads_emit_loads(self):
+        recorder, builder, _ = self._recorder()
+        recorder.read_u64(0x1000)
+        assert any(op.kind is OpKind.LOAD for op in builder.build())
+
+
+class TestRegistry:
+    def test_five_workloads_in_paper_order(self):
+        assert list_workloads() == ["array", "queue", "hash", "btree", "rbtree"]
+
+    def test_unknown_rejected(self):
+        from repro.errors import WorkloadError
+
+        with pytest.raises(WorkloadError):
+            get_workload("matrix-multiply")
+
+
+class TestAllWorkloadsGenerate:
+    @pytest.mark.parametrize("name", list(WORKLOADS))
+    def test_generates_transactions_and_history(self, name):
+        _workload, trace, run = generate(name)
+        assert run.operations == PARAMS.operations
+        assert trace.transactions() == len(run.history)
+        assert len(run.history) > 0
+
+    @pytest.mark.parametrize("name", list(WORKLOADS))
+    def test_history_replay_matches_final_model(self, name):
+        """Applying all recorded writes to zeroed memory reproduces the
+        workload's own final model — the recording is complete."""
+        _workload, _trace, run = generate(name)
+        state = {}
+        for txn in run.history:
+            for line, _old, new in txn.writes:
+                state[line] = new
+        for line in run.final_model.touched_lines():
+            assert state.get(line, bytes(64)) == run.final_model.line(line)
+
+    @pytest.mark.parametrize("name", list(WORKLOADS))
+    def test_pre_images_chain_correctly(self, name):
+        """Every write's old value equals the previous state of the line."""
+        _workload, _trace, run = generate(name)
+        state = {}
+        for txn in run.history:
+            for line, old, new in txn.writes:
+                assert state.get(line, bytes(64)) == old
+                state[line] = new
+
+    @pytest.mark.parametrize("name", list(WORKLOADS))
+    def test_deterministic_given_seed(self, name):
+        _w1, trace1, _r1 = generate(name)
+        _w2, trace2, _r2 = generate(name)
+        assert len(trace1) == len(trace2)
+        assert [op.address for op in trace1] == [op.address for op in trace2]
+
+    @pytest.mark.parametrize("name", list(WORKLOADS))
+    def test_different_cores_use_disjoint_addresses(self, name):
+        _w0, trace0, _ = generate(name, cores=2, core=0)
+        _w1, trace1, _ = generate(name, cores=2, core=1)
+        lines0 = {
+            op.address // 64 for op in trace0 if op.kind in (OpKind.STORE, OpKind.LOAD)
+        }
+        lines1 = {
+            op.address // 64 for op in trace1 if op.kind in (OpKind.STORE, OpKind.LOAD)
+        }
+        assert lines0.isdisjoint(lines1)
+
+    @pytest.mark.parametrize("name", list(WORKLOADS))
+    def test_redo_mechanism_also_works(self, name):
+        _workload, trace, run = generate(name, mechanism="redo")
+        assert run.mechanism == "redo"
+        assert trace.transactions() == len(run.history)
+
+
+class TestBatching:
+    def test_ops_per_txn_groups_operations(self):
+        batched = WorkloadParams(operations=12, footprint_bytes=8 * KB, ops_per_txn=4)
+        _w, trace_batched, run_batched = generate("array", batched)
+        _w, trace_single, run_single = generate("array")
+        assert len(run_batched.history) < len(run_single.history)
+
+
+class TestBTreeStructure:
+    def test_inorder_keys_sorted(self):
+        workload, _trace, _run = generate("btree", WorkloadParams(operations=60, footprint_bytes=8 * KB))
+        keys = workload.inorder_keys()
+        assert keys == sorted(keys)
+        assert len(keys) >= 60
+
+    def test_splits_occur(self):
+        workload, _trace, _run = generate("btree", WorkloadParams(operations=60, footprint_bytes=8 * KB))
+        root = workload._nodes[workload.root_address]
+        assert not root.is_leaf  # the tree grew beyond one node
+
+
+class TestRBTreeStructure:
+    def test_invariants_hold_after_many_inserts(self):
+        workload, _trace, _run = generate(
+            "rbtree", WorkloadParams(operations=80, footprint_bytes=8 * KB)
+        )
+        workload.check_invariants()
+
+    def test_inorder_sorted(self):
+        workload, _trace, _run = generate(
+            "rbtree", WorkloadParams(operations=50, footprint_bytes=8 * KB)
+        )
+        keys = workload.inorder_keys()
+        assert keys == sorted(keys)
+
+
+class TestQueueBehaviour:
+    def test_counter_atomic_meta_traffic(self):
+        """Queue transactions always touch the meta line, giving it the
+        high commit-record traffic §6.3.2 calls out."""
+        _workload, trace, run = generate("queue")
+        ca_stores = [
+            op for op in trace if op.kind is OpKind.STORE and op.counter_atomic
+        ]
+        assert len(ca_stores) == 2 * len(run.history)
+
+
+class TestHashTable:
+    def test_unique_keys_inserted(self):
+        workload, _trace, run = generate(
+            "hash", WorkloadParams(operations=30, footprint_bytes=8 * KB)
+        )
+        inserted_pairs = set()
+        for txn in run.history:
+            for line, _old, new in txn.writes:
+                inserted_pairs.add((line, new))
+        assert workload._occupancy == 30

@@ -1,0 +1,43 @@
+"""Quick-scale perf regression gate.
+
+Fails loudly when an optimized kernel falls back to within 2x of its
+reference implementation — the symptom of someone accidentally
+reverting a fast path.  Relative (same-machine, same-process) ratios
+keep this robust on slow shared runners; the expected speedups are
+5x or more, so a 2x floor has ample margin.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.perf import bench_kernels, bench_sweep
+
+
+@pytest.fixture(scope="module")
+def kernels():
+    return bench_kernels("quick")
+
+
+class TestKernelSpeedups:
+    def test_xor_line_beats_reference(self, kernels):
+        assert kernels["xor_line64"]["speedup_vs_reference"] >= 2.0
+
+    def test_ttable_aes_beats_reference(self, kernels):
+        assert kernels["aes_block"]["speedup_vs_reference"] >= 2.0
+
+    def test_otp_aes_beats_reference_3x(self, kernels):
+        """The ISSUE's acceptance bar: >= 3x on the OTP microbenchmark."""
+        assert kernels["otp_encrypt_aes"]["speedup_vs_reference"] >= 3.0
+
+    def test_otp_prf_not_slower_than_reference(self, kernels):
+        assert kernels["otp_encrypt_prf"]["speedup_vs_reference"] >= 1.0
+
+
+class TestSweepEngine:
+    def test_sweep_modes_agree_and_cache_wins(self):
+        report = bench_sweep(workers=2, scale="quick", experiment="fig12")
+        assert report["identical_values"]
+        # The warm-cache rerun must be dramatically cheaper than the
+        # cold sweep; 10x is a very generous floor (measured: >1000x).
+        assert report["cache_speedup"] >= 10.0

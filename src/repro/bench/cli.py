@@ -4,7 +4,12 @@ Runs one or all experiments and prints the paper-style tables::
 
     repro-bench --list
     repro-bench fig12
-    repro-bench all --scale full
+    repro-bench all --scale full --workers 4
+    repro-bench perf --json BENCH_PR1.json
+
+Sweeps fan out over ``--workers`` processes and memoize finished design
+points in an on-disk cache (see ``repro.bench.parallel``), so repeated
+invocations are incremental; ``--no-cache`` forces fresh runs.
 """
 
 from __future__ import annotations
@@ -15,6 +20,7 @@ import time
 from typing import List, Optional
 
 from .experiments import EXPERIMENTS, get_experiment
+from .parallel import ResultCache, SweepExecutor, default_cache_dir
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -29,7 +35,8 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment",
         nargs="?",
         default="all",
-        help="experiment name (%s) or 'all'" % ", ".join(EXPERIMENTS),
+        help="experiment name (%s), 'all', or 'perf' (kernel/sweep "
+        "regression benchmarks)" % ", ".join(EXPERIMENTS),
     )
     parser.add_argument(
         "--scale",
@@ -49,7 +56,61 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write all results as a JSON document to PATH ('-' = stdout)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan sweep design points out over N worker processes "
+        "(default 1 = in-process serial execution)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk result cache (every design point reruns)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="result cache location (default: $REPRO_CACHE_DIR or %s)"
+        % default_cache_dir(),
+    )
+    parser.add_argument(
+        "--clear-cache",
+        action="store_true",
+        help="remove all cached sweep results, then proceed",
+    )
     return parser
+
+
+def _make_executor(args: argparse.Namespace) -> SweepExecutor:
+    if args.clear_cache:
+        scrubbed = ResultCache(args.cache_dir)
+        removed = scrubbed.clear()
+        print("cleared %d cached result(s) from %s" % (removed, scrubbed.directory))
+    cache: Optional[ResultCache] = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir)
+    return SweepExecutor(workers=args.workers, cache=cache)
+
+
+def _run_perf(args: argparse.Namespace) -> int:
+    from .perf import render_perf_report, run_perf
+
+    document = run_perf(scale=args.scale, workers=max(args.workers, 4))
+    print(render_perf_report(document))
+    if args.json is not None:
+        import json
+
+        payload = json.dumps(document, indent=2, sort_keys=True)
+        if args.json == "-":
+            print(payload)
+        else:
+            with open(args.json, "w", encoding="utf-8") as stream:
+                stream.write(payload + "\n")
+            print("wrote %s" % args.json)
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -57,14 +118,25 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.list:
         for name, cls in EXPERIMENTS.items():
             print("%-8s %s" % (name, (cls.__doc__ or "").strip().splitlines()[0]))
+        print("%-8s %s" % ("perf", "Kernel and sweep regression benchmarks (BENCH_*.json)"))
         return 0
+    if args.experiment == "perf":
+        return _run_perf(args)
+    executor = _make_executor(args)
+    if args.experiment != "all" and args.experiment not in EXPERIMENTS:
+        print(
+            "repro-bench: unknown experiment %r; available: %s, all, perf"
+            % (args.experiment, ", ".join(EXPERIMENTS)),
+            file=sys.stderr,
+        )
+        return 2
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     failed_claims = 0
     documents = []
     for name in names:
         experiment = get_experiment(name)
         started = time.time()
-        result = experiment.run(scale=args.scale)
+        result = experiment.run(scale=args.scale, executor=executor)
         elapsed = time.time() - started
         print(result.render())
         if args.chart:
@@ -79,6 +151,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         document["scale"] = args.scale
         documents.append(document)
         failed_claims += sum(1 for ok in result.claims.values() if not ok)
+    if executor.cache is not None and (executor.cache_hits or executor.cache_misses):
+        print(
+            "result cache: %d hit(s), %d miss(es) (%s)"
+            % (executor.cache_hits, executor.cache_misses, executor.cache.directory)
+        )
     if args.json is not None:
         import json
 

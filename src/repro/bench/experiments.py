@@ -1,11 +1,19 @@
 """One experiment class per paper artifact (Figures 12-17, Tables 1-2).
 
-Every experiment exposes ``run(scale)`` returning an
+Every experiment exposes ``run(scale, executor=None)`` returning an
 :class:`repro.bench.report.ExperimentResult` whose series mirror the
 paper's plotted series.  ``scale`` trades fidelity for wall-clock time:
 
 * ``"quick"``  — small footprints/op counts (CI and pytest-benchmark),
 * ``"full"``   — larger runs closer to the paper's working sets.
+
+Each sweep-style experiment decomposes into independent
+:class:`~repro.bench.parallel.SweepJob` design points and hands them to
+a :class:`~repro.bench.parallel.SweepExecutor`, which may run them in a
+process pool (``--workers N``) and/or serve them from the on-disk
+result cache.  ``executor=None`` means serial, uncached, in-process —
+bit-identical to the pre-engine behaviour.  Experiments that inspect
+live simulation state (Table 1's crash sweeps) always run in-process.
 
 Absolute numbers differ from the gem5 testbed; the *shape* claims the
 paper makes are re-checked programmatically and reported per experiment
@@ -25,6 +33,7 @@ from ..errors import ConfigurationError
 from ..workloads.base import WorkloadParams
 from ..workloads.registry import list_workloads
 from .harness import run_workload, run_workload_multicore
+from .parallel import SweepExecutor, SweepJob
 from .report import ExperimentResult, Series
 
 #: Designs shown in Figures 12 and 14, in plot order.
@@ -52,8 +61,15 @@ class Experiment:
     name: str = "experiment"
     title: str = ""
 
-    def run(self, scale: str = "quick") -> ExperimentResult:
+    def run(
+        self, scale: str = "quick", executor: Optional[SweepExecutor] = None
+    ) -> ExperimentResult:
         raise NotImplementedError
+
+    @staticmethod
+    def _executor(executor: Optional[SweepExecutor]) -> SweepExecutor:
+        """Default: serial, uncached, in-process execution."""
+        return executor if executor is not None else SweepExecutor()
 
 
 class Fig12SingleCore(Experiment):
@@ -67,22 +83,29 @@ class Fig12SingleCore(Experiment):
     name = "fig12"
     title = "Figure 12 — normalized runtime, single core (lower is better)"
 
-    def run(self, scale: str = "quick") -> ExperimentResult:
+    def run(
+        self, scale: str = "quick", executor: Optional[SweepExecutor] = None
+    ) -> ExperimentResult:
         _check_scale(scale)
+        executor = self._executor(executor)
         params = _quick_params(scale)
         config = bench_config()
         workloads = list_workloads()
-        baselines: Dict[str, float] = {}
+        designs = ("no-encryption",) + FIG12_DESIGNS
+        jobs = [
+            SweepJob(design, workload, config=config, params=params)
+            for workload in workloads
+            for design in designs
+        ]
+        stats = executor.map_stats(jobs)
+        by_point = {(job.workload, job.design): s for job, s in zip(jobs, stats)}
         series = [Series(design) for design in FIG12_DESIGNS]
         for workload in workloads:
-            baseline = run_workload("no-encryption", workload, config=config, params=params)
-            baselines[workload] = baseline.stats.runtime_ns
+            baseline_ns = by_point[(workload, "no-encryption")].runtime_ns
             for design_series in series:
-                outcome = run_workload(
-                    design_series.name, workload, config=config, params=params
-                )
                 design_series.add(
-                    workload, outcome.stats.runtime_ns / baselines[workload]
+                    workload,
+                    by_point[(workload, design_series.name)].runtime_ns / baseline_ns,
                 )
         for design_series in series:
             design_series.add(
@@ -129,31 +152,43 @@ class Fig13MultiCore(Experiment):
             return self.core_counts
         return (1, 2, 4) if scale == "quick" else (1, 2, 4, 8)
 
-    def run(self, scale: str = "quick") -> ExperimentResult:
+    def run(
+        self, scale: str = "quick", executor: Optional[SweepExecutor] = None
+    ) -> ExperimentResult:
         _check_scale(scale)
+        executor = self._executor(executor)
         core_counts = self._cores_for(scale)
         params = _quick_params(scale, operations_quick=30, operations_full=150)
         workloads = self.workloads if self.workloads is not None else list_workloads()
+        # Deduplicated job map: the 1-core no-encryption baseline is the
+        # same design point the FIG13_DESIGNS sweep visits when 1 is in
+        # ``core_counts``.
+        job_map: Dict[Tuple[str, str, int], SweepJob] = {}
+        for workload in workloads:
+            job_map[(workload, "no-encryption", 1)] = SweepJob(
+                "no-encryption", workload, config=bench_config(1), params=params
+            )
+            for design in FIG13_DESIGNS:
+                for cores in core_counts:
+                    job_map[(workload, design, cores)] = SweepJob(
+                        design, workload, config=bench_config(cores), params=params
+                    )
+        keys = list(job_map)
+        stats = executor.map_stats([job_map[key] for key in keys])
+        lookup = dict(zip(keys, stats))
         series: List[Series] = []
         sca_over_fca: Dict[int, List[float]] = {c: [] for c in core_counts}
         sca_vs_ideal: List[float] = []
         for workload in workloads:
-            base = run_workload(
-                "no-encryption", workload, config=bench_config(1), params=params
-            )
-            base_tput = base.stats.throughput_txn_per_s
+            base_tput = lookup[(workload, "no-encryption", 1)].throughput_txn_per_s
             per_design: Dict[str, Dict[int, float]] = {}
             for design in FIG13_DESIGNS:
-                outcomes = {
-                    cores: run_workload(
-                        design, workload, config=bench_config(cores), params=params
-                    )
-                    for cores in core_counts
-                }
                 design_series = Series("%s/%s" % (workload, design))
                 per_design[design] = {}
-                for cores, outcome in outcomes.items():
-                    normalized = outcome.stats.throughput_txn_per_s / base_tput
+                for cores in core_counts:
+                    normalized = (
+                        lookup[(workload, design, cores)].throughput_txn_per_s / base_tput
+                    )
                     design_series.add("%dc" % cores, normalized)
                     per_design[design][cores] = normalized
                 series.append(design_series)
@@ -201,21 +236,30 @@ class Fig14WriteTraffic(Experiment):
     name = "fig14"
     title = "Figure 14 — normalized write traffic (lower is better)"
 
-    def run(self, scale: str = "quick") -> ExperimentResult:
+    def run(
+        self, scale: str = "quick", executor: Optional[SweepExecutor] = None
+    ) -> ExperimentResult:
         _check_scale(scale)
+        executor = self._executor(executor)
         params = _quick_params(scale)
         config = bench_config()
         workloads = list_workloads()
+        designs = ("no-encryption",) + FIG12_DESIGNS
+        jobs = [
+            SweepJob(design, workload, config=config, params=params)
+            for workload in workloads
+            for design in designs
+        ]
+        stats = executor.map_stats(jobs)
+        by_point = {(job.workload, job.design): s for job, s in zip(jobs, stats)}
         series = [Series(design) for design in FIG12_DESIGNS]
         for workload in workloads:
-            baseline = run_workload("no-encryption", workload, config=config, params=params)
+            baseline_bytes = by_point[(workload, "no-encryption")].bytes_written
             for design_series in series:
-                outcome = run_workload(
-                    design_series.name, workload, config=config, params=params
-                )
                 design_series.add(
                     workload,
-                    outcome.stats.bytes_written / baseline.stats.bytes_written,
+                    by_point[(workload, design_series.name)].bytes_written
+                    / baseline_bytes,
                 )
         for design_series in series:
             design_series.add(
@@ -257,28 +301,38 @@ class Fig15CounterCache(Experiment):
         "full": ((16 * KB, 64 * KB, 256 * KB, 1 * MB), (1 * MB, 4 * MB, 8 * MB)),
     }
 
-    def run(self, scale: str = "quick") -> ExperimentResult:
+    def run(
+        self, scale: str = "quick", executor: Optional[SweepExecutor] = None
+    ) -> ExperimentResult:
         _check_scale(scale)
+        executor = self._executor(executor)
         cache_sizes, footprints = self.SWEEPS[scale]
         operations = 200 if scale == "quick" else 1000
+        jobs: List[SweepJob] = []
+        job_keys: List[Tuple[int, int]] = []
+        for footprint in footprints:
+            params = WorkloadParams(operations=operations, footprint_bytes=footprint)
+            for cache_size in cache_sizes:
+                config = bench_config().with_counter_cache(cache_size)
+                # Timing-only mode: these sweeps only need addresses.
+                config = config.scaled(functional=False)
+                jobs.append(SweepJob("sca", "hash", config=config, params=params))
+                job_keys.append((footprint, cache_size))
+        lookup = dict(zip(job_keys, executor.map_stats(jobs)))
         series: List[Series] = []
         claims: Dict[str, bool] = {}
         speedup_small_fp: List[float] = []
         speedup_large_fp: List[float] = []
         for footprint in footprints:
-            params = WorkloadParams(operations=operations, footprint_bytes=footprint)
             runtime_series = Series("speedup@%dKB-footprint" % (footprint // KB))
             miss_series = Series("missrate@%dKB-footprint" % (footprint // KB))
             runtimes: Dict[int, float] = {}
             for cache_size in cache_sizes:
-                config = bench_config().with_counter_cache(cache_size)
-                # Timing-only mode: these sweeps only need addresses.
-                config = config.scaled(functional=False)
-                outcome = run_workload("sca", "hash", config=config, params=params)
-                runtimes[cache_size] = outcome.stats.runtime_ns
+                point = lookup[(footprint, cache_size)]
+                runtimes[cache_size] = point.runtime_ns
                 miss_series.add(
                     "%dKB" % (cache_size // KB),
-                    outcome.stats.counter_cache_miss_rate or 0.0,
+                    point.counter_cache_miss_rate or 0.0,
                 )
             smallest = runtimes[cache_sizes[0]]
             for cache_size in cache_sizes:
@@ -318,14 +372,17 @@ class Fig16TxnSize(Experiment):
         "full": (1, 2, 4, 8, 16, 32, 64),
     }
 
-    def run(self, scale: str = "quick") -> ExperimentResult:
+    def run(
+        self, scale: str = "quick", executor: Optional[SweepExecutor] = None
+    ) -> ExperimentResult:
         _check_scale(scale)
+        executor = self._executor(executor)
         sizes = self.SIZES[scale]
         workloads = list_workloads()
-        series: List[Series] = []
-        first_last: List[Tuple[float, float]] = []
+        config = bench_config()
+        jobs: List[SweepJob] = []
+        job_keys: List[Tuple[str, int, str]] = []
         for workload in workloads:
-            workload_series = Series(workload)
             for lines in sizes:
                 operations = max(lines * 6, 24)
                 params = WorkloadParams(
@@ -333,12 +390,19 @@ class Fig16TxnSize(Experiment):
                     footprint_bytes=64 * KB,
                     ops_per_txn=lines,
                 )
-                config = bench_config()
-                ideal = run_workload("ideal", workload, config=config, params=params)
-                sca = run_workload("sca", workload, config=config, params=params)
+                for design in ("ideal", "sca"):
+                    jobs.append(SweepJob(design, workload, config=config, params=params))
+                    job_keys.append((workload, lines, design))
+        lookup = dict(zip(job_keys, executor.map_stats(jobs)))
+        series: List[Series] = []
+        first_last: List[Tuple[float, float]] = []
+        for workload in workloads:
+            workload_series = Series(workload)
+            for lines in sizes:
                 workload_series.add(
                     "%d-lines" % lines,
-                    sca.stats.runtime_ns / ideal.stats.runtime_ns,
+                    lookup[(workload, lines, "sca")].runtime_ns
+                    / lookup[(workload, lines, "ideal")].runtime_ns,
                 )
             series.append(workload_series)
             points = [workload_series.points["%d-lines" % s] for s in sizes]
@@ -382,26 +446,37 @@ class Fig17NvmLatency(Experiment):
     def __init__(self, workloads: Optional[Sequence[str]] = None) -> None:
         self.workloads = list(workloads) if workloads is not None else None
 
-    def run(self, scale: str = "quick") -> ExperimentResult:
+    def run(
+        self, scale: str = "quick", executor: Optional[SweepExecutor] = None
+    ) -> ExperimentResult:
         _check_scale(scale)
+        executor = self._executor(executor)
         params = _quick_params(scale)
         workloads = self.workloads if self.workloads is not None else list_workloads()
+        jobs: List[SweepJob] = []
+        job_keys: List[Tuple[str, str, str, str]] = []
+        for axis in ("read", "write"):
+            for factor, label in zip(self.SCALES, self.LABELS):
+                if axis == "read":
+                    config = bench_config().with_nvm(read_latency_scale=factor)
+                else:
+                    config = bench_config().with_nvm(write_latency_scale=factor)
+                for workload in workloads:
+                    for design in ("co-located", "sca"):
+                        jobs.append(
+                            SweepJob(design, workload, config=config, params=params)
+                        )
+                        job_keys.append((axis, label, workload, design))
+        lookup = dict(zip(job_keys, executor.map_stats(jobs)))
         read_series = Series("read-latency-sweep")
         write_series = Series("write-latency-sweep")
         for axis, series in (("read", read_series), ("write", write_series)):
-            for factor, label in zip(self.SCALES, self.LABELS):
-                speedups = []
-                for workload in workloads:
-                    config = bench_config()
-                    if axis == "read":
-                        config = config.with_nvm(read_latency_scale=factor)
-                    else:
-                        config = config.with_nvm(write_latency_scale=factor)
-                    colocated = run_workload("co-located", workload, config=config, params=params)
-                    sca = run_workload("sca", workload, config=config, params=params)
-                    speedups.append(
-                        colocated.stats.runtime_ns / sca.stats.runtime_ns
-                    )
+            for _factor, label in zip(self.SCALES, self.LABELS):
+                speedups = [
+                    lookup[(axis, label, workload, "co-located")].runtime_ns
+                    / lookup[(axis, label, workload, "sca")].runtime_ns
+                    for workload in workloads
+                ]
                 series.add(label, statistics.fmean(speedups))
         claims = {
             "SCA faster than co-located at every read latency": all(
@@ -427,12 +502,17 @@ class Table1Stages(Experiment):
     sweeps — SCA (which pairs only the commit-record writes) recovers
     consistently from every crash point, while the unsafe design (no
     pairing anywhere) does not.
+
+    Always runs in-process: the crash sweeps walk the live write-queue
+    history and journal, which worker processes cannot ship back.
     """
 
     name = "table1"
     title = "Table 1 — per-stage counter-atomicity requirements"
 
-    def run(self, scale: str = "quick") -> ExperimentResult:
+    def run(
+        self, scale: str = "quick", executor: Optional[SweepExecutor] = None
+    ) -> ExperimentResult:
         _check_scale(scale)
         params = WorkloadParams(operations=6, footprint_bytes=8 * KB)
         rule_series = Series("counter-atomicity-required")
@@ -466,7 +546,9 @@ class Table2Config(Experiment):
     name = "table2"
     title = "Table 2 — system configuration"
 
-    def run(self, scale: str = "quick") -> ExperimentResult:
+    def run(
+        self, scale: str = "quick", executor: Optional[SweepExecutor] = None
+    ) -> ExperimentResult:
         _check_scale(scale)
         from ..config import default_config
 

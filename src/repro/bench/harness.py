@@ -92,6 +92,23 @@ def run_workload(
     )
 
 
+def run_workload_stats(
+    design: str,
+    workload_name: str,
+    config: Optional[SystemConfig] = None,
+    mechanism: str = "undo",
+    params: Optional[WorkloadParams] = None,
+):
+    """Like :func:`run_workload` but returns only the machine stats.
+
+    This is the worker-friendly entry point of the parallel sweep
+    engine (:mod:`repro.bench.parallel`): stats are small, picklable
+    and JSON-serializable, unlike the live controller/hierarchy held by
+    a full :class:`WorkloadRunOutcome`.
+    """
+    return run_workload(design, workload_name, config, mechanism, params).stats
+
+
 def run_workload_multicore(
     design: str,
     workload_name: str,

@@ -1,0 +1,326 @@
+"""Parallel sweep execution with an on-disk result cache.
+
+Every paper artifact is a sweep over (workload x design x config)
+points, and each point is an independent, deterministic simulation.
+This module decomposes such sweeps into :class:`SweepJob` descriptions
+and executes them through a :class:`SweepExecutor`, which
+
+* fans jobs out over a :class:`concurrent.futures.ProcessPoolExecutor`
+  when ``workers > 1`` (falling back to in-process execution when the
+  pool cannot be created or breaks),
+* preserves deterministic result ordering — ``map_stats`` returns one
+  :class:`~repro.sim.stats.MachineStats` per job, in job order, with
+  values identical to a serial run, and
+* memoizes finished jobs in an on-disk :class:`ResultCache` keyed by a
+  stable hash of (design, workload, mechanism, config, params, code
+  version), so repeated sweeps are incremental and any code or config
+  change invalidates exactly the affected points.
+
+Workers return only the :class:`MachineStats` summary — never the live
+controller/hierarchy objects — so job results are cheap to pickle and
+to persist as JSON.  Experiments that need the full simulation state
+(crash sweeps) keep running in-process.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..config import SystemConfig, fast_config
+from ..sim.stats import CoreStats, MachineStats
+from ..workloads.base import WorkloadParams
+
+__all__ = [
+    "SweepJob",
+    "SweepExecutor",
+    "ResultCache",
+    "execute_job",
+    "job_cache_key",
+    "default_cache_dir",
+    "code_version",
+    "stats_to_dict",
+    "stats_from_dict",
+]
+
+
+# ---------------------------------------------------------------------------
+# Job description
+
+
+@dataclass(frozen=True)
+class SweepJob:
+    """One independent design point of a sweep.
+
+    The job carries everything a worker process needs to reproduce the
+    simulation: all fields are plain frozen dataclasses, so the job is
+    picklable and hashable for caching.
+    """
+
+    design: str
+    workload: str
+    config: Optional[SystemConfig] = None
+    mechanism: str = "undo"
+    params: Optional[WorkloadParams] = None
+
+
+def execute_job(job: SweepJob) -> MachineStats:
+    """Run one job to completion; the worker-side entry point.
+
+    Imported lazily so worker processes created with the ``spawn``
+    start method can resolve it by qualified name.
+    """
+    from .harness import run_workload_stats
+
+    return run_workload_stats(
+        job.design,
+        job.workload,
+        config=job.config,
+        mechanism=job.mechanism,
+        params=job.params,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Stats (de)serialization
+
+
+def stats_to_dict(stats: MachineStats) -> Dict[str, object]:
+    """JSON-ready form of a :class:`MachineStats` (cache file payload)."""
+    return dataclasses.asdict(stats)
+
+
+def stats_from_dict(payload: Dict[str, object]) -> MachineStats:
+    """Inverse of :func:`stats_to_dict`."""
+    data = dict(payload)
+    per_core = [CoreStats(**core) for core in data.pop("per_core")]
+    return MachineStats(per_core=per_core, **data)
+
+
+# ---------------------------------------------------------------------------
+# Cache keys
+
+
+def _canonical(value: object) -> object:
+    """Make a value JSON-serializable in a stable way (bytes -> hex)."""
+    if isinstance(value, bytes):
+        return value.hex()
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    return value
+
+
+_code_version_cache: Optional[str] = None
+
+
+def code_version() -> str:
+    """Digest of the ``repro`` package sources.
+
+    Any change to the simulator's code changes this digest and thereby
+    invalidates every cached sweep result — correctness beats reuse.
+    """
+    global _code_version_cache
+    if _code_version_cache is not None:
+        return _code_version_cache
+    package_dir = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    digest = hashlib.sha256()
+    for root, dirs, files in sorted(os.walk(package_dir)):
+        dirs[:] = sorted(d for d in dirs if d != "__pycache__")
+        for name in sorted(files):
+            if not name.endswith(".py"):
+                continue
+            path = os.path.join(root, name)
+            digest.update(os.path.relpath(path, package_dir).encode())
+            with open(path, "rb") as stream:
+                digest.update(stream.read())
+    _code_version_cache = digest.hexdigest()[:16]
+    return _code_version_cache
+
+
+def job_cache_key(job: SweepJob) -> str:
+    """Stable content hash identifying a job's result."""
+    config = job.config if job.config is not None else fast_config()
+    params = job.params if job.params is not None else WorkloadParams()
+    document = {
+        "design": job.design,
+        "workload": job.workload,
+        "mechanism": job.mechanism,
+        "config": _canonical(dataclasses.asdict(config)),
+        "params": _canonical(dataclasses.asdict(params)),
+        "code": code_version(),
+    }
+    blob = json.dumps(document, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# On-disk result cache
+
+
+def default_cache_dir() -> str:
+    """``$REPRO_CACHE_DIR`` or ``~/.cache/repro-bench``."""
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return override
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro-bench")
+
+
+class ResultCache:
+    """One JSON file per finished job under ``directory``.
+
+    File name is the job's cache key, so lookups are a single ``open``;
+    corrupt or unreadable entries are treated as misses and rewritten.
+    """
+
+    def __init__(self, directory: Optional[str] = None) -> None:
+        self.directory = directory if directory is not None else default_cache_dir()
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, key + ".json")
+
+    def get(self, key: str) -> Optional[MachineStats]:
+        try:
+            with open(self._path(key), "r", encoding="utf-8") as stream:
+                payload = json.load(stream)
+            return stats_from_dict(payload["stats"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def put(self, key: str, stats: MachineStats) -> None:
+        os.makedirs(self.directory, exist_ok=True)
+        path = self._path(key)
+        tmp_path = path + ".tmp.%d" % os.getpid()
+        payload = {"key": key, "stats": stats_to_dict(stats)}
+        try:
+            with open(tmp_path, "w", encoding="utf-8") as stream:
+                json.dump(payload, stream, sort_keys=True)
+            os.replace(tmp_path, path)
+        except OSError:
+            # A read-only cache directory degrades to no caching.
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+
+    def clear(self) -> int:
+        """Remove all cached results; returns the number removed."""
+        removed = 0
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return 0
+        for name in names:
+            if name.endswith(".json"):
+                try:
+                    os.unlink(os.path.join(self.directory, name))
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+
+# ---------------------------------------------------------------------------
+# Executor
+
+
+class SweepExecutor:
+    """Runs sweep jobs, optionally in parallel and/or cached.
+
+    ``SweepExecutor()`` (the default used by ``Experiment.run``) is a
+    plain in-process serial runner with no cache, preserving the exact
+    behaviour experiments had before this engine existed.
+    """
+
+    def __init__(self, workers: int = 1, cache: Optional[ResultCache] = None) -> None:
+        self.workers = max(1, int(workers))
+        self.cache = cache
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.jobs_executed = 0
+        self.pool_fallbacks = 0
+
+    # -- execution --------------------------------------------------------
+
+    def map_stats(self, jobs: Sequence[SweepJob]) -> List[MachineStats]:
+        """Execute all jobs; result ``i`` belongs to ``jobs[i]``."""
+        results: List[Optional[MachineStats]] = [None] * len(jobs)
+        pending: List[int] = []
+        keys: List[Optional[str]] = [None] * len(jobs)
+        if self.cache is not None:
+            for index, job in enumerate(jobs):
+                key = job_cache_key(job)
+                keys[index] = key
+                cached = self.cache.get(key)
+                if cached is not None:
+                    self.cache_hits += 1
+                    results[index] = cached
+                else:
+                    self.cache_misses += 1
+                    pending.append(index)
+        else:
+            pending = list(range(len(jobs)))
+        if pending:
+            fresh = self._run_pending([jobs[i] for i in pending])
+            for index, stats in zip(pending, fresh):
+                results[index] = stats
+                if self.cache is not None and keys[index] is not None:
+                    self.cache.put(keys[index], stats)
+        return results  # type: ignore[return-value]
+
+    def _run_pending(self, jobs: List[SweepJob]) -> List[MachineStats]:
+        self.jobs_executed += len(jobs)
+        if self.workers == 1 or len(jobs) == 1:
+            return [execute_job(job) for job in jobs]
+        pool = self._make_pool(min(self.workers, len(jobs)))
+        if pool is None:
+            return [execute_job(job) for job in jobs]
+        try:
+            with pool:
+                return list(pool.map(execute_job, jobs))
+        except _POOL_FAILURES:
+            # A broken pool (killed worker, fork unavailable mid-flight)
+            # degrades to correct-but-serial execution.
+            self.pool_fallbacks += 1
+            return [execute_job(job) for job in jobs]
+
+    def _make_pool(self, workers: int):
+        try:
+            import multiprocessing
+            from concurrent.futures import ProcessPoolExecutor
+
+            context = None
+            methods = multiprocessing.get_all_start_methods()
+            if "fork" in methods:
+                # Fork shares the already-imported simulator with the
+                # workers; spawn works too, just with a slower start.
+                context = multiprocessing.get_context("fork")
+            return ProcessPoolExecutor(max_workers=workers, mp_context=context)
+        except (ImportError, OSError, ValueError):
+            self.pool_fallbacks += 1
+            return None
+
+
+def _pool_failures() -> tuple:
+    failures = [OSError]
+    try:
+        from concurrent.futures.process import BrokenProcessPool
+
+        failures.append(BrokenProcessPool)
+    except ImportError:  # pragma: no cover - ancient stdlib
+        pass
+    try:
+        import pickle
+
+        failures.append(pickle.PicklingError)
+    except ImportError:  # pragma: no cover
+        pass
+    return tuple(failures)
+
+
+_POOL_FAILURES = _pool_failures()

@@ -5,8 +5,17 @@ both encrypts and decrypts by XORing with ``En(address || counter)``, so
 no inverse cipher is required (we still implement decryption for
 completeness and for tests against the published FIPS-197 vectors).
 
-This implementation favours clarity over speed; large simulations use
-:class:`repro.crypto.prf.SplitMixPRF` instead (selected by
+Two forward implementations coexist:
+
+* :meth:`AES128.encrypt_block` — a T-table fast path that folds
+  SubBytes, ShiftRows and MixColumns into four 256-entry word tables
+  (the classic software formulation from the Rijndael reference code);
+* :meth:`AES128._encrypt_block_slow` — the textbook round-function
+  version, kept as the bit-for-bit reference the fast path is tested
+  against.
+
+Even the fast path is far slower than hardware AES; large simulations
+use :class:`repro.crypto.prf.SplitMixPRF` instead (selected by
 ``EncryptionConfig.cipher``).
 """
 
@@ -66,6 +75,28 @@ _build_sbox()
 
 _RCON = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36]
 
+# T-tables: for a substituted byte s, each table holds one column of the
+# MixColumns matrix applied to s, so a full round per output word is
+# four table lookups, three XORs and the round key.  Column words are
+# big-endian ``row0<<24 | row1<<16 | row2<<8 | row3``.
+_TE0: List[int] = []
+_TE1: List[int] = []
+_TE2: List[int] = []
+_TE3: List[int] = []
+
+
+def _build_ttables() -> None:
+    if _TE0:
+        return
+    for byte in range(256):
+        s = _SBOX[byte]
+        s2 = _xtime(s)
+        s3 = s2 ^ s
+        _TE0.append((s2 << 24) | (s << 16) | (s << 8) | s3)
+        _TE1.append((s3 << 24) | (s2 << 16) | (s << 8) | s)
+        _TE2.append((s << 24) | (s3 << 16) | (s2 << 8) | s)
+        _TE3.append((s << 24) | (s << 16) | (s3 << 8) | s2)
+
 
 def _xtime(byte: int) -> int:
     """Multiply by x in GF(2^8)."""
@@ -86,6 +117,9 @@ def _gf_mul(a: int, b: int) -> int:
     return result
 
 
+_build_ttables()
+
+
 class AES128:
     """AES with a 128-bit key operating on 16-byte blocks."""
 
@@ -96,6 +130,15 @@ class AES128:
         if len(key) != 16:
             raise CryptoError("AES-128 requires a 16-byte key")
         self._round_keys = self._expand_key(key)
+        # Round keys as big-endian 32-bit column words for the T-table
+        # path; the flat byte lists stay for the reference/inverse paths.
+        self._round_key_words: List[tuple] = [
+            tuple(
+                (flat[4 * j] << 24) | (flat[4 * j + 1] << 16) | (flat[4 * j + 2] << 8) | flat[4 * j + 3]
+                for j in range(4)
+            )
+            for flat in self._round_keys
+        ]
 
     @staticmethod
     def _expand_key(key: bytes) -> List[List[int]]:
@@ -177,7 +220,62 @@ class AES128:
             )
 
     def encrypt_block(self, block: bytes) -> bytes:
-        """Encrypt one 16-byte block."""
+        """Encrypt one 16-byte block (T-table fast path)."""
+        if len(block) != 16:
+            raise CryptoError("AES block must be 16 bytes")
+        T0, T1, T2, T3 = _TE0, _TE1, _TE2, _TE3
+        sbox = _SBOX
+        rk = self._round_key_words
+        value = int.from_bytes(block, "big")
+        k0, k1, k2, k3 = rk[0]
+        w0 = ((value >> 96) & 0xFFFFFFFF) ^ k0
+        w1 = ((value >> 64) & 0xFFFFFFFF) ^ k1
+        w2 = ((value >> 32) & 0xFFFFFFFF) ^ k2
+        w3 = (value & 0xFFFFFFFF) ^ k3
+        for k0, k1, k2, k3 in rk[1:10]:
+            t0 = T0[w0 >> 24] ^ T1[(w1 >> 16) & 255] ^ T2[(w2 >> 8) & 255] ^ T3[w3 & 255] ^ k0
+            t1 = T0[w1 >> 24] ^ T1[(w2 >> 16) & 255] ^ T2[(w3 >> 8) & 255] ^ T3[w0 & 255] ^ k1
+            t2 = T0[w2 >> 24] ^ T1[(w3 >> 16) & 255] ^ T2[(w0 >> 8) & 255] ^ T3[w1 & 255] ^ k2
+            t3 = T0[w3 >> 24] ^ T1[(w0 >> 16) & 255] ^ T2[(w1 >> 8) & 255] ^ T3[w2 & 255] ^ k3
+            w0, w1, w2, w3 = t0, t1, t2, t3
+        k0, k1, k2, k3 = rk[10]
+        o0 = (
+            (sbox[w0 >> 24] << 24)
+            | (sbox[(w1 >> 16) & 255] << 16)
+            | (sbox[(w2 >> 8) & 255] << 8)
+            | sbox[w3 & 255]
+        ) ^ k0
+        o1 = (
+            (sbox[w1 >> 24] << 24)
+            | (sbox[(w2 >> 16) & 255] << 16)
+            | (sbox[(w3 >> 8) & 255] << 8)
+            | sbox[w0 & 255]
+        ) ^ k1
+        o2 = (
+            (sbox[w2 >> 24] << 24)
+            | (sbox[(w3 >> 16) & 255] << 16)
+            | (sbox[(w0 >> 8) & 255] << 8)
+            | sbox[w1 & 255]
+        ) ^ k2
+        o3 = (
+            (sbox[w3 >> 24] << 24)
+            | (sbox[(w0 >> 16) & 255] << 16)
+            | (sbox[(w1 >> 8) & 255] << 8)
+            | sbox[w2 & 255]
+        ) ^ k3
+        return ((o0 << 96) | (o1 << 64) | (o2 << 32) | o3).to_bytes(16, "big")
+
+    def encrypt_blocks(self, blocks: Sequence[bytes]) -> List[bytes]:
+        """Encrypt several 16-byte blocks (pad-generation batch path)."""
+        encrypt = self.encrypt_block
+        return [encrypt(block) for block in blocks]
+
+    def _encrypt_block_slow(self, block: bytes) -> bytes:
+        """Textbook round-function encryption (reference implementation).
+
+        Kept as the oracle the T-table path is verified against; also
+        exercised directly by the perf harness to measure the speedup.
+        """
         if len(block) != 16:
             raise CryptoError("AES block must be 16 bytes")
         state = list(block)

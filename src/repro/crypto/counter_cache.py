@@ -86,6 +86,10 @@ class CounterCache:
         self._sets: List[Dict[int, _Entry]] = [dict() for _ in range(self.num_sets)]
         self._tick = 0
         self.stats = CounterCacheStats()
+        # num_sets is a power of two (enforced by CacheConfig), so the
+        # hot lookup path can use masks instead of modulo/divide.
+        self._set_mask = self.num_sets - 1
+        self._group_mask = ~(GROUP_SPAN - 1)
 
     # -- address helpers -------------------------------------------------
 
@@ -122,13 +126,17 @@ class CounterCache:
 
     def lookup_for_read(self, data_address: int) -> Optional[int]:
         """Counter for a read access; None on miss (caller must fill)."""
-        entry = self._find(self.group_base(data_address))
+        # Hot path: every simulated load funnels through here, so the
+        # group/set/slot arithmetic is inlined as mask-and-shift ops.
+        group = data_address & self._group_mask
+        entry = self._sets[(group // GROUP_SPAN) & self._set_mask].get(group)
         if entry is None:
             self.stats.read_misses += 1
             return None
         self.stats.read_hits += 1
-        self._touch(entry)
-        return entry.counters[self._slot(data_address)]
+        self._tick += 1
+        entry.lru_tick = self._tick
+        return entry.counters[(data_address // CACHE_LINE_SIZE) % COUNTERS_PER_LINE]
 
     def lookup_for_write(self, data_address: int) -> Optional[int]:
         """Current counter for a write access; None on miss.
@@ -138,13 +146,15 @@ class CounterCache:
         background so the other seven counters can be merged; the
         memory controller charges that fill's traffic.
         """
-        entry = self._find(self.group_base(data_address))
+        group = data_address & self._group_mask
+        entry = self._sets[(group // GROUP_SPAN) & self._set_mask].get(group)
         if entry is None:
             self.stats.write_misses += 1
             return None
         self.stats.write_hits += 1
-        self._touch(entry)
-        return entry.counters[self._slot(data_address)]
+        self._tick += 1
+        entry.lru_tick = self._tick
+        return entry.counters[(data_address // CACHE_LINE_SIZE) % COUNTERS_PER_LINE]
 
     def fill(
         self, data_address: int, counters: Tuple[int, ...]
@@ -183,12 +193,14 @@ class CounterCache:
         On miss the caller is expected to fill the line first (write
         misses allocate), after which the update is retried.
         """
-        entry = self._find(self.group_base(data_address))
+        group = data_address & self._group_mask
+        entry = self._sets[(group // GROUP_SPAN) & self._set_mask].get(group)
         if entry is None:
             return False
-        entry.counters[self._slot(data_address)] = new_counter
+        entry.counters[(data_address // CACHE_LINE_SIZE) % COUNTERS_PER_LINE] = new_counter
         entry.dirty = True
-        self._touch(entry)
+        self._tick += 1
+        entry.lru_tick = self._tick
         return True
 
     def writeback_line(self, data_address: int) -> Optional[Tuple[int, Tuple[int, ...]]]:

@@ -190,8 +190,18 @@ class WriteQueue:
         :meth:`set_drain_time` once pairing resolves and the drain is
         scheduled.
         """
-        accept_ns = self.acceptance_time(request_ns)
-        self.total_accept_wait_ns += accept_ns - request_ns
+        # Inlined acceptance_time(): accept() runs once per simulated
+        # writeback, so the slot scan is done in-place with bound locals
+        # rather than through two method calls.
+        slots = self._slots
+        heappop = heapq.heappop
+        while slots and slots[0] <= request_ns:
+            heappop(slots)
+        if len(slots) < self.capacity:
+            accept_ns = request_ns
+        else:
+            accept_ns = slots[0]
+            self.total_accept_wait_ns += accept_ns - request_ns
         entry = WriteQueueEntry(
             entry_id=next(_entry_ids),
             address=address,

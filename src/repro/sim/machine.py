@@ -11,7 +11,7 @@ model happens through timestamped shared resources.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from ..config import SystemConfig
@@ -35,7 +35,7 @@ class SimulationResult:
     policy: DesignPolicy
     #: Per-core list of txn_end completion times (after the commit
     #: barrier) — validators use these for commit-durability checks.
-    txn_end_times: List[List[float]] = None  # type: ignore[assignment]
+    txn_end_times: List[List[float]] = field(default_factory=list)
 
     @property
     def journal(self):

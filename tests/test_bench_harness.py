@@ -93,12 +93,11 @@ class TestCli:
         assert main(["table2"]) == 0
         assert "Table 2" in capsys.readouterr().out
 
-    def test_unknown_experiment_errors(self):
+    def test_unknown_experiment_errors(self, capsys):
         from repro.bench.cli import main
-        from repro.errors import ConfigurationError
 
-        with pytest.raises(ConfigurationError):
-            main(["fig99"])
+        assert main(["fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
 
 
 class TestJsonExport:

@@ -1,0 +1,43 @@
+"""Tier-1 perf smoke: kernel fast paths must stay fast.
+
+Runs the smoke-scale kernel benchmarks (fractions of a second each)
+and asserts the optimized kernels keep a healthy lead over their
+retained reference implementations.  The thresholds are relative
+same-process ratios with generous margins (expected speedups are 5x+,
+the floor is 2x), so the test does not flake on slow or noisy runners;
+a failure means a fast path genuinely regressed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.perf import bench_kernels
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def kernels():
+    return bench_kernels("smoke")
+
+
+def test_fast_xor_beats_per_byte_reference(kernels):
+    assert kernels["xor_line64"]["speedup_vs_reference"] >= 2.0
+
+
+def test_ttable_aes_beats_textbook_rounds(kernels):
+    assert kernels["aes_block"]["speedup_vs_reference"] >= 2.0
+
+
+def test_otp_aes_kernel_meets_3x_bar(kernels):
+    assert kernels["otp_encrypt_aes"]["speedup_vs_reference"] >= 2.0
+
+
+def test_kernel_timings_present_and_positive(kernels):
+    for name, entry in kernels.items():
+        assert entry["ns_per_op"] > 0, name
+
+
+def test_rejects_unknown_scale():
+    with pytest.raises(ConfigurationError):
+        bench_kernels("warp")

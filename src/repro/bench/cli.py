@@ -35,8 +35,9 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment",
         nargs="?",
         default="all",
-        help="experiment name (%s), 'all', or 'perf' (kernel/sweep "
-        "regression benchmarks)" % ", ".join(EXPERIMENTS),
+        help="experiment name (%s), 'all', 'perf' (kernel/sweep regression "
+        "benchmarks), or 'campaign' (fault-injection crash campaign)"
+        % ", ".join(EXPERIMENTS),
     )
     parser.add_argument(
         "--scale",
@@ -81,6 +82,62 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="remove all cached sweep results, then proceed",
     )
+    campaign = parser.add_argument_group(
+        "campaign options (experiment = 'campaign')"
+    )
+    campaign.add_argument(
+        "--campaign-dir",
+        metavar="DIR",
+        default=None,
+        help="journal directory; a rerun pointed here resumes instead of "
+        "re-executing finished jobs (default: no journal, no resume)",
+    )
+    campaign.add_argument("--seed", type=int, default=42, metavar="N")
+    campaign.add_argument(
+        "--crash-points",
+        type=int,
+        default=20,
+        metavar="N",
+        help="crash points swept per (workload, design, mechanism, fault) cell",
+    )
+    campaign.add_argument(
+        "--workloads", default="array", metavar="A,B", help="comma-separated"
+    )
+    campaign.add_argument(
+        "--designs", default="sca,unsafe", metavar="A,B", help="comma-separated"
+    )
+    campaign.add_argument(
+        "--mechanisms", default="undo", metavar="A,B", help="comma-separated"
+    )
+    campaign.add_argument(
+        "--faults",
+        default=None,
+        metavar="A,B",
+        help="comma-separated fault-model names (default: the full suite)",
+    )
+    campaign.add_argument(
+        "--operations", type=int, default=8, metavar="N",
+        help="workload operations per run",
+    )
+    campaign.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="kill and retry any campaign job exceeding this wall time",
+    )
+    campaign.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="retry a failed or hung campaign job up to N times",
+    )
+    campaign.add_argument(
+        "--fresh",
+        action="store_true",
+        help="ignore any existing campaign journal and rerun everything",
+    )
     return parser
 
 
@@ -113,19 +170,85 @@ def _run_perf(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_campaign(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from ..errors import CampaignError
+    from ..crash.campaign import CampaignRunner, CampaignSpec
+
+    if args.fresh and args.campaign_dir is not None:
+        journal = os.path.join(args.campaign_dir, CampaignRunner.JOURNAL_NAME)
+        if os.path.exists(journal):
+            os.remove(journal)
+    faults = args.faults.split(",") if args.faults else None
+    spec = CampaignSpec(
+        workloads=tuple(args.workloads.split(",")),
+        designs=tuple(args.designs.split(",")),
+        mechanisms=tuple(args.mechanisms.split(",")),
+        crash_points=args.crash_points,
+        seed=args.seed,
+        operations=args.operations,
+    )
+    if faults is not None:
+        spec.faults = tuple(faults)
+    executor = SweepExecutor(
+        workers=args.workers,
+        job_timeout_s=args.job_timeout,
+        max_retries=args.retries,
+    )
+    runner = CampaignRunner(spec, executor=executor, journal_dir=args.campaign_dir)
+    try:
+        report = runner.run()
+    except CampaignError as exc:
+        print("repro-bench campaign: %s" % exc, file=sys.stderr)
+        return 2
+    print(report.render())
+    stats = executor.stats()
+    print(
+        "executor: %d job(s) run, %d retried, %d timed out, "
+        "%d pool fallback(s), %d corrupt cache entr(ies) quarantined"
+        % (
+            stats["jobs_executed"],
+            stats["retries"],
+            stats["timeouts"],
+            stats["pool_fallbacks"],
+            stats["cache_corruption_events"],
+        )
+    )
+    if args.json is not None:
+        payload = json.dumps(report.as_dict(), indent=2, sort_keys=True)
+        if args.json == "-":
+            print(payload)
+        else:
+            with open(args.json, "w", encoding="utf-8") as stream:
+                stream.write(payload + "\n")
+            print("wrote %s" % args.json)
+    if report.crashed:
+        print(
+            "%d crash point(s) made recovery itself crash" % report.crashed,
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.list:
         for name, cls in EXPERIMENTS.items():
             print("%-8s %s" % (name, (cls.__doc__ or "").strip().splitlines()[0]))
         print("%-8s %s" % ("perf", "Kernel and sweep regression benchmarks (BENCH_*.json)"))
+        print("%-8s %s" % ("campaign", "Fault-injection crash campaign with triage report"))
         return 0
     if args.experiment == "perf":
         return _run_perf(args)
+    if args.experiment == "campaign":
+        return _run_campaign(args)
     executor = _make_executor(args)
     if args.experiment != "all" and args.experiment not in EXPERIMENTS:
         print(
-            "repro-bench: unknown experiment %r; available: %s, all, perf"
+            "repro-bench: unknown experiment %r; available: %s, all, perf, campaign"
             % (args.experiment, ", ".join(EXPERIMENTS)),
             file=sys.stderr,
         )

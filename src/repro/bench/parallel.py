@@ -27,11 +27,14 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import logging
 import os
+import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..config import SystemConfig, fast_config
+from ..errors import JobExecutionError
 from ..sim.stats import CoreStats, MachineStats
 from ..workloads.base import WorkloadParams
 
@@ -46,6 +49,8 @@ __all__ = [
     "stats_to_dict",
     "stats_from_dict",
 ]
+
+logger = logging.getLogger(__name__)
 
 
 # ---------------------------------------------------------------------------
@@ -174,23 +179,50 @@ def default_cache_dir() -> str:
 class ResultCache:
     """One JSON file per finished job under ``directory``.
 
-    File name is the job's cache key, so lookups are a single ``open``;
-    corrupt or unreadable entries are treated as misses and rewritten.
+    File name is the job's cache key, so lookups are a single ``open``.
+    A missing file is a plain miss; a file that exists but does not
+    parse back into stats is *corruption* — it is quarantined (renamed
+    to ``<key>.json.corrupt`` for inspection), counted in
+    ``corruption_events`` and logged, never silently recomputed over.
     """
 
     def __init__(self, directory: Optional[str] = None) -> None:
         self.directory = directory if directory is not None else default_cache_dir()
+        self.corruption_events = 0
 
     def _path(self, key: str) -> str:
         return os.path.join(self.directory, key + ".json")
 
     def get(self, key: str) -> Optional[MachineStats]:
+        path = self._path(key)
         try:
-            with open(self._path(key), "r", encoding="utf-8") as stream:
+            with open(path, "r", encoding="utf-8") as stream:
                 payload = json.load(stream)
             return stats_from_dict(payload["stats"])
-        except (OSError, ValueError, KeyError, TypeError):
+        except FileNotFoundError:
             return None
+        except OSError:
+            # Unreadable (permissions, I/O): a miss, but not corrupt data.
+            return None
+        except (ValueError, KeyError, TypeError) as exc:
+            self._quarantine(path, exc)
+            return None
+
+    def _quarantine(self, path: str, exc: Exception) -> None:
+        self.corruption_events += 1
+        quarantine_path = path + ".corrupt"
+        try:
+            os.replace(path, quarantine_path)
+            where = "quarantined to %s" % quarantine_path
+        except OSError:
+            where = "could not be quarantined"
+        logger.warning(
+            "corrupt result-cache entry %s (%s: %s); %s",
+            path,
+            type(exc).__name__,
+            exc,
+            where,
+        )
 
     def put(self, key: str, stats: MachineStats) -> None:
         os.makedirs(self.directory, exist_ok=True)
@@ -209,14 +241,14 @@ class ResultCache:
                 pass
 
     def clear(self) -> int:
-        """Remove all cached results; returns the number removed."""
+        """Remove all cached results (quarantined ones included)."""
         removed = 0
         try:
             names = os.listdir(self.directory)
         except OSError:
             return 0
         for name in names:
-            if name.endswith(".json"):
+            if name.endswith(".json") or name.endswith(".json.corrupt"):
                 try:
                     os.unlink(os.path.join(self.directory, name))
                     removed += 1
@@ -229,21 +261,71 @@ class ResultCache:
 # Executor
 
 
+#: A finished job result is delivered through this callback as soon as
+#: it is available: ``on_result(index, value)``.
+ResultCallback = Callable[[int, object], None]
+
+
 class SweepExecutor:
     """Runs sweep jobs, optionally in parallel and/or cached.
 
     ``SweepExecutor()`` (the default used by ``Experiment.run``) is a
     plain in-process serial runner with no cache, preserving the exact
     behaviour experiments had before this engine existed.
+
+    The pooled path is hardened against misbehaving workers:
+
+    * ``job_timeout_s`` bounds every job; a hung worker is detected,
+      the pool (and the hung process with it) is torn down and rebuilt,
+      and the job is retried.
+    * Failures and timeouts are retried up to ``max_retries`` times
+      with exponential backoff (``retry_backoff_s`` base).
+    * A job that exhausts pool retries on *errors* gets one final
+      in-process attempt, so a broken pool degrades to serial
+      execution instead of failing the sweep; a job that exhausts
+      retries on *timeouts* raises :class:`JobExecutionError` (running
+      it in-process would hang the sweep instead).
+    * Corrupt result-cache entries are quarantined and counted by the
+      cache (``cache.corruption_events``), never silently recomputed.
     """
 
-    def __init__(self, workers: int = 1, cache: Optional[ResultCache] = None) -> None:
+    def __init__(
+        self,
+        workers: int = 1,
+        cache: Optional[ResultCache] = None,
+        job_timeout_s: Optional[float] = None,
+        max_retries: int = 2,
+        retry_backoff_s: float = 0.1,
+    ) -> None:
         self.workers = max(1, int(workers))
         self.cache = cache
+        self.job_timeout_s = job_timeout_s
+        self.max_retries = max(0, int(max_retries))
+        self.retry_backoff_s = max(0.0, float(retry_backoff_s))
         self.cache_hits = 0
         self.cache_misses = 0
         self.jobs_executed = 0
         self.pool_fallbacks = 0
+        self.timeouts = 0
+        self.retries = 0
+
+    # -- stats -------------------------------------------------------------
+
+    @property
+    def cache_corruption_events(self) -> int:
+        return self.cache.corruption_events if self.cache is not None else 0
+
+    def stats(self) -> Dict[str, int]:
+        """Executor health counters, for reports and the CLI."""
+        return {
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_corruption_events": self.cache_corruption_events,
+            "jobs_executed": self.jobs_executed,
+            "pool_fallbacks": self.pool_fallbacks,
+            "timeouts": self.timeouts,
+            "retries": self.retries,
+        }
 
     # -- execution --------------------------------------------------------
 
@@ -266,61 +348,176 @@ class SweepExecutor:
         else:
             pending = list(range(len(jobs)))
         if pending:
-            fresh = self._run_pending([jobs[i] for i in pending])
+            fresh = self.map(execute_job, [jobs[i] for i in pending])
             for index, stats in zip(pending, fresh):
                 results[index] = stats
                 if self.cache is not None and keys[index] is not None:
                     self.cache.put(keys[index], stats)
         return results  # type: ignore[return-value]
 
-    def _run_pending(self, jobs: List[SweepJob]) -> List[MachineStats]:
-        self.jobs_executed += len(jobs)
-        if self.workers == 1 or len(jobs) == 1:
-            return [execute_job(job) for job in jobs]
-        pool = self._make_pool(min(self.workers, len(jobs)))
+    def map(
+        self,
+        fn: Callable,
+        items: Sequence[object],
+        on_result: Optional[ResultCallback] = None,
+    ) -> List[object]:
+        """Hardened ordered map: ``results[i] = fn(items[i])``.
+
+        ``fn`` must be a module-level callable and every item picklable
+        when ``workers > 1``.  ``on_result`` fires as each result lands
+        (in index order), which lets callers journal progress for
+        resumability.
+        """
+        items = list(items)
+        results: List[object] = [None] * len(items)
+        self.jobs_executed += len(items)
+        if self.workers == 1 or len(items) <= 1:
+            for index, item in enumerate(items):
+                results[index] = fn(item)
+                if on_result is not None:
+                    on_result(index, results[index])
+            return results
+        self._map_pooled(fn, items, results, on_result)
+        return results
+
+    # -- pooled execution -------------------------------------------------
+
+    def _map_pooled(
+        self,
+        fn: Callable,
+        items: List[object],
+        results: List[object],
+        on_result: Optional[ResultCallback],
+    ) -> None:
+        import multiprocessing
+
+        pool = self._make_pool(min(self.workers, len(items)))
         if pool is None:
-            return [execute_job(job) for job in jobs]
+            self._run_inline(fn, items, results, list(range(len(items))), on_result)
+            return
+        remaining = list(range(len(items)))
+        attempts = [0] * len(items)
+        timed_out = [False] * len(items)
+        round_number = 0
         try:
-            with pool:
-                return list(pool.map(execute_job, jobs))
-        except _POOL_FAILURES:
-            # A broken pool (killed worker, fork unavailable mid-flight)
-            # degrades to correct-but-serial execution.
-            self.pool_fallbacks += 1
-            return [execute_job(job) for job in jobs]
+            while remaining:
+                if round_number > 0:
+                    self.retries += len(remaining)
+                    self._backoff(round_number)
+                round_number += 1
+                handles = []
+                pool_broken = False
+                for index in remaining:
+                    try:
+                        handles.append((index, pool.apply_async(fn, (items[index],))))
+                    except Exception:
+                        handles.append((index, None))
+                        pool_broken = True
+                failed: List[int] = []
+                for index, handle in handles:
+                    if handle is None:
+                        failed.append(index)
+                        attempts[index] += 1
+                        continue
+                    try:
+                        value = handle.get(self.job_timeout_s)
+                    except multiprocessing.TimeoutError:
+                        self.timeouts += 1
+                        timed_out[index] = True
+                        attempts[index] += 1
+                        failed.append(index)
+                        # The worker is still wedged on this job; the
+                        # pool must be rebuilt to free the slot.
+                        pool_broken = True
+                        logger.warning(
+                            "job %d timed out after %.1f s (attempt %d/%d)",
+                            index,
+                            self.job_timeout_s or 0.0,
+                            attempts[index],
+                            self.max_retries + 1,
+                        )
+                    except Exception as exc:
+                        timed_out[index] = False
+                        attempts[index] += 1
+                        failed.append(index)
+                        pool_broken = True
+                        logger.warning(
+                            "job %d failed in worker (attempt %d/%d): %s: %s",
+                            index,
+                            attempts[index],
+                            self.max_retries + 1,
+                            type(exc).__name__,
+                            exc,
+                        )
+                    else:
+                        results[index] = value
+                        timed_out[index] = False
+                        if on_result is not None:
+                            on_result(index, value)
+                exhausted = [i for i in failed if attempts[i] > self.max_retries]
+                remaining = [i for i in failed if attempts[i] <= self.max_retries]
+                if exhausted:
+                    hung = [i for i in exhausted if timed_out[i]]
+                    if hung:
+                        raise JobExecutionError(
+                            "job(s) %s timed out on every attempt (%d tries each)"
+                            % (hung, self.max_retries + 1)
+                        )
+                    # Persistent worker-side errors: degrade to one
+                    # in-process attempt so a broken pool cannot sink
+                    # the sweep; a genuine job bug reproduces here with
+                    # a real traceback.
+                    self.pool_fallbacks += 1
+                    self._run_inline(fn, items, results, exhausted, on_result)
+                if remaining and pool_broken:
+                    pool = self._rebuild_pool(pool, min(self.workers, len(remaining)))
+                    if pool is None:
+                        self._run_inline(fn, items, results, remaining, on_result)
+                        remaining = []
+        finally:
+            if pool is not None:
+                pool.terminate()
+                pool.join()
+
+    def _run_inline(
+        self,
+        fn: Callable,
+        items: List[object],
+        results: List[object],
+        indexes: List[int],
+        on_result: Optional[ResultCallback],
+    ) -> None:
+        for index in indexes:
+            results[index] = fn(items[index])
+            if on_result is not None:
+                on_result(index, results[index])
+
+    def _backoff(self, round_number: int) -> None:
+        if self.retry_backoff_s > 0:
+            time.sleep(self.retry_backoff_s * (2 ** (round_number - 1)))
+
+    def _rebuild_pool(self, pool, workers: int):
+        try:
+            pool.terminate()
+            pool.join()
+        except Exception:  # pragma: no cover - teardown best-effort
+            pass
+        return self._make_pool(workers)
 
     def _make_pool(self, workers: int):
+        """A ``multiprocessing.Pool`` (it supports ``terminate``, which
+        is what lets a hung worker be reclaimed), or None."""
         try:
             import multiprocessing
-            from concurrent.futures import ProcessPoolExecutor
 
-            context = None
             methods = multiprocessing.get_all_start_methods()
             if "fork" in methods:
                 # Fork shares the already-imported simulator with the
                 # workers; spawn works too, just with a slower start.
                 context = multiprocessing.get_context("fork")
-            return ProcessPoolExecutor(max_workers=workers, mp_context=context)
+            else:  # pragma: no cover - platform without fork
+                context = multiprocessing.get_context()
+            return context.Pool(processes=workers)
         except (ImportError, OSError, ValueError):
             self.pool_fallbacks += 1
             return None
-
-
-def _pool_failures() -> tuple:
-    failures = [OSError]
-    try:
-        from concurrent.futures.process import BrokenProcessPool
-
-        failures.append(BrokenProcessPool)
-    except ImportError:  # pragma: no cover - ancient stdlib
-        pass
-    try:
-        import pickle
-
-        failures.append(pickle.PicklingError)
-    except ImportError:  # pragma: no cover
-        pass
-    return tuple(failures)
-
-
-_POOL_FAILURES = _pool_failures()

@@ -11,6 +11,15 @@ from .injector import CrashImage, CrashInjector
 from .recovery import RecoveredMemory, RecoveryManager
 from .checker import CrashConsistencyReport, sweep_crash_points
 from .counter_recovery import CounterRecoverer, CounterRecoveryReport, collect_tags
+from .campaign import (
+    CampaignJob,
+    CampaignReport,
+    CampaignRunner,
+    CampaignSpec,
+    Outcome,
+    job_key,
+    run_campaign_job,
+)
 
 __all__ = [
     "CrashImage",
@@ -22,4 +31,11 @@ __all__ = [
     "CounterRecoverer",
     "CounterRecoveryReport",
     "collect_tags",
+    "CampaignJob",
+    "CampaignReport",
+    "CampaignRunner",
+    "CampaignSpec",
+    "Outcome",
+    "job_key",
+    "run_campaign_job",
 ]

@@ -1,0 +1,473 @@
+"""Resumable crash campaigns: workloads x designs x crash points x faults.
+
+A *campaign* is the systematic version of the one-off crash sweep: for
+every combination of workload, design, transaction mechanism and fault
+model it reconstructs crash images across the run, corrupts them with
+the fault model, runs real recovery, and classifies every outcome into
+the triage taxonomy:
+
+* ``recovered``          — recovery produced a consistent state;
+* ``detected``           — the state was bad and recovery *said so*
+  (decryption failure, corrupt-record check, checksum mismatch);
+* ``silent-corruption``  — recovery accepted a state the oracle proves
+  wrong: the bucket that breaks real systems;
+* ``recovery-crashed``   — the recovery procedure itself raised an
+  unexpected exception on the corrupted image.
+
+Campaigns are deterministic (same seed, same spec -> same outcome
+table) and resumable: every finished job is journaled to
+``<dir>/journal.jsonl`` as it completes, and a rerun skips journaled
+jobs whose key (spec + seed + code version) still matches.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import json
+import logging
+import os
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..config import KB
+from ..errors import CampaignError, CampaignJournalError
+from ..faults import make_fault_model
+from ..faults.registry import DEFAULT_SUITE
+from .injector import CrashInjector, uniform_sample
+from .recovery import RecoveryManager
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle (bench -> txn -> crash)
+    from ..bench.parallel import SweepExecutor
+
+logger = logging.getLogger(__name__)
+
+#: Cap on non-clean outcome examples kept per job for the triage report.
+EXAMPLES_PER_JOB = 3
+
+
+class Outcome(enum.Enum):
+    """The campaign triage taxonomy."""
+
+    RECOVERED = "recovered"
+    DETECTED = "detected"
+    SILENT = "silent-corruption"
+    CRASHED = "recovery-crashed"
+
+
+@dataclass(frozen=True)
+class CampaignJob:
+    """One independent campaign cell; picklable and hashable."""
+
+    workload: str
+    design: str
+    mechanism: str
+    fault: str
+    fault_params: Tuple[Tuple[str, object], ...] = ()
+    crash_points: int = 20
+    seed: int = 42
+    operations: int = 8
+    footprint_bytes: int = 8 * KB
+
+    def document(self) -> Dict[str, object]:
+        return {
+            "workload": self.workload,
+            "design": self.design,
+            "mechanism": self.mechanism,
+            "fault": self.fault,
+            "fault_params": dict(self.fault_params),
+            "crash_points": self.crash_points,
+            "seed": self.seed,
+            "operations": self.operations,
+            "footprint_bytes": self.footprint_bytes,
+        }
+
+
+def job_key(job: CampaignJob) -> str:
+    """Content hash identifying one job's result.
+
+    The code version is part of the key: resuming a campaign across a
+    simulator change re-runs everything rather than mixing semantics.
+    """
+    from ..bench.parallel import code_version
+
+    document = job.document()
+    document["code"] = code_version()
+    blob = json.dumps(document, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()[:24]
+
+
+def run_campaign_job(job: CampaignJob) -> Dict[str, object]:
+    """Execute one campaign cell; the (picklable) worker entry point.
+
+    Returns a JSON-ready result document: outcome tallies over every
+    swept crash point, fault-event count, and example failures.
+    """
+    from ..bench.harness import run_workload
+    from ..workloads.base import WorkloadParams
+
+    params = WorkloadParams(
+        operations=job.operations,
+        seed=job.seed,
+        footprint_bytes=job.footprint_bytes,
+    )
+    outcome = run_workload(
+        job.design, job.workload, mechanism=job.mechanism, params=params
+    )
+    injector = CrashInjector(outcome.result)
+    per_kind = max(2, job.crash_points // 2)
+    times = sorted(
+        set(injector.interesting_times(limit=per_kind))
+        | set(injector.midpoint_times(limit=per_kind))
+    )
+    times = uniform_sample(times, job.crash_points)
+    validator = outcome.validator(0)
+    manager = RecoveryManager(outcome.result.config.encryption)
+    encrypted = outcome.result.policy.encrypts
+    model = make_fault_model(job.fault, **dict(job.fault_params))
+    tallies: Dict[str, int] = {o.value: 0 for o in Outcome}
+    examples: List[Dict[str, object]] = []
+    fault_events = 0
+    for crash_ns in times:
+        image, events = injector.crash_with_faults(crash_ns, [model], seed=job.seed)
+        fault_events += len(events)
+        recovered = manager.recover(image, encrypted=encrypted)
+        try:
+            verdict = validator.classify(recovered)
+        except Exception as exc:  # recovery crashed: a finding, not a bug here
+            classified = Outcome.CRASHED
+            detail = "%s: %s" % (type(exc).__name__, exc)
+        else:
+            if verdict.consistent:
+                classified = Outcome.RECOVERED
+                detail = ""
+            elif verdict.detected:
+                classified = Outcome.DETECTED
+                detail = verdict.detected[0]
+            else:
+                classified = Outcome.SILENT
+                detail = verdict.silent[0]
+        tallies[classified.value] += 1
+        if classified is not Outcome.RECOVERED and len(examples) < EXAMPLES_PER_JOB:
+            examples.append(
+                {
+                    "crash_ns": crash_ns,
+                    "outcome": classified.value,
+                    "detail": detail,
+                    "fault_events": [event.as_dict() for event in events],
+                }
+            )
+    return {
+        "key": job_key(job),
+        "job": job.document(),
+        "points": len(times),
+        "fault_events": fault_events,
+        "outcomes": tallies,
+        "examples": examples,
+    }
+
+
+@dataclass
+class CampaignSpec:
+    """What a campaign sweeps.
+
+    ``faults`` entries are fault specs: a registry name or a mapping
+    like ``{"model": "dropped-adr", "budget": 2}``.
+    """
+
+    workloads: Sequence[str] = ("array",)
+    designs: Sequence[str] = ("sca", "unsafe")
+    mechanisms: Sequence[str] = ("undo",)
+    faults: Sequence[object] = DEFAULT_SUITE
+    crash_points: int = 20
+    seed: int = 42
+    operations: int = 8
+    footprint_bytes: int = 8 * KB
+
+    def _fault_fields(self) -> List[Tuple[str, Tuple[Tuple[str, object], ...]]]:
+        normalized = []
+        for entry in self.faults:
+            if isinstance(entry, str):
+                name, params = entry, {}
+            elif isinstance(entry, Mapping):
+                document = dict(entry)
+                name = document.pop("model", None)
+                params = document
+                if not isinstance(name, str):
+                    raise CampaignError("fault spec needs a 'model' name: %r" % entry)
+            else:
+                raise CampaignError("bad fault spec %r" % (entry,))
+            normalized.append((name, tuple(sorted(params.items()))))
+        return normalized
+
+    def validate(self) -> None:
+        """Fail fast on misconfiguration, before any worker runs."""
+        from ..core.designs import get_design
+        from ..errors import ConfigurationError, FaultInjectionError
+        from ..txn.manager import TransactionMechanism
+        from ..workloads.registry import list_workloads
+
+        if self.crash_points < 1:
+            raise CampaignError("a campaign needs at least one crash point")
+        if not (self.workloads and self.designs and self.mechanisms and self.faults):
+            raise CampaignError("empty campaign axis (workloads/designs/mechanisms/faults)")
+        known_workloads = set(list_workloads(include_extra=True))
+        for workload in self.workloads:
+            if workload not in known_workloads:
+                raise CampaignError(
+                    "unknown workload %r; available: %s"
+                    % (workload, ", ".join(sorted(known_workloads)))
+                )
+        for design in self.designs:
+            try:
+                get_design(design)
+            except ConfigurationError as exc:
+                raise CampaignError(str(exc)) from None
+        for mechanism in self.mechanisms:
+            try:
+                TransactionMechanism(mechanism)
+            except ValueError:
+                raise CampaignError(
+                    "unknown transaction mechanism %r" % mechanism
+                ) from None
+        for name, params in self._fault_fields():
+            try:
+                make_fault_model(name, **dict(params))
+            except FaultInjectionError as exc:
+                raise CampaignError(str(exc)) from None
+
+    def jobs(self) -> List[CampaignJob]:
+        """The full cross product, in deterministic order."""
+        self.validate()
+        jobs = []
+        for workload in self.workloads:
+            for design in self.designs:
+                for mechanism in self.mechanisms:
+                    for fault, fault_params in self._fault_fields():
+                        jobs.append(
+                            CampaignJob(
+                                workload=workload,
+                                design=design,
+                                mechanism=mechanism,
+                                fault=fault,
+                                fault_params=fault_params,
+                                crash_points=self.crash_points,
+                                seed=self.seed,
+                                operations=self.operations,
+                                footprint_bytes=self.footprint_bytes,
+                            )
+                        )
+        return jobs
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "workloads": list(self.workloads),
+            "designs": list(self.designs),
+            "mechanisms": list(self.mechanisms),
+            "faults": [
+                {"model": name, **dict(params)} for name, params in self._fault_fields()
+            ],
+            "crash_points": self.crash_points,
+            "seed": self.seed,
+            "operations": self.operations,
+            "footprint_bytes": self.footprint_bytes,
+        }
+
+
+@dataclass
+class CampaignReport:
+    """Aggregate of one campaign run, ready to render or serialize."""
+
+    spec: Dict[str, object]
+    results: List[Dict[str, object]]
+    resumed_jobs: int = 0
+    executor_stats: Dict[str, int] = field(default_factory=dict)
+
+    def total(self, outcome: Outcome) -> int:
+        return sum(r["outcomes"][outcome.value] for r in self.results)
+
+    @property
+    def points(self) -> int:
+        return sum(r["points"] for r in self.results)
+
+    @property
+    def crashed(self) -> int:
+        return self.total(Outcome.CRASHED)
+
+    @property
+    def silent(self) -> int:
+        return self.total(Outcome.SILENT)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "spec": self.spec,
+            "results": self.results,
+            "resumed_jobs": self.resumed_jobs,
+            "totals": {o.value: self.total(o) for o in Outcome},
+            "points": self.points,
+            "executor": dict(self.executor_stats),
+        }
+
+    def render(self) -> str:
+        """The triage report: per-cell table, totals, failure examples."""
+        lines: List[str] = []
+        lines.append("crash campaign — %d job(s), %d crash point(s)" % (
+            len(self.results), self.points))
+        header = "%-10s %-8s %-13s %-18s %6s %6s %6s %6s %6s" % (
+            "workload", "design", "mechanism", "fault",
+            "points", "recov", "detect", "SILENT", "CRASH",
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for result in self.results:
+            job = result["job"]
+            outcomes = result["outcomes"]
+            lines.append(
+                "%-10s %-8s %-13s %-18s %6d %6d %6d %6d %6d"
+                % (
+                    job["workload"],
+                    job["design"],
+                    job["mechanism"],
+                    job["fault"],
+                    result["points"],
+                    outcomes[Outcome.RECOVERED.value],
+                    outcomes[Outcome.DETECTED.value],
+                    outcomes[Outcome.SILENT.value],
+                    outcomes[Outcome.CRASHED.value],
+                )
+            )
+        lines.append("-" * len(header))
+        lines.append(
+            "totals: %d recovered, %d detected, %d silent-corruption, "
+            "%d recovery-crashed"
+            % (
+                self.total(Outcome.RECOVERED),
+                self.total(Outcome.DETECTED),
+                self.silent,
+                self.crashed,
+            )
+        )
+        if self.resumed_jobs:
+            lines.append("resumed: %d job(s) restored from the journal" % self.resumed_jobs)
+        triage = [
+            (result["job"], example)
+            for result in self.results
+            for example in result["examples"]
+            if example["outcome"] in (Outcome.SILENT.value, Outcome.CRASHED.value)
+        ]
+        if triage:
+            lines.append("")
+            lines.append("triage (%d silent/crashed example(s)):" % len(triage))
+            for job, example in triage[:20]:
+                lines.append(
+                    "  [%s] %s/%s/%s fault=%s crash@%.1fns: %s"
+                    % (
+                        example["outcome"],
+                        job["workload"],
+                        job["design"],
+                        job["mechanism"],
+                        job["fault"],
+                        example["crash_ns"],
+                        example["detail"],
+                    )
+                )
+        return "\n".join(lines)
+
+
+class CampaignRunner:
+    """Plans, executes, journals and resumes a campaign."""
+
+    JOURNAL_NAME = "journal.jsonl"
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        executor: Optional[SweepExecutor] = None,
+        journal_dir: Optional[str] = None,
+    ) -> None:
+        from ..bench.parallel import SweepExecutor
+
+        self.spec = spec
+        self.executor = executor if executor is not None else SweepExecutor()
+        self.journal_dir = journal_dir
+        self.journal_path = (
+            os.path.join(journal_dir, self.JOURNAL_NAME)
+            if journal_dir is not None
+            else None
+        )
+
+    # -- journal ----------------------------------------------------------
+
+    def _load_journal(self) -> Dict[str, Dict[str, object]]:
+        if self.journal_path is None or not os.path.exists(self.journal_path):
+            return {}
+        completed: Dict[str, Dict[str, object]] = {}
+        skipped = 0
+        try:
+            with open(self.journal_path, "r", encoding="utf-8") as stream:
+                for line in stream:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        document = json.loads(line)
+                        key = document["key"]
+                        document["outcomes"]  # shape check
+                    except (ValueError, KeyError, TypeError):
+                        # A line torn by a mid-write kill: that job
+                        # simply re-runs.
+                        skipped += 1
+                        continue
+                    completed[key] = document
+        except OSError as exc:
+            raise CampaignJournalError(
+                "cannot read campaign journal %s: %s" % (self.journal_path, exc)
+            ) from None
+        if skipped:
+            logger.warning(
+                "campaign journal %s: skipped %d malformed line(s)",
+                self.journal_path,
+                skipped,
+            )
+        return completed
+
+    def _append_journal(self, result: Dict[str, object]) -> None:
+        if self.journal_path is None:
+            return
+        os.makedirs(self.journal_dir, exist_ok=True)
+        try:
+            with open(self.journal_path, "a", encoding="utf-8") as stream:
+                stream.write(json.dumps(result, sort_keys=True) + "\n")
+                stream.flush()
+        except OSError as exc:
+            raise CampaignJournalError(
+                "cannot append to campaign journal %s: %s" % (self.journal_path, exc)
+            ) from None
+
+    # -- execution --------------------------------------------------------
+
+    def run(self) -> CampaignReport:
+        """Run (or resume) the campaign and return the triage report."""
+        jobs = self.spec.jobs()
+        completed = self._load_journal()
+        results: List[Optional[Dict[str, object]]] = [
+            completed.get(job_key(job)) for job in jobs
+        ]
+        pending = [index for index, result in enumerate(results) if result is None]
+        resumed = len(jobs) - len(pending)
+        if resumed:
+            logger.info("campaign resume: %d/%d job(s) journaled", resumed, len(jobs))
+        if pending:
+            fresh = self.executor.map(
+                run_campaign_job,
+                [jobs[index] for index in pending],
+                on_result=lambda _index, value: self._append_journal(value),
+            )
+            for index, value in zip(pending, fresh):
+                results[index] = value
+        return CampaignReport(
+            spec=self.spec.as_dict(),
+            results=results,  # type: ignore[arg-type]
+            resumed_jobs=resumed,
+            executor_stats=self.executor.stats(),
+        )

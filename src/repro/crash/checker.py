@@ -70,13 +70,16 @@ def sweep_crash_points(
     validator: Validator,
     max_points: Optional[int] = 200,
     include_midpoints: bool = True,
+    adr: bool = True,
 ) -> CrashConsistencyReport:
     """Crash at every interesting instant and validate recovery.
 
     ``validator`` receives the decrypted post-crash memory and must
     return problem strings (empty list = consistent state).  The sweep
     covers both event instants (just-after semantics) and midpoints
-    between events (in-flight pair states).
+    between events (in-flight pair states).  ``adr=False`` sweeps a
+    machine whose failure drops the ADR drain entirely: only
+    array-drained writes survive each crash.
     """
     injector = CrashInjector(result)
     per_kind = None if max_points is None else max(2, max_points // 2)
@@ -87,7 +90,7 @@ def sweep_crash_points(
     encrypted = result.policy.encrypts
     outcomes: List[CrashOutcome] = []
     for crash_ns in times:
-        image = injector.crash_at(crash_ns)
+        image = injector.crash_at(crash_ns, adr=adr)
         recovered = manager.recover(image, encrypted=encrypted)
         problems = validator(recovered)
         outcomes.append(

@@ -17,10 +17,11 @@ durable state can change.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..config import CACHE_LINE_SIZE
 from ..crypto.counters import CounterStore
+from ..faults.base import FaultEvent, FaultModel, apply_fault_models
 from ..nvm.address import AddressMap
 from ..nvm.device import NVMDevice
 from ..sim.machine import SimulationResult
@@ -34,6 +35,9 @@ class CrashImage:
     device: NVMDevice
     counter_store: CounterStore
     design: str
+    #: Entries that survived this crash only thanks to the ADR drain —
+    #: the work an exhausted ADR reserve would have lost (fault models).
+    adr_pending: int = 0
 
     @property
     def address_map(self) -> AddressMap:
@@ -51,13 +55,22 @@ class CrashInjector:
         #: persist, so its images are decryptable by construction.
         self._magic_counters = result.policy.magic_counter_persistence
 
-    def crash_at(self, crash_ns: float, adr: bool = True) -> CrashImage:
+    def crash_at(
+        self,
+        crash_ns: float,
+        adr: bool = True,
+        adr_budget: Optional[int] = None,
+    ) -> CrashImage:
         """Reconstruct the durable state at ``crash_ns``.
 
         ``adr=False`` models a system without the ADR guarantee (only
         array-drained writes survive) — used by ablation benches.
+        ``adr_budget`` limits how many ready-but-undrained entries the
+        ADR reserve can fund (see ``PersistJournal.reconstruct``).
         """
-        data_lines, counters = self._journal.reconstruct(crash_ns, adr=adr)
+        data_lines, counters = self._journal.reconstruct(
+            crash_ns, adr=adr, adr_budget=adr_budget
+        )
         device = NVMDevice(self._address_map, track_wear=False)
         for address, (payload, encrypted_with) in data_lines.items():
             device.persist_line(address, payload, encrypted_with)
@@ -74,7 +87,28 @@ class CrashInjector:
             device=device,
             counter_store=store,
             design=self.result.policy.name,
+            adr_pending=self._journal.adr_pending(crash_ns) if adr else 0,
         )
+
+    def crash_with_faults(
+        self,
+        crash_ns: float,
+        faults: Sequence[FaultModel],
+        seed: int,
+        adr: bool = True,
+    ) -> Tuple[CrashImage, List[FaultEvent]]:
+        """Crash at ``crash_ns`` and apply ``faults`` to the image.
+
+        Models that constrain the ADR drain (``adr_budget``) shape the
+        reconstruction itself; the rest mutate the finished image with
+        RNG streams derived from ``seed`` so the whole corrupted state
+        is reproducible from (simulation, crash_ns, faults, seed).
+        """
+        budgets = [m.adr_budget for m in faults if m.adr_budget is not None]
+        budget = min(budgets) if budgets else None
+        image = self.crash_at(crash_ns, adr=adr, adr_budget=budget)
+        events = apply_fault_models(image, faults, seed, scope=(crash_ns,))
+        return image, events
 
     # -- crash-point enumeration ---------------------------------------------
 
@@ -93,11 +127,7 @@ class CrashInjector:
                     times.add(stamp)
             for amendment in record.amendments:
                 times.add(amendment.effective_ns)
-        ordered = sorted(times)
-        if limit is not None and len(ordered) > limit:
-            # Uniform sample, always keeping first and last.
-            step = (len(ordered) - 1) / (limit - 1)
-            ordered = [ordered[round(i * step)] for i in range(limit)]
+        ordered = uniform_sample(sorted(times), limit)
         epsilon = 1e-6
         return [t + epsilon for t in ordered]
 
@@ -115,7 +145,20 @@ class CrashInjector:
         midpoints = [
             (a + b) / 2.0 for a, b in zip(boundaries, boundaries[1:]) if b > a
         ]
-        if limit is not None and len(midpoints) > limit:
-            step = (len(midpoints) - 1) / (limit - 1)
-            midpoints = [midpoints[round(i * step)] for i in range(limit)]
-        return midpoints
+        return uniform_sample(midpoints, limit)
+
+
+def uniform_sample(ordered: List[float], limit: Optional[int]) -> List[float]:
+    """Up to ``limit`` elements, uniformly spread, keeping first and last.
+
+    ``limit=1`` keeps just the first element (the old step formula
+    divided by zero there); ``limit<=0`` keeps nothing.
+    """
+    if limit is None or len(ordered) <= limit:
+        return ordered
+    if limit <= 0:
+        return []
+    if limit == 1:
+        return ordered[:1]
+    step = (len(ordered) - 1) / (limit - 1)
+    return [ordered[round(i * step)] for i in range(limit)]

@@ -89,3 +89,29 @@ class HeapError(ReproError):
 
 class WorkloadError(ReproError):
     """A workload was misconfigured or failed an internal self-check."""
+
+
+class FaultInjectionError(ReproError):
+    """A fault model is misconfigured or cannot apply to a crash image.
+
+    Raised for caller mistakes (unknown model names, out-of-range
+    parameters) — never for the *simulated* corruption itself, which is
+    an expected experimental outcome, not an error.
+    """
+
+
+class CampaignError(ReproError):
+    """A crash campaign could not be planned, executed, or resumed."""
+
+
+class CampaignJournalError(CampaignError):
+    """The on-disk campaign journal is unreadable or inconsistent."""
+
+
+class JobExecutionError(CampaignError):
+    """A sweep/campaign job failed permanently after bounded retries.
+
+    Raised by the hardened executor when a job keeps timing out or its
+    worker keeps dying; transient failures below the retry bound are
+    absorbed and only counted in the executor's stats.
+    """

@@ -198,7 +198,7 @@ class PersistJournal:
     # -- reconstruction -------------------------------------------------------
 
     def reconstruct(
-        self, crash_ns: float, adr: bool = True
+        self, crash_ns: float, adr: bool = True, adr_budget: Optional[int] = None
     ) -> Tuple[Dict[int, Tuple[Optional[bytes], int]], Dict[int, int]]:
         """NVM image at ``crash_ns``.
 
@@ -206,12 +206,27 @@ class PersistJournal:
         maps line address -> (payload, encrypted_with) and
         ``counter_lines`` maps data line address -> architectural
         counter value.  Records are replayed in acceptance order.
+
+        ``adr_budget`` models an ADR energy reserve that dies after
+        draining that many ready-but-undrained entries (in acceptance
+        order); entries past the budget are lost exactly as if ``adr``
+        were off for them.  ``None`` means unlimited (the paper's
+        assumption).  Note this can split a counter-atomic pair: the
+        budget is an *energy* property, blind to ready-bit pairing.
         """
         data_lines: Dict[int, Tuple[Optional[bytes], int]] = {}
         counters: Dict[int, int] = {}
+        adr_drained = 0
         for record in self.records:
             if not record.persists_at(crash_ns, adr=adr):
                 continue
+            if (
+                adr_budget is not None
+                and record.drain_ns > crash_ns  # persists via ADR only
+            ):
+                if adr_drained >= adr_budget:
+                    continue
+                adr_drained += 1
             values = record.effective_values(crash_ns)
             if record.kind is JournalKind.DATA:
                 data_lines[record.address] = (values.payload, values.encrypted_with)
@@ -226,6 +241,18 @@ class PersistJournal:
                     for slot, value in enumerate(line_counters):
                         counters[group_base + slot * CACHE_LINE_SIZE] = value
         return data_lines, counters
+
+    def adr_pending(self, crash_ns: float) -> int:
+        """Entries that survive a crash at ``crash_ns`` only thanks to ADR.
+
+        This is the drain work the ADR reserve must fund; a budget below
+        this number loses writes (see ``reconstruct``).
+        """
+        return sum(
+            1
+            for record in self.records
+            if record.ready_ns <= crash_ns < record.drain_ns
+        )
 
     # -- introspection -----------------------------------------------------------
 

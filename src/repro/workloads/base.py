@@ -201,6 +201,39 @@ class TxnRecorder:
         self._staged = None
 
 
+@dataclass
+class ValidationVerdict:
+    """Structured outcome of one post-crash validation.
+
+    Separates what a real system could *observe* from what only the
+    simulator's oracle knows: ``detected`` problems were reported
+    through a detection channel (decryption failures, corrupt-record
+    checks), while ``silent`` problems are states recovery accepted
+    without complaint that nonetheless fail the prefix oracle — the
+    dangerous bucket a fault campaign exists to find.
+    """
+
+    consistent: bool
+    detected: List[str] = field(default_factory=list)
+    silent: List[str] = field(default_factory=list)
+    #: Largest history prefix the recovered state matches (None = none).
+    matched_prefix: Optional[int] = None
+    #: Smallest prefix commit durability requires at this crash time.
+    required_prefix: int = 0
+
+    @property
+    def problems(self) -> List[str]:
+        return self.detected + self.silent
+
+    @property
+    def durability_lost(self) -> bool:
+        """Consistent-looking state that dropped an acknowledged commit."""
+        return (
+            self.matched_prefix is not None
+            and self.matched_prefix < self.required_prefix
+        )
+
+
 class PrefixValidator:
     """Checks a recovered memory against the transaction history.
 
@@ -241,8 +274,19 @@ class PrefixValidator:
         return required
 
     def __call__(self, recovered: RecoveredMemory) -> List[str]:
+        return self.classify(recovered).problems
+
+    def classify(self, recovered: RecoveredMemory) -> ValidationVerdict:
+        """Full verdict: detected vs silent problems, prefix bookkeeping.
+
+        Exceptions other than the mechanism's own detection channels
+        (:class:`DecryptionFailure`, :class:`TransactionError`)
+        propagate to the caller — a recovery procedure that crashes on
+        a corrupt image is itself a finding, not a verdict.
+        """
         run = self.run
-        problems: List[str] = []
+        minimum = self._min_required_prefix(recovered.image.crash_ns)
+        verdict = ValidationVerdict(consistent=False, required_prefix=minimum)
         try:
             if run.mechanism == "undo":
                 recover_undo_log(recovered, run.arena)
@@ -253,9 +297,11 @@ class PrefixValidator:
             else:
                 raise WorkloadError("unknown mechanism %r" % run.mechanism)
         except DecryptionFailure as failure:
-            return ["recovery hit undecryptable line: %s" % failure]
+            verdict.detected.append("recovery hit undecryptable line: %s" % failure)
+            return verdict
         except TransactionError as failure:
-            return ["recovery failed: %s" % failure]
+            verdict.detected.append("recovery failed: %s" % failure)
+            return verdict
 
         tracked = sorted(run.tracked_lines())
         recovered_values = {}
@@ -263,22 +309,35 @@ class PrefixValidator:
             try:
                 recovered_values[line] = recovered.read(line, CACHE_LINE_SIZE)
             except DecryptionFailure:
-                problems.append("tracked line 0x%x undecryptable after recovery" % line)
-        if problems:
-            return problems
+                verdict.detected.append(
+                    "tracked line 0x%x undecryptable after recovery" % line
+                )
+        if verdict.detected:
+            return verdict
 
-        minimum = self._min_required_prefix(recovered.image.crash_ns)
-        for j in range(len(self._prefix_states) - 1, minimum - 1, -1):
+        for j in range(len(self._prefix_states) - 1, -1, -1):
             state = self._prefix_states[j]
             if all(
                 recovered_values[line] == state.get(line, _ZERO_LINE)
                 for line in tracked
             ):
-                return []
-        return [
-            "recovered state matches no transaction prefix >= %d (crash at %.1f ns)"
-            % (minimum, recovered.image.crash_ns)
-        ]
+                verdict.matched_prefix = j
+                break
+        if verdict.matched_prefix is not None and verdict.matched_prefix >= minimum:
+            verdict.consistent = True
+            return verdict
+        if verdict.matched_prefix is not None:
+            verdict.silent.append(
+                "recovered state matches no transaction prefix >= %d (crash at "
+                "%.1f ns); best match is prefix %d — an acknowledged commit "
+                "was lost" % (minimum, recovered.image.crash_ns, verdict.matched_prefix)
+            )
+        else:
+            verdict.silent.append(
+                "recovered state matches no transaction prefix >= %d (crash at %.1f ns)"
+                % (minimum, recovered.image.crash_ns)
+            )
+        return verdict
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,134 @@
+"""Hardened sweep execution: timeouts, retries, fallback, quarantine."""
+
+import logging
+import os
+import time
+
+import pytest
+
+from repro.bench.parallel import ResultCache, SweepExecutor, SweepJob, job_cache_key
+from repro.config import fast_config
+from repro.errors import JobExecutionError
+from repro.workloads.base import WorkloadParams
+
+PARAMS = WorkloadParams(operations=8, footprint_bytes=8 * 1024)
+
+
+# Worker functions must be module-level so the pool can resolve them.
+
+
+def well_behaved(item):
+    return "done:%s" % item
+
+
+def hang_unless_sentinel(item):
+    """Sleep forever on the first call, succeed on the retry.
+
+    The first attempt drops a sentinel file and wedges; the retried
+    attempt sees the sentinel and returns — the signature of a
+    transiently hung worker.
+    """
+    if item.startswith("hang:"):
+        sentinel = item[len("hang:"):]
+        if not os.path.exists(sentinel):
+            with open(sentinel, "w", encoding="utf-8") as stream:
+                stream.write("first attempt\n")
+            time.sleep(60)
+    return "done:%s" % item
+
+
+def hang_always(item):
+    time.sleep(60)
+
+
+def fail_unless_sentinel(item):
+    if item.startswith("fail:"):
+        sentinel = item[len("fail:"):]
+        if not os.path.exists(sentinel):
+            with open(sentinel, "w", encoding="utf-8") as stream:
+                stream.write("first attempt\n")
+            raise ValueError("transient worker failure")
+    return "done:%s" % item
+
+
+def fail_always(item):
+    raise ValueError("permanent failure on %s" % item)
+
+
+class TestTimeoutsAndRetries:
+    def test_hung_worker_is_timed_out_and_retried(self, tmp_path):
+        executor = SweepExecutor(
+            workers=2, job_timeout_s=1.0, max_retries=2, retry_backoff_s=0.01
+        )
+        items = ["hang:%s" % (tmp_path / "sentinel"), "plain"]
+        results = executor.map(hang_unless_sentinel, items)
+        assert results == ["done:%s" % items[0], "done:plain"]
+        assert executor.timeouts >= 1
+        assert executor.retries >= 1
+        assert executor.stats()["timeouts"] == executor.timeouts
+
+    def test_permanently_hung_job_raises_after_retries(self):
+        executor = SweepExecutor(
+            workers=2, job_timeout_s=0.3, max_retries=1, retry_backoff_s=0.01
+        )
+        with pytest.raises(JobExecutionError):
+            executor.map(hang_always, ["a", "b"])
+        assert executor.timeouts >= 2
+
+    def test_transient_failure_is_retried(self, tmp_path):
+        executor = SweepExecutor(workers=2, max_retries=2, retry_backoff_s=0.01)
+        items = ["fail:%s" % (tmp_path / "sentinel"), "plain"]
+        results = executor.map(fail_unless_sentinel, items)
+        assert results == ["done:%s" % items[0], "done:plain"]
+        assert executor.retries >= 1
+
+    def test_persistent_failure_falls_back_in_process_then_raises(self):
+        executor = SweepExecutor(workers=2, max_retries=1, retry_backoff_s=0.01)
+        with pytest.raises(ValueError, match="permanent failure"):
+            executor.map(fail_always, ["a", "b"])
+        # The final attempt ran in-process, not in a broken pool.
+        assert executor.pool_fallbacks >= 1
+
+    def test_on_result_fires_for_pooled_results(self, tmp_path):
+        executor = SweepExecutor(workers=2, retry_backoff_s=0.01)
+        landed = {}
+        results = executor.map(
+            well_behaved,
+            ["a", "b", "c"],
+            on_result=lambda index, value: landed.__setitem__(index, value),
+        )
+        assert results == ["done:a", "done:b", "done:c"]
+        assert landed == {0: "done:a", 1: "done:b", 2: "done:c"}
+
+
+class TestCacheQuarantine:
+    def test_corrupt_entry_is_quarantined_counted_and_logged(self, tmp_path, caplog):
+        cache = ResultCache(str(tmp_path))
+        job = SweepJob("sca", "array", config=fast_config(), params=PARAMS)
+        key = job_cache_key(job)
+        (tmp_path / (key + ".json")).write_text("{not json", encoding="utf-8")
+        with caplog.at_level(logging.WARNING, logger="repro.bench.parallel"):
+            assert cache.get(key) is None
+        assert cache.corruption_events == 1
+        assert (tmp_path / (key + ".json.corrupt")).exists()
+        assert not (tmp_path / (key + ".json")).exists()
+        assert any("corrupt result-cache entry" in r.message for r in caplog.records)
+
+    def test_executor_surfaces_corruption_in_stats(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        job = SweepJob("sca", "array", config=fast_config(), params=PARAMS)
+        key = job_cache_key(job)
+        (tmp_path / (key + ".json")).write_text('{"stats": 42}', encoding="utf-8")
+        executor = SweepExecutor(workers=1, cache=cache)
+        executor.map_stats([job])
+        assert executor.cache_corruption_events == 1
+        assert executor.stats()["cache_corruption_events"] == 1
+        # The recomputed result replaced the quarantined entry.
+        assert cache.get(key) is not None
+
+    def test_clear_sweeps_quarantined_files_too(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        (tmp_path / "dead.json.corrupt").write_text("x", encoding="utf-8")
+        (tmp_path / "live.json").write_text("x", encoding="utf-8")
+        assert cache.clear() == 2
+        assert list(tmp_path.iterdir()) == []

@@ -1,0 +1,115 @@
+"""Crash images without the ADR guarantee (``adr=False``).
+
+Dropping ADR means only array-drained writes survive a crash, so
+acknowledged commits can be lost — durability does not hold.  What must
+still hold, for every transaction mechanism, is *fail-visible*
+behaviour: recovery lands on some consistent transaction prefix or the
+damage is reported through a detection channel.  Silent corruption or
+a crashed recovery procedure would be a real finding.
+"""
+
+import pytest
+
+from repro.bench.harness import run_workload
+from repro.config import CACHE_LINE_SIZE, KB, fast_config
+from repro.crash.checker import sweep_crash_points
+from repro.crash.injector import CrashInjector
+from repro.crash.recovery import RecoveryManager
+from repro.errors import DecryptionFailure, TransactionError
+from repro.sim.machine import Machine
+from repro.sim.trace import TraceBuilder
+from repro.txn.heap import MemoryLayout
+from repro.txn.shadow import ShadowTransactions, recover_shadow
+from repro.workloads.base import PrefixValidator, WorkloadParams
+
+PARAMS = WorkloadParams(operations=6, footprint_bytes=8 * KB)
+MECHANISMS = ("undo", "redo", "checksum-undo")
+
+
+@pytest.mark.parametrize("mechanism", MECHANISMS)
+def test_no_adr_is_never_silent(mechanism):
+    """Without ADR every log mechanism stays consistent or detects."""
+    outcome = run_workload("sca", "array", mechanism=mechanism, params=PARAMS)
+    injector = CrashInjector(outcome.result)
+    # Commit durability needs ADR, so validate consistency only: build
+    # the oracle without txn_end_times.
+    validator = PrefixValidator(outcome.runs[0])
+    manager = RecoveryManager(outcome.result.config.encryption)
+    times = sorted(
+        set(injector.interesting_times(limit=30))
+        | set(injector.midpoint_times(limit=30))
+    )
+    consistent = detected = 0
+    for crash_ns in times:
+        image = injector.crash_at(crash_ns, adr=False)
+        recovered = manager.recover(image, encrypted=True)
+        verdict = validator.classify(recovered)
+        if verdict.consistent:
+            consistent += 1
+        else:
+            assert verdict.detected, (
+                "silent corruption without ADR at %.1f ns: %s"
+                % (crash_ns, verdict.silent)
+            )
+            detected += 1
+    assert consistent > 0
+    # ADR-less crashes do strand undrained pairs; some must be caught.
+    assert detected > 0
+
+
+@pytest.mark.parametrize("mechanism", MECHANISMS)
+def test_no_adr_sweep_reports_only_detected_problems(mechanism):
+    outcome = run_workload("sca", "array", mechanism=mechanism, params=PARAMS)
+    report = sweep_crash_points(
+        outcome.result,
+        PrefixValidator(outcome.runs[0]),
+        max_points=40,
+        adr=False,
+    )
+    assert report.total > 0
+    for crash in report.outcomes:
+        if not crash.consistent:
+            # Every problem string came from a detection channel.
+            assert all(
+                "undecryptable" in problem or "recovery failed" in problem
+                for problem in crash.problems
+            ), crash.problems
+
+
+def test_no_adr_shadow_yields_committed_version_or_detects():
+    config = fast_config()
+    layout = MemoryLayout.build(config, log_capacity=8)
+    builder = TraceBuilder("shadow-no-adr")
+    txns = ShadowTransactions(
+        builder, layout.arena(0), region_bytes=4 * CACHE_LINE_SIZE
+    )
+    v1, v2 = bytes([1]) * CACHE_LINE_SIZE, bytes([2]) * CACHE_LINE_SIZE
+    txns.commit_new_version([(0, v1)])
+    txns.commit_new_version([(0, v2)])
+    result = Machine(config, "sca").run([builder.build()])
+    injector = CrashInjector(result)
+    manager = RecoveryManager(config.encryption)
+    seen = set()
+    detected = 0
+    for crash_ns in injector.interesting_times(limit=60):
+        recovered = manager.recover(injector.crash_at(crash_ns, adr=False))
+        try:
+            _active, base = recover_shadow(recovered, txns.region)
+            value = recovered.read(base, CACHE_LINE_SIZE)
+        except (DecryptionFailure, TransactionError):
+            detected += 1
+            continue
+        assert value in (bytes(CACHE_LINE_SIZE), v1, v2)
+        seen.add(value)
+    assert v1 in seen and v2 in seen
+
+
+@pytest.mark.parametrize("mechanism", MECHANISMS)
+def test_no_adr_image_is_subset_of_adr_image(mechanism):
+    outcome = run_workload("sca", "array", mechanism=mechanism, params=PARAMS)
+    injector = CrashInjector(outcome.result)
+    mid = outcome.result.stats.runtime_ns / 2
+    with_adr = injector.crash_at(mid, adr=True)
+    without = injector.crash_at(mid, adr=False)
+    assert set(without.device.touched_lines()) <= set(with_adr.device.touched_lines())
+    assert without.adr_pending == 0

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.config import fast_config
-from repro.crash.injector import CrashInjector
+from repro.crash.injector import CrashInjector, uniform_sample
 from repro.sim.machine import Machine
 from repro.sim.trace import TraceBuilder
 
@@ -90,3 +90,25 @@ class TestCrashPointEnumeration:
             )
         for m in midpoints:
             assert m not in boundaries
+
+    def test_limit_one_returns_single_point(self):
+        # Regression: the sampling step formula divided by zero at
+        # limit=1.
+        injector = CrashInjector(run_simple(lines=8))
+        assert len(injector.interesting_times(limit=1)) == 1
+        assert len(injector.midpoint_times(limit=1)) == 1
+        assert injector.interesting_times(limit=1)[0] == injector.interesting_times()[0]
+
+    def test_limit_zero_returns_nothing(self):
+        injector = CrashInjector(run_simple())
+        assert injector.interesting_times(limit=0) == []
+        assert injector.midpoint_times(limit=0) == []
+
+    def test_uniform_sample_edge_cases(self):
+        ordered = [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert uniform_sample(ordered, None) == ordered
+        assert uniform_sample(ordered, 10) == ordered
+        assert uniform_sample(ordered, 1) == [1.0]
+        assert uniform_sample(ordered, 0) == []
+        assert uniform_sample(ordered, 2) == [1.0, 5.0]
+        assert uniform_sample([], 1) == []

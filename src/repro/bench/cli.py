@@ -138,6 +138,47 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="ignore any existing campaign journal and rerun everything",
     )
+    campaign.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="EVENTS",
+        help="checkpoint each job's simulation every N simulated events; "
+        "a killed run resumes from its newest valid snapshot",
+    )
+    campaign.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        default=None,
+        help="where per-job snapshots live (default: "
+        "<campaign-dir>/checkpoints when checkpointing is on)",
+    )
+    campaign.add_argument(
+        "--resume-from",
+        metavar="DIR",
+        default=None,
+        help="resume the campaign journaled in DIR (shorthand for "
+        "--campaign-dir DIR that insists the directory already exists)",
+    )
+    campaign.add_argument(
+        "--heartbeat-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="declare a worker stalled (and retry its job) when its "
+        "heartbeat file goes this stale; needs checkpointing on",
+    )
+    campaign.add_argument(
+        "--strict",
+        action="store_true",
+        help="also exit nonzero when any crash point is silent corruption",
+    )
+    campaign.add_argument(
+        "--with-counter-recovery",
+        action="store_true",
+        help="retry detected failures with the Osiris-style counter "
+        "search; repaired points count as 'recovered-by-search'",
+    )
     return parser
 
 
@@ -177,10 +218,36 @@ def _run_campaign(args: argparse.Namespace) -> int:
     from ..errors import CampaignError
     from ..crash.campaign import CampaignRunner, CampaignSpec
 
+    if args.resume_from is not None:
+        if not os.path.isdir(args.resume_from):
+            print(
+                "repro-bench campaign: --resume-from %s: no such directory"
+                % args.resume_from,
+                file=sys.stderr,
+            )
+            return 2
+        if args.campaign_dir is not None and args.campaign_dir != args.resume_from:
+            print(
+                "repro-bench campaign: --resume-from and --campaign-dir disagree",
+                file=sys.stderr,
+            )
+            return 2
+        args.campaign_dir = args.resume_from
+    checkpoint_dir = args.checkpoint_dir
+    if (
+        checkpoint_dir is None
+        and args.checkpoint_every is not None
+        and args.campaign_dir is not None
+    ):
+        checkpoint_dir = os.path.join(args.campaign_dir, "checkpoints")
     if args.fresh and args.campaign_dir is not None:
         journal = os.path.join(args.campaign_dir, CampaignRunner.JOURNAL_NAME)
         if os.path.exists(journal):
             os.remove(journal)
+        if checkpoint_dir is not None and os.path.isdir(checkpoint_dir):
+            import shutil
+
+            shutil.rmtree(checkpoint_dir, ignore_errors=True)
     faults = args.faults.split(",") if args.faults else None
     spec = CampaignSpec(
         workloads=tuple(args.workloads.split(",")),
@@ -189,6 +256,7 @@ def _run_campaign(args: argparse.Namespace) -> int:
         crash_points=args.crash_points,
         seed=args.seed,
         operations=args.operations,
+        with_counter_recovery=args.with_counter_recovery,
     )
     if faults is not None:
         spec.faults = tuple(faults)
@@ -196,8 +264,15 @@ def _run_campaign(args: argparse.Namespace) -> int:
         workers=args.workers,
         job_timeout_s=args.job_timeout,
         max_retries=args.retries,
+        heartbeat_timeout_s=args.heartbeat_timeout,
     )
-    runner = CampaignRunner(spec, executor=executor, journal_dir=args.campaign_dir)
+    runner = CampaignRunner(
+        spec,
+        executor=executor,
+        journal_dir=args.campaign_dir,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+    )
     try:
         report = runner.run()
     except CampaignError as exc:
@@ -206,12 +281,13 @@ def _run_campaign(args: argparse.Namespace) -> int:
     print(report.render())
     stats = executor.stats()
     print(
-        "executor: %d job(s) run, %d retried, %d timed out, "
+        "executor: %d job(s) run, %d retried, %d timed out, %d stalled, "
         "%d pool fallback(s), %d corrupt cache entr(ies) quarantined"
         % (
             stats["jobs_executed"],
             stats["retries"],
             stats["timeouts"],
+            stats["stalls"],
             stats["pool_fallbacks"],
             stats["cache_corruption_events"],
         )
@@ -227,6 +303,12 @@ def _run_campaign(args: argparse.Namespace) -> int:
     if report.crashed:
         print(
             "%d crash point(s) made recovery itself crash" % report.crashed,
+            file=sys.stderr,
+        )
+        return 1
+    if args.strict and report.silent:
+        print(
+            "%d crash point(s) were silent corruption (--strict)" % report.silent,
             file=sys.stderr,
         )
         return 1

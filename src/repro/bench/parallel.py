@@ -266,6 +266,10 @@ class ResultCache:
 ResultCallback = Callable[[int, object], None]
 
 
+class _WorkerStalledError(Exception):
+    """A worker's heartbeat went stale: hung or killed mid-job."""
+
+
 class SweepExecutor:
     """Runs sweep jobs, optionally in parallel and/or cached.
 
@@ -285,6 +289,14 @@ class SweepExecutor:
       execution instead of failing the sweep; a job that exhausts
       retries on *timeouts* raises :class:`JobExecutionError` (running
       it in-process would hang the sweep instead).
+    * With ``heartbeat_timeout_s`` set, jobs that publish a heartbeat
+      file (see :mod:`repro.bench.resilience`) are watched while they
+      run: a worker whose heartbeat goes stale is declared stalled well
+      before the job timeout, torn down with the pool, and retried.  A
+      job that never writes its heartbeat file is *not* stalled — the
+      job timeout alone covers workers that die before their first
+      beat, which avoids false stalls for jobs queued behind a busy
+      pool.
     * Corrupt result-cache entries are quarantined and counted by the
       cache (``cache.corruption_events``), never silently recomputed.
     """
@@ -296,17 +308,20 @@ class SweepExecutor:
         job_timeout_s: Optional[float] = None,
         max_retries: int = 2,
         retry_backoff_s: float = 0.1,
+        heartbeat_timeout_s: Optional[float] = None,
     ) -> None:
         self.workers = max(1, int(workers))
         self.cache = cache
         self.job_timeout_s = job_timeout_s
         self.max_retries = max(0, int(max_retries))
         self.retry_backoff_s = max(0.0, float(retry_backoff_s))
+        self.heartbeat_timeout_s = heartbeat_timeout_s
         self.cache_hits = 0
         self.cache_misses = 0
         self.jobs_executed = 0
         self.pool_fallbacks = 0
         self.timeouts = 0
+        self.stalls = 0
         self.retries = 0
 
     # -- stats -------------------------------------------------------------
@@ -324,6 +339,7 @@ class SweepExecutor:
             "jobs_executed": self.jobs_executed,
             "pool_fallbacks": self.pool_fallbacks,
             "timeouts": self.timeouts,
+            "stalls": self.stalls,
             "retries": self.retries,
         }
 
@@ -360,24 +376,29 @@ class SweepExecutor:
         fn: Callable,
         items: Sequence[object],
         on_result: Optional[ResultCallback] = None,
+        heartbeats: Optional[Sequence[Optional[str]]] = None,
     ) -> List[object]:
         """Hardened ordered map: ``results[i] = fn(items[i])``.
 
         ``fn`` must be a module-level callable and every item picklable
         when ``workers > 1``.  ``on_result`` fires as each result lands
         (in index order), which lets callers journal progress for
-        resumability.
+        resumability.  ``heartbeats`` (optional, one path or None per
+        item) names the heartbeat file each job updates while it runs;
+        the watchdog only engages when ``heartbeat_timeout_s`` is set.
         """
         items = list(items)
         results: List[object] = [None] * len(items)
         self.jobs_executed += len(items)
+        if heartbeats is not None and len(heartbeats) != len(items):
+            raise ValueError("heartbeats must align one-to-one with items")
         if self.workers == 1 or len(items) <= 1:
             for index, item in enumerate(items):
                 results[index] = fn(item)
                 if on_result is not None:
                     on_result(index, results[index])
             return results
-        self._map_pooled(fn, items, results, on_result)
+        self._map_pooled(fn, items, results, on_result, heartbeats)
         return results
 
     # -- pooled execution -------------------------------------------------
@@ -388,6 +409,7 @@ class SweepExecutor:
         items: List[object],
         results: List[object],
         on_result: Optional[ResultCallback],
+        heartbeats: Optional[Sequence[Optional[str]]] = None,
     ) -> None:
         import multiprocessing
 
@@ -408,6 +430,7 @@ class SweepExecutor:
                 handles = []
                 pool_broken = False
                 for index in remaining:
+                    self._clear_heartbeat(heartbeats, index)
                     try:
                         handles.append((index, pool.apply_async(fn, (items[index],))))
                     except Exception:
@@ -419,8 +442,9 @@ class SweepExecutor:
                         failed.append(index)
                         attempts[index] += 1
                         continue
+                    heartbeat = heartbeats[index] if heartbeats is not None else None
                     try:
-                        value = handle.get(self.job_timeout_s)
+                        value = self._collect(handle, heartbeat)
                     except multiprocessing.TimeoutError:
                         self.timeouts += 1
                         timed_out[index] = True
@@ -435,6 +459,19 @@ class SweepExecutor:
                             self.job_timeout_s or 0.0,
                             attempts[index],
                             self.max_retries + 1,
+                        )
+                    except _WorkerStalledError as exc:
+                        self.stalls += 1
+                        timed_out[index] = True
+                        attempts[index] += 1
+                        failed.append(index)
+                        pool_broken = True
+                        logger.warning(
+                            "job %d stalled (attempt %d/%d): %s",
+                            index,
+                            attempts[index],
+                            self.max_retries + 1,
+                            exc,
                         )
                     except Exception as exc:
                         timed_out[index] = False
@@ -495,6 +532,61 @@ class SweepExecutor:
     def _backoff(self, round_number: int) -> None:
         if self.retry_backoff_s > 0:
             time.sleep(self.retry_backoff_s * (2 ** (round_number - 1)))
+
+    # -- heartbeat watchdog ------------------------------------------------
+
+    @staticmethod
+    def _clear_heartbeat(
+        heartbeats: Optional[Sequence[Optional[str]]], index: int
+    ) -> None:
+        """Drop a stale heartbeat file before (re)dispatching its job."""
+        if heartbeats is None or heartbeats[index] is None:
+            return
+        try:
+            os.unlink(heartbeats[index])
+        except OSError:
+            pass
+
+    def _collect(self, handle, heartbeat: Optional[str]):
+        """Wait for one async result, watching the job's heartbeat.
+
+        Without a watchdog this is a plain ``handle.get(timeout)``.
+        With one, the wait is chopped into short polls; a heartbeat
+        file that exists but has not been touched for
+        ``heartbeat_timeout_s`` raises :class:`_WorkerStalledError`.  A
+        *missing* file never stalls the job — the job timeout covers
+        workers that die before their first beat.
+        """
+        import multiprocessing
+
+        if self.heartbeat_timeout_s is None or heartbeat is None:
+            return handle.get(self.job_timeout_s)
+        poll = max(0.01, min(0.25, self.heartbeat_timeout_s / 4.0))
+        deadline = (
+            time.monotonic() + self.job_timeout_s
+            if self.job_timeout_s is not None
+            else None
+        )
+        while True:
+            remaining = poll
+            if deadline is not None:
+                remaining = min(poll, deadline - time.monotonic())
+                if remaining <= 0:
+                    raise multiprocessing.TimeoutError()
+            try:
+                return handle.get(remaining)
+            except multiprocessing.TimeoutError:
+                if deadline is not None and time.monotonic() >= deadline:
+                    raise
+                try:
+                    age = time.time() - os.path.getmtime(heartbeat)
+                except OSError:
+                    continue  # no beat yet; only the job timeout applies
+                if age > self.heartbeat_timeout_s:
+                    raise _WorkerStalledError(
+                        "heartbeat %s is %.1f s stale (limit %.1f s)"
+                        % (heartbeat, age, self.heartbeat_timeout_s)
+                    ) from None
 
     def _rebuild_pool(self, pool, workers: int):
         try:

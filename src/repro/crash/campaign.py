@@ -7,6 +7,9 @@ the fault model, runs real recovery, and classifies every outcome into
 the triage taxonomy:
 
 * ``recovered``          — recovery produced a consistent state;
+* ``recovered-by-search``— plain recovery detected a bad state, but the
+  Osiris-style counter search (``--with-counter-recovery``) repaired
+  it to a provably consistent one;
 * ``detected``           — the state was bad and recovery *said so*
   (decryption failure, corrupt-record check, checksum mismatch);
 * ``silent-corruption``  — recovery accepted a state the oracle proves
@@ -22,11 +25,13 @@ jobs whose key (spec + seed + code version) still matches.
 
 from __future__ import annotations
 
+import dataclasses
 import enum
 import hashlib
 import json
 import logging
 import os
+import shutil
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -50,6 +55,7 @@ class Outcome(enum.Enum):
     """The campaign triage taxonomy."""
 
     RECOVERED = "recovered"
+    RECOVERED_SEARCH = "recovered-by-search"
     DETECTED = "detected"
     SILENT = "silent-corruption"
     CRASHED = "recovery-crashed"
@@ -68,6 +74,15 @@ class CampaignJob:
     seed: int = 42
     operations: int = 8
     footprint_bytes: int = 8 * KB
+    #: Retry detected failures with the Osiris-style counter search;
+    #: part of the job's identity (it changes the outcome table).
+    with_counter_recovery: bool = False
+    #: Execution-only plumbing, deliberately NOT part of ``document()``
+    #: (and therefore not of the job key): where this job checkpoints
+    #: its simulation, how often, and where it beats its heartbeat.
+    checkpoint_dir: Optional[str] = None
+    checkpoint_every: Optional[int] = None
+    heartbeat_path: Optional[str] = None
 
     def document(self) -> Dict[str, object]:
         return {
@@ -80,6 +95,7 @@ class CampaignJob:
             "seed": self.seed,
             "operations": self.operations,
             "footprint_bytes": self.footprint_bytes,
+            "with_counter_recovery": self.with_counter_recovery,
         }
 
 
@@ -101,9 +117,16 @@ def run_campaign_job(job: CampaignJob) -> Dict[str, object]:
     """Execute one campaign cell; the (picklable) worker entry point.
 
     Returns a JSON-ready result document: outcome tallies over every
-    swept crash point, fault-event count, and example failures.
+    swept crash point, fault-event count, example failures, and the
+    job's checkpoint/restore accounting.
+
+    The simulation phase checkpoints to ``job.checkpoint_dir`` (when
+    set) and resumes from the newest valid snapshot there, so a worker
+    killed mid-simulation loses at most one checkpoint interval.  The
+    heartbeat (when set) is beaten per simulated event and per triaged
+    crash point, feeding the executor's stall watchdog.
     """
-    from ..bench.harness import run_workload
+    from ..bench.resilience import Heartbeat, run_workload_resilient
     from ..workloads.base import WorkloadParams
 
     params = WorkloadParams(
@@ -111,8 +134,15 @@ def run_campaign_job(job: CampaignJob) -> Dict[str, object]:
         seed=job.seed,
         footprint_bytes=job.footprint_bytes,
     )
-    outcome = run_workload(
-        job.design, job.workload, mechanism=job.mechanism, params=params
+    heartbeat = Heartbeat(job.heartbeat_path) if job.heartbeat_path else None
+    outcome, resilience = run_workload_resilient(
+        job.design,
+        job.workload,
+        mechanism=job.mechanism,
+        params=params,
+        checkpoint_dir=job.checkpoint_dir,
+        every_events=job.checkpoint_every,
+        heartbeat=heartbeat,
     )
     injector = CrashInjector(outcome.result)
     per_kind = max(2, job.crash_points // 2)
@@ -125,10 +155,17 @@ def run_campaign_job(job: CampaignJob) -> Dict[str, object]:
     manager = RecoveryManager(outcome.result.config.encryption)
     encrypted = outcome.result.policy.encrypts
     model = make_fault_model(job.fault, **dict(job.fault_params))
+    recoverer = None
+    if job.with_counter_recovery and encrypted:
+        from .counter_recovery import CounterRecoverer
+
+        recoverer = CounterRecoverer(outcome.result.config.encryption)
     tallies: Dict[str, int] = {o.value: 0 for o in Outcome}
     examples: List[Dict[str, object]] = []
     fault_events = 0
     for crash_ns in times:
+        if heartbeat is not None:
+            heartbeat.beat()
         image, events = injector.crash_with_faults(crash_ns, [model], seed=job.seed)
         fault_events += len(events)
         recovered = manager.recover(image, encrypted=encrypted)
@@ -147,6 +184,21 @@ def run_campaign_job(job: CampaignJob) -> Dict[str, object]:
             else:
                 classified = Outcome.SILENT
                 detail = verdict.silent[0]
+        if classified is Outcome.DETECTED and recoverer is not None:
+            # Optional triage stage: rebuild the same crash image and
+            # let the Osiris-style counter search try to repair it.  A
+            # search that itself fails must not mask the detection.
+            try:
+                retry_image, _retry_events = injector.crash_with_faults(
+                    crash_ns, [model], seed=job.seed
+                )
+                recoverer.recover_image(retry_image)
+                retried = manager.recover(retry_image, encrypted=encrypted)
+                if validator.classify(retried).consistent:
+                    classified = Outcome.RECOVERED_SEARCH
+                    detail = "consistent after counter search"
+            except Exception:
+                pass  # stays DETECTED
         tallies[classified.value] += 1
         if classified is not Outcome.RECOVERED and len(examples) < EXAMPLES_PER_JOB:
             examples.append(
@@ -157,6 +209,8 @@ def run_campaign_job(job: CampaignJob) -> Dict[str, object]:
                     "fault_events": [event.as_dict() for event in events],
                 }
             )
+    if heartbeat is not None:
+        heartbeat.clear()
     return {
         "key": job_key(job),
         "job": job.document(),
@@ -164,6 +218,7 @@ def run_campaign_job(job: CampaignJob) -> Dict[str, object]:
         "fault_events": fault_events,
         "outcomes": tallies,
         "examples": examples,
+        "resilience": resilience,
     }
 
 
@@ -183,6 +238,7 @@ class CampaignSpec:
     seed: int = 42
     operations: int = 8
     footprint_bytes: int = 8 * KB
+    with_counter_recovery: bool = False
 
     def _fault_fields(self) -> List[Tuple[str, Tuple[Tuple[str, object], ...]]]:
         normalized = []
@@ -255,6 +311,7 @@ class CampaignSpec:
                                 seed=self.seed,
                                 operations=self.operations,
                                 footprint_bytes=self.footprint_bytes,
+                                with_counter_recovery=self.with_counter_recovery,
                             )
                         )
         return jobs
@@ -271,6 +328,7 @@ class CampaignSpec:
             "seed": self.seed,
             "operations": self.operations,
             "footprint_bytes": self.footprint_bytes,
+            "with_counter_recovery": self.with_counter_recovery,
         }
 
 
@@ -282,9 +340,12 @@ class CampaignReport:
     results: List[Dict[str, object]]
     resumed_jobs: int = 0
     executor_stats: Dict[str, int] = field(default_factory=dict)
+    resilience: Dict[str, int] = field(default_factory=dict)
 
     def total(self, outcome: Outcome) -> int:
-        return sum(r["outcomes"][outcome.value] for r in self.results)
+        # .get: journal entries written before an outcome class existed
+        # simply count zero for it.
+        return sum(r["outcomes"].get(outcome.value, 0) for r in self.results)
 
     @property
     def points(self) -> int:
@@ -306,6 +367,7 @@ class CampaignReport:
             "totals": {o.value: self.total(o) for o in Outcome},
             "points": self.points,
             "executor": dict(self.executor_stats),
+            "resilience": dict(self.resilience),
         }
 
     def render(self) -> str:
@@ -313,9 +375,9 @@ class CampaignReport:
         lines: List[str] = []
         lines.append("crash campaign — %d job(s), %d crash point(s)" % (
             len(self.results), self.points))
-        header = "%-10s %-8s %-13s %-18s %6s %6s %6s %6s %6s" % (
+        header = "%-10s %-8s %-13s %-18s %6s %6s %6s %6s %6s %6s" % (
             "workload", "design", "mechanism", "fault",
-            "points", "recov", "detect", "SILENT", "CRASH",
+            "points", "recov", "search", "detect", "SILENT", "CRASH",
         )
         lines.append(header)
         lines.append("-" * len(header))
@@ -323,25 +385,27 @@ class CampaignReport:
             job = result["job"]
             outcomes = result["outcomes"]
             lines.append(
-                "%-10s %-8s %-13s %-18s %6d %6d %6d %6d %6d"
+                "%-10s %-8s %-13s %-18s %6d %6d %6d %6d %6d %6d"
                 % (
                     job["workload"],
                     job["design"],
                     job["mechanism"],
                     job["fault"],
                     result["points"],
-                    outcomes[Outcome.RECOVERED.value],
-                    outcomes[Outcome.DETECTED.value],
-                    outcomes[Outcome.SILENT.value],
-                    outcomes[Outcome.CRASHED.value],
+                    outcomes.get(Outcome.RECOVERED.value, 0),
+                    outcomes.get(Outcome.RECOVERED_SEARCH.value, 0),
+                    outcomes.get(Outcome.DETECTED.value, 0),
+                    outcomes.get(Outcome.SILENT.value, 0),
+                    outcomes.get(Outcome.CRASHED.value, 0),
                 )
             )
         lines.append("-" * len(header))
         lines.append(
-            "totals: %d recovered, %d detected, %d silent-corruption, "
-            "%d recovery-crashed"
+            "totals: %d recovered, %d recovered-by-search, %d detected, "
+            "%d silent-corruption, %d recovery-crashed"
             % (
                 self.total(Outcome.RECOVERED),
+                self.total(Outcome.RECOVERED_SEARCH),
                 self.total(Outcome.DETECTED),
                 self.silent,
                 self.crashed,
@@ -349,6 +413,17 @@ class CampaignReport:
         )
         if self.resumed_jobs:
             lines.append("resumed: %d job(s) restored from the journal" % self.resumed_jobs)
+        if any(self.resilience.values()):
+            lines.append(
+                "checkpointing: %d snapshot(s) saved, %d run(s) restored, "
+                "%d quarantined, %d invalidated"
+                % (
+                    self.resilience.get("saved", 0),
+                    self.resilience.get("restored", 0),
+                    self.resilience.get("quarantined", 0),
+                    self.resilience.get("invalidated", 0),
+                )
+            )
         triage = [
             (result["job"], example)
             for result in self.results
@@ -375,7 +450,14 @@ class CampaignReport:
 
 
 class CampaignRunner:
-    """Plans, executes, journals and resumes a campaign."""
+    """Plans, executes, journals and resumes a campaign.
+
+    With ``checkpoint_dir`` set, every pending job checkpoints its
+    simulation under ``<checkpoint_dir>/<job_key>`` and resumes from
+    there after a kill; finished jobs' checkpoint state is deleted as
+    soon as their result is journaled (the journal is the durable
+    record, the snapshots are only scaffolding).
+    """
 
     JOURNAL_NAME = "journal.jsonl"
 
@@ -384,6 +466,8 @@ class CampaignRunner:
         spec: CampaignSpec,
         executor: Optional[SweepExecutor] = None,
         journal_dir: Optional[str] = None,
+        checkpoint_dir: Optional[str] = None,
+        checkpoint_every: Optional[int] = None,
     ) -> None:
         from ..bench.parallel import SweepExecutor
 
@@ -395,6 +479,8 @@ class CampaignRunner:
             if journal_dir is not None
             else None
         )
+        self.checkpoint_dir = checkpoint_dir
+        self.checkpoint_every = checkpoint_every
 
     # -- journal ----------------------------------------------------------
 
@@ -446,28 +532,65 @@ class CampaignRunner:
 
     # -- execution --------------------------------------------------------
 
+    def _prepare_job(self, job: CampaignJob, key: str) -> CampaignJob:
+        """Attach per-job checkpoint/heartbeat plumbing (key-neutral)."""
+        if self.checkpoint_dir is None:
+            return job
+        job_dir = os.path.join(self.checkpoint_dir, key)
+        return dataclasses.replace(
+            job,
+            checkpoint_dir=job_dir,
+            checkpoint_every=self.checkpoint_every,
+            heartbeat_path=os.path.join(job_dir, "heartbeat.json"),
+        )
+
+    def _cleanup_job_state(self, key: str) -> None:
+        """Drop a journaled job's checkpoint scaffolding."""
+        if self.checkpoint_dir is None:
+            return
+        shutil.rmtree(os.path.join(self.checkpoint_dir, key), ignore_errors=True)
+
     def run(self) -> CampaignReport:
         """Run (or resume) the campaign and return the triage report."""
         jobs = self.spec.jobs()
         completed = self._load_journal()
+        keys = [job_key(job) for job in jobs]
         results: List[Optional[Dict[str, object]]] = [
-            completed.get(job_key(job)) for job in jobs
+            completed.get(key) for key in keys
         ]
         pending = [index for index, result in enumerate(results) if result is None]
         resumed = len(jobs) - len(pending)
         if resumed:
             logger.info("campaign resume: %d/%d job(s) journaled", resumed, len(jobs))
+        for index, result in enumerate(results):
+            if result is not None:
+                self._cleanup_job_state(keys[index])
         if pending:
+            prepared = [self._prepare_job(jobs[index], keys[index]) for index in pending]
+
+            def _journal_and_cleanup(_index: int, value: Dict[str, object]) -> None:
+                self._append_journal(value)
+                self._cleanup_job_state(value["key"])
+
             fresh = self.executor.map(
                 run_campaign_job,
-                [jobs[index] for index in pending],
-                on_result=lambda _index, value: self._append_journal(value),
+                prepared,
+                on_result=_journal_and_cleanup,
+                heartbeats=[job.heartbeat_path for job in prepared],
             )
             for index, value in zip(pending, fresh):
                 results[index] = value
+        resilience: Dict[str, int] = {
+            "saved": 0, "restored": 0, "quarantined": 0, "invalidated": 0,
+        }
+        for result in results:
+            job_resilience = result.get("resilience") or {}
+            for counter in resilience:
+                resilience[counter] += int(job_resilience.get(counter, 0))
         return CampaignReport(
             spec=self.spec.as_dict(),
             results=results,  # type: ignore[arg-type]
             resumed_jobs=resumed,
             executor_stats=self.executor.stats(),
+            resilience=resilience,
         )

@@ -115,3 +115,24 @@ class JobExecutionError(CampaignError):
     worker keeps dying; transient failures below the retry bound are
     absorbed and only counted in the executor's stats.
     """
+
+
+class SnapshotError(ReproError):
+    """A simulation snapshot could not be written, read, or applied."""
+
+
+class SnapshotCorruptError(SnapshotError):
+    """A snapshot file is torn or fails its checksum.
+
+    Raised by the reader when the magic, header, CRC or body length do
+    not hold together — the restore path quarantines the file and falls
+    back to the previous generation.
+    """
+
+
+class SnapshotVersionError(SnapshotError):
+    """A snapshot was written by different code or an older format.
+
+    Restoring across a simulator change would mix semantics, so such
+    snapshots are invalidated (deleted), never restored.
+    """

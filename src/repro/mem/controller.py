@@ -43,7 +43,7 @@ from ..nvm.address import AddressMap
 from ..nvm.device import NVMDevice
 from ..nvm.timing import BankTimingModel, BusModel
 from ..persist.journal import PersistJournal
-from .writequeue import WriteQueue
+from .writequeue import EntryIdAllocator, WriteQueue
 
 #: Payload size of a co-located access (64 B data + 8 B counter).
 COLOCATED_PAYLOAD = CACHE_LINE_SIZE + 8
@@ -132,18 +132,24 @@ class MemoryController:
                 counter_store=self.counter_store,
                 functional=config.functional,
             )
+        # One id space shared by both queues keeps journal entry ids
+        # unique; owning the allocator (instead of a module global)
+        # makes entry ids reproducible across checkpoint/restore.
+        self._entry_ids = EntryIdAllocator()
         self.data_queue = WriteQueue(
             "data-wq",
             config.controller.data_write_queue_entries,
             coalesce=config.controller.coalesce_writes,
+            entry_ids=self._entry_ids,
         )
         self.counter_queue = WriteQueue(
             "counter-wq",
             config.controller.counter_write_queue_entries,
             coalesce=config.controller.coalesce_writes,
+            entry_ids=self._entry_ids,
         )
         self._fifo_drain = config.controller.drain_policy == "fifo"
-        self._last_drain = {id(self.data_queue): 0.0, id(self.counter_queue): 0.0}
+        self._last_drain = {"data": 0.0, "counter": 0.0}
         self._counter_hold_ns = config.controller.counter_drain_hold_ns
         self._pair_ready_latency_ns = config.controller.pair_ready_latency_ns
         #: Read-queue occupancy (Table 2: 32 entries).  A slot is held
@@ -710,17 +716,19 @@ class MemoryController:
         held for a grace window first (``counter_drain_hold_ns``).
         """
         start = ready_ns
-        if queue is self.counter_queue:
+        is_counter_queue = queue is self.counter_queue
+        if is_counter_queue:
             start += self._counter_hold_ns
+        drain_key = "counter" if is_counter_queue else "data"
         if self._fifo_drain:
             # Strict FIFO drain: head-of-line blocking (ablation).
-            start = max(start, self._last_drain[id(queue)])
+            start = max(start, self._last_drain[drain_key])
         bank = self.address_map.bank_of(address)
         row = self.address_map.row_of(address)
         bus_done = self.bus.schedule_transfer(start, payload_bytes)
         access = self.banks.schedule_write(bank, bus_done, row=row)
         if self._fifo_drain:
-            self._last_drain[id(queue)] = access.complete_ns
+            self._last_drain[drain_key] = access.complete_ns
         return access.start_ns, access.complete_ns
 
     # ------------------------------------------------------------------
@@ -758,3 +766,48 @@ class MemoryController:
 
     def read_traffic_bytes(self) -> int:
         return self.stats.bytes_read
+
+    # ------------------------------------------------------------------
+    # Checkpoint state
+    # ------------------------------------------------------------------
+
+    def get_state(self) -> dict:
+        """Full controller state for a simulation checkpoint.
+
+        Covers every mutable structure the timing and functional paths
+        touch; config-derived objects (address map, cipher, policy) are
+        rebuilt from config on restore.
+        """
+        return {
+            "device": self.device.get_state(),
+            "banks": self.banks.get_state(),
+            "bus": self.bus.get_state(),
+            "counter_store": self.counter_store.get_state(),
+            "engine": self.engine.get_state() if self.engine is not None else None,
+            "next_entry_id": self._entry_ids.next_id,
+            "data_queue": self.data_queue.get_state(),
+            "counter_queue": self.counter_queue.get_state(),
+            "last_drain": dict(self._last_drain),
+            "read_slots": list(self._read_slots),
+            "read_queue_peak": self.read_queue_peak,
+            "total_read_queue_wait_ns": self.total_read_queue_wait_ns,
+            "journal": self.journal.get_state(),
+            "stats": dataclasses.asdict(self.stats),
+        }
+
+    def set_state(self, state: dict) -> None:
+        self.device.set_state(state["device"])
+        self.banks.set_state(state["banks"])
+        self.bus.set_state(state["bus"])
+        self.counter_store.set_state(state["counter_store"])
+        if self.engine is not None and state["engine"] is not None:
+            self.engine.set_state(state["engine"])
+        self._entry_ids.next_id = state["next_entry_id"]
+        self.data_queue.set_state(state["data_queue"])
+        self.counter_queue.set_state(state["counter_queue"])
+        self._last_drain = dict(state["last_drain"])
+        self._read_slots = list(state["read_slots"])
+        self.read_queue_peak = state["read_queue_peak"]
+        self.total_read_queue_wait_ns = state["total_read_queue_wait_ns"]
+        self.journal.set_state(state["journal"])
+        self.stats = ControllerStats(**state["stats"])

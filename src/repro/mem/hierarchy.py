@@ -236,6 +236,23 @@ class CacheHierarchy:
             l1.invalidate_all()
         self.l2.invalidate_all()
 
+    def get_state(self) -> dict:
+        """Checkpoint state of every cache level."""
+        return {
+            "l1s": [l1.get_state() for l1 in self.l1s],
+            "l2": self.l2.get_state(),
+        }
+
+    def set_state(self, state: dict) -> None:
+        if len(state["l1s"]) != len(self.l1s):
+            raise SimulationError(
+                "snapshot has %d L1 caches, machine has %d"
+                % (len(state["l1s"]), len(self.l1s))
+            )
+        for l1, l1_state in zip(self.l1s, state["l1s"]):
+            l1.set_state(l1_state)
+        self.l2.set_state(state["l2"])
+
     @staticmethod
     def _check_span(address: int, length: int) -> None:
         if length <= 0 or length > CACHE_LINE_SIZE:

@@ -19,13 +19,36 @@ coalescing, pairing and the crash-time ready-bit semantics.
 from __future__ import annotations
 
 import heapq
-import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..errors import QueueFullError, SimulationError
 
-_entry_ids = itertools.count()
+
+class EntryIdAllocator:
+    """Monotonic entry-id source shared by a controller's queues.
+
+    Ids must be unique across the data and counter queues (the persist
+    journal indexes by them) and — for deterministic checkpoint/resume —
+    must depend only on the simulation itself, never on how many other
+    machines ran earlier in the process.  Each controller therefore owns
+    one allocator starting from zero; its cursor is part of the
+    checkpoint state.
+    """
+
+    __slots__ = ("next_id",)
+
+    def __init__(self, start: int = 0) -> None:
+        self.next_id = start
+
+    def allocate(self) -> int:
+        value = self.next_id
+        self.next_id += 1
+        return value
+
+
+#: Fallback for queues constructed standalone (tests, tools).
+_default_entry_ids = EntryIdAllocator()
 
 
 @dataclass
@@ -64,12 +87,19 @@ class WriteQueueEntry:
 class WriteQueue:
     """Bounded write buffer with coalescing and occupancy backpressure."""
 
-    def __init__(self, name: str, capacity: int, coalesce: bool = True) -> None:
+    def __init__(
+        self,
+        name: str,
+        capacity: int,
+        coalesce: bool = True,
+        entry_ids: Optional[EntryIdAllocator] = None,
+    ) -> None:
         if capacity <= 0:
             raise QueueFullError("queue capacity must be positive")
         self.name = name
         self.capacity = capacity
         self.coalesce_enabled = coalesce
+        self._entry_ids = entry_ids if entry_ids is not None else _default_entry_ids
         #: Drain times of entries currently holding slots.
         self._slots: List[float] = []
         #: Live entries by line address (for coalescing) — an address
@@ -203,7 +233,7 @@ class WriteQueue:
             accept_ns = slots[0]
             self.total_accept_wait_ns += accept_ns - request_ns
         entry = WriteQueueEntry(
-            entry_id=next(_entry_ids),
+            entry_id=self._entry_ids.allocate(),
             address=address,
             payload=payload,
             is_counter=is_counter,
@@ -269,3 +299,73 @@ class WriteQueue:
     def dropped_at(self, crash_ns: float) -> List[WriteQueueEntry]:
         """Resident entries whose ready bit was still 0 at the failure."""
         return [e for e in self.entries_at(crash_ns) if e.ready_ns > crash_ns]
+
+    # -- checkpoint state --------------------------------------------------------
+
+    @staticmethod
+    def _entry_state(entry: WriteQueueEntry) -> tuple:
+        return (
+            entry.entry_id,
+            entry.address,
+            entry.payload,
+            entry.is_counter,
+            entry.encrypted_with,
+            entry.counter_values,
+            entry.accept_ns,
+            entry.ready_ns,
+            entry.drain_ns,
+            entry.slot_release_ns,
+            entry.counter_atomic,
+            entry.partner_id,
+            entry.coalesced,
+        )
+
+    @staticmethod
+    def _entry_from_state(state: tuple) -> WriteQueueEntry:
+        return WriteQueueEntry(
+            entry_id=state[0],
+            address=state[1],
+            payload=state[2],
+            is_counter=state[3],
+            encrypted_with=state[4],
+            counter_values=state[5],
+            accept_ns=state[6],
+            ready_ns=state[7],
+            drain_ns=state[8],
+            slot_release_ns=state[9],
+            counter_atomic=state[10],
+            partner_id=state[11],
+            coalesced=state[12],
+        )
+
+    def get_state(self) -> Dict[str, object]:
+        """Checkpoint state: history, live map (by history index), slots.
+
+        The live-entry map is stored as history indexes so identity is
+        preserved on restore — coalescing mutates the shared object that
+        both the map and the history reference.
+        """
+        index_of = {id(entry): i for i, entry in enumerate(self.history)}
+        return {
+            "slots": list(self._slots),
+            "history": [self._entry_state(entry) for entry in self.history],
+            "live": [
+                (address, index_of[id(entry)])
+                for address, entry in self._live_by_address.items()
+            ],
+            "accepted": self.accepted,
+            "coalesced": self.coalesced,
+            "total_accept_wait_ns": self.total_accept_wait_ns,
+            "peak_occupancy": self.peak_occupancy,
+        }
+
+    def set_state(self, state: Dict[str, object]) -> None:
+        self._slots = list(state["slots"])  # a valid heap, saved verbatim
+        self.history = [self._entry_from_state(entry) for entry in state["history"]]
+        self._live_by_address = {
+            address: self.history[index] for address, index in state["live"]
+        }
+        self.accepted = state["accepted"]
+        self.coalesced = state["coalesced"]
+        self.total_accept_wait_ns = state["total_accept_wait_ns"]
+        self.peak_occupancy = state["peak_occupancy"]

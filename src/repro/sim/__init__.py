@@ -9,6 +9,14 @@ in time order.
 """
 
 from .machine import Machine, SimulationResult
+from .snapshot import (
+    CheckpointPolicy,
+    SnapshotStore,
+    read_snapshot,
+    result_fingerprint,
+    run_with_checkpoints,
+    write_snapshot,
+)
 from .stats import MachineStats
 from .tracefile import dumps_trace, load_traces, loads_trace, save_traces
 from .trace import (
@@ -32,4 +40,10 @@ __all__ = [
     "loads_trace",
     "save_traces",
     "load_traces",
+    "CheckpointPolicy",
+    "SnapshotStore",
+    "read_snapshot",
+    "result_fingerprint",
+    "run_with_checkpoints",
+    "write_snapshot",
 ]

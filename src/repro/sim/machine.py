@@ -11,6 +11,7 @@ model happens through timestamped shared resources.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -69,26 +70,54 @@ class Machine:
         self.controller = MemoryController(config, self.policy)
         self.hierarchy = CacheHierarchy(config, self.controller)
         self._txn_end_times: List[List[float]] = []
+        self._cores: Optional[List[_CoreState]] = None
+        self._pending: List[_CoreState] = []
+        self.events_executed = 0
 
     # ------------------------------------------------------------------
 
-    def run(self, traces: Sequence[Trace]) -> SimulationResult:
-        """Replay one trace per core to completion."""
+    def begin(self, traces: Sequence[Trace]) -> None:
+        """Install traces and arm the event loop without running it.
+
+        ``begin`` / ``step`` / ``finish`` decompose :meth:`run` so a
+        checkpointing harness can pause the simulation at an event
+        boundary; ``run`` remains the one-shot path.
+        """
         if len(traces) > self.config.num_cores:
             raise TraceError(
                 "%d traces but only %d cores" % (len(traces), self.config.num_cores)
             )
-        cores = [_CoreState(i, trace) for i, trace in enumerate(traces)]
+        self._cores = [_CoreState(i, trace) for i, trace in enumerate(traces)]
         self._txn_end_times = [[] for _ in traces]
-        pending = [c for c in cores if not c.done]
-        while pending:
-            # Conservative order: always advance the earliest core.
-            core = min(pending, key=lambda c: c.clock_ns)
-            self._step(core)
-            if core.done:
-                core.stats.finish_ns = core.clock_ns
-                pending = [c for c in cores if not c.done]
-        return self._finish(cores)
+        self._pending = [c for c in self._cores if not c.done]
+        self.events_executed = 0
+
+    def step(self) -> bool:
+        """Execute one event; returns True while more events remain."""
+        pending = self._pending
+        if not pending:
+            return False
+        # Conservative order: always advance the earliest core.
+        core = min(pending, key=lambda c: c.clock_ns)
+        self._step(core)
+        self.events_executed += 1
+        if core.done:
+            core.stats.finish_ns = core.clock_ns
+            self._pending = [c for c in self._cores if not c.done]
+        return bool(self._pending)
+
+    def finish(self) -> SimulationResult:
+        """Assemble the result once :meth:`step` has drained all events."""
+        if self._cores is None:
+            raise SimulationError("finish() called before begin()")
+        return self._finish(self._cores)
+
+    def run(self, traces: Sequence[Trace]) -> SimulationResult:
+        """Replay one trace per core to completion."""
+        self.begin(traces)
+        while self.step():
+            pass
+        return self.finish()
 
     def _step(self, core: _CoreState) -> None:
         op = core.trace.ops[core.index]
@@ -195,6 +224,66 @@ class Machine:
             policy=self.policy,
             txn_end_times=self._txn_end_times,
         )
+
+    # -- checkpoint state -----------------------------------------------------
+
+    def get_state(self) -> dict:
+        """Complete machine state at an event boundary.
+
+        Self-contained: carries config, policy, and the traces, so
+        :meth:`from_state` can rebuild an identical machine with no
+        other inputs.  Resuming and running to completion produces a
+        bit-identical result to the uninterrupted run.
+        """
+        if self._cores is None:
+            raise SimulationError("get_state() called before begin()")
+        return {
+            "config": self.config,
+            "policy": self.policy,
+            "events": self.events_executed,
+            "txn_end_times": [list(times) for times in self._txn_end_times],
+            "cores": [
+                {
+                    "core_id": core.core_id,
+                    "trace": core.trace,
+                    "index": core.index,
+                    "clock_ns": core.clock_ns,
+                    "tracker": core.tracker.get_state(),
+                    "stats": dataclasses.asdict(core.stats),
+                }
+                for core in self._cores
+            ],
+            "controller": self.controller.get_state(),
+            "hierarchy": self.hierarchy.get_state(),
+        }
+
+    def set_state(self, state: dict) -> None:
+        """Restore a state captured by :meth:`get_state`.
+
+        The machine must have been built from the same config and
+        design; structural objects are reused, mutable state replaced.
+        """
+        cores: List[_CoreState] = []
+        for stored in state["cores"]:
+            core = _CoreState(stored["core_id"], stored["trace"])
+            core.index = stored["index"]
+            core.clock_ns = stored["clock_ns"]
+            core.tracker.set_state(stored["tracker"])
+            core.stats = CoreStats(**stored["stats"])
+            cores.append(core)
+        self._cores = cores
+        self._pending = [c for c in cores if not c.done]
+        self.events_executed = state["events"]
+        self._txn_end_times = [list(times) for times in state["txn_end_times"]]
+        self.controller.set_state(state["controller"])
+        self.hierarchy.set_state(state["hierarchy"])
+
+    @classmethod
+    def from_state(cls, state: dict) -> "Machine":
+        """Rebuild a machine purely from a :meth:`get_state` capture."""
+        machine = cls(state["config"], state["policy"])
+        machine.set_state(state)
+        return machine
 
 
 def run_design(

@@ -1,0 +1,21 @@
+"""Integrity extension — Bonsai-tree overhead vs the tree-less bases.
+
+Not a figure from the paper: it prices the integrity tree the paper's
+threat model omits.  Eager (Freij-style) root-path draining costs real
+runtime; lazy (Phoenix-style) node-cache coalescing is near-free; and
+SCA's metadata relaxation carries over — SCA+lazy keeps a clear runtime
+and write-traffic lead over FCA+eager.
+"""
+
+from conftest import assert_claims, run_once
+
+from repro.bench.experiments import FigIntegrity
+
+
+def test_fig_integrity(benchmark):
+    result = run_once(benchmark, FigIntegrity())
+    assert_claims(result)
+    # A tree never makes a design cheaper than its tree-less base.
+    for series in result.series:
+        for value in series.points.values():
+            assert value >= 0.99

@@ -124,6 +124,7 @@ CHART_STYLE: Dict[str, str] = {
     "fig17": "lines",
     "table1": "bars",
     "table2": "bars",
+    "integrity": "bars",
 }
 
 

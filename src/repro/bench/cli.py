@@ -179,6 +179,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="retry detected failures with the Osiris-style counter "
         "search; repaired points count as 'recovered-by-search'",
     )
+    campaign.add_argument(
+        "--integrity",
+        action="store_true",
+        help="run every encrypted design with its Bonsai-Merkle-tree "
+        "variant (fca -> fca+bmt, ...); post-crash tree verification "
+        "reclassifies silent corruption as 'detected-by-tree'",
+    )
+    campaign.add_argument(
+        "--integrity-mode",
+        choices=("eager", "lazy"),
+        default=None,
+        metavar="MODE",
+        help="tree persistence mode for --integrity: 'eager' drains "
+        "the whole root path at every counter persist (strict, "
+        "Freij-style), 'lazy' coalesces dirty nodes in the tree cache "
+        "(Phoenix-style); default: each design's own default",
+    )
     return parser
 
 
@@ -249,9 +266,32 @@ def _run_campaign(args: argparse.Namespace) -> int:
 
             shutil.rmtree(checkpoint_dir, ignore_errors=True)
     faults = args.faults.split(",") if args.faults else None
+    designs = tuple(args.designs.split(","))
+    if args.integrity:
+        from ..core.designs import get_design, integrity_variant
+        from ..errors import ConfigurationError
+
+        # Map each encrypted design onto its +bmt variant; designs with
+        # nothing to hash (no counters) pass through unchanged.
+        try:
+            designs = tuple(
+                integrity_variant(name, args.integrity_mode)
+                if get_design(name).encrypts
+                else name
+                for name in designs
+            )
+        except ConfigurationError as exc:
+            print("repro-bench campaign: %s" % exc, file=sys.stderr)
+            return 2
+    elif args.integrity_mode is not None:
+        print(
+            "repro-bench campaign: --integrity-mode needs --integrity",
+            file=sys.stderr,
+        )
+        return 2
     spec = CampaignSpec(
         workloads=tuple(args.workloads.split(",")),
-        designs=tuple(args.designs.split(",")),
+        designs=designs,
         mechanisms=tuple(args.mechanisms.split(",")),
         crash_points=args.crash_points,
         seed=args.seed,

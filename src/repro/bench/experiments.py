@@ -495,6 +495,121 @@ class Fig17NvmLatency(Experiment):
         )
 
 
+class FigIntegrity(Experiment):
+    """Integrity extension: the cost of a crash-consistent Bonsai tree.
+
+    Not a figure from the paper — it quantifies the tree the paper's
+    threat model omits (see docs/integrity_tree.md).  Four variants run
+    against their tree-less bases: ``fca+bmt`` / ``sca+bmt-eager``
+    drain every root path before the write is architecturally persistent
+    (Freij-style strict persistence, no ADR cover for metadata), while
+    ``sca+bmt`` / ``fca+bmt-lazy`` coalesce dirty tree nodes in the
+    on-chip node cache and rebuild interior levels after a crash
+    (Phoenix-style).
+
+    Claims: eager persistence costs real runtime; lazy is near-free;
+    SCA+lazy keeps a clear runtime *and* write-traffic advantage over
+    FCA+eager, mirroring the paper's SCA-vs-FCA argument at the
+    metadata level.
+    """
+
+    name = "integrity"
+    title = "Integrity tree — runtime/traffic vs the tree-less base designs"
+
+    #: (variant, its tree-less baseline) in plot order.
+    VARIANTS = (
+        ("fca+bmt", "fca"),
+        ("fca+bmt-lazy", "fca"),
+        ("sca+bmt-eager", "sca"),
+        ("sca+bmt", "sca"),
+    )
+
+    def __init__(self, workloads: Optional[Sequence[str]] = None) -> None:
+        self.workloads = list(workloads) if workloads is not None else None
+
+    def _workloads_for(self, scale: str) -> List[str]:
+        if self.workloads is not None:
+            return self.workloads
+        return ["array", "hash", "btree"] if scale == "quick" else list_workloads()
+
+    def run(
+        self, scale: str = "quick", executor: Optional[SweepExecutor] = None
+    ) -> ExperimentResult:
+        _check_scale(scale)
+        executor = self._executor(executor)
+        params = _quick_params(scale)
+        config = bench_config()
+        workloads = self._workloads_for(scale)
+        designs = sorted({name for pair in self.VARIANTS for name in pair})
+        jobs = [
+            SweepJob(design, workload, config=config, params=params)
+            for workload in workloads
+            for design in designs
+        ]
+        stats = executor.map_stats(jobs)
+        by_point = {(job.workload, job.design): s for job, s in zip(jobs, stats)}
+
+        def ratios(metric: str, variant: str, base: str) -> List[float]:
+            return [
+                getattr(by_point[(w, variant)], metric)
+                / getattr(by_point[(w, base)], metric)
+                for w in workloads
+            ]
+
+        series: List[Series] = []
+        averages: Dict[Tuple[str, str], float] = {}
+        for metric, prefix in (("runtime_ns", "runtime"), ("bytes_written", "traffic")):
+            for variant, base in self.VARIANTS:
+                variant_series = Series("%s/%s" % (prefix, variant))
+                values = ratios(metric, variant, base)
+                for workload, value in zip(workloads, values):
+                    variant_series.add(workload, value)
+                average = statistics.fmean(values)
+                variant_series.add("average", average)
+                averages[(prefix, variant)] = average
+                series.append(variant_series)
+        sca_vs_fca_runtime = statistics.fmean(
+            ratios("runtime_ns", "sca+bmt", "fca+bmt")
+        )
+        sca_vs_fca_traffic = statistics.fmean(
+            ratios("bytes_written", "sca+bmt", "fca+bmt")
+        )
+        tree_writes = {
+            variant: sum(by_point[(w, variant)].tree_node_writes for w in workloads)
+            for variant, _base in self.VARIANTS
+        }
+        claims = {
+            "eager tree persistence costs runtime (fca+bmt > 1.05x fca)": averages[
+                ("runtime", "fca+bmt")
+            ]
+            > 1.05,
+            "lazy tree persistence is near-free (sca+bmt <= 1.10x sca)": averages[
+                ("runtime", "sca+bmt")
+            ]
+            <= 1.10,
+            "SCA+lazy runtime beats FCA+eager (mean ratio < 0.9)": sca_vs_fca_runtime
+            < 0.9,
+            "SCA+lazy write traffic beats FCA+eager (mean ratio < 0.9)": sca_vs_fca_traffic
+            < 0.9,
+            "lazy coalescing writes fewer tree nodes than eager (both bases)": (
+                tree_writes["fca+bmt-lazy"] < tree_writes["fca+bmt"]
+                and tree_writes["sca+bmt"] < tree_writes["sca+bmt-eager"]
+            ),
+        }
+        notes = [
+            "mean sca+bmt/fca+bmt: runtime %.3f, write traffic %.3f"
+            % (sca_vs_fca_runtime, sca_vs_fca_traffic),
+            "tree node writes: "
+            + ", ".join(
+                "%s=%d" % (variant, tree_writes[variant])
+                for variant, _base in self.VARIANTS
+            ),
+        ]
+        return ExperimentResult(
+            experiment=self.name, title=self.title, series=series, claims=claims, notes=notes
+        )
+
+
 class Table1Stages(Experiment):
     """Table 1: which transaction stages need counter-atomicity.
 
@@ -579,6 +694,7 @@ EXPERIMENTS: Dict[str, Type[Experiment]] = {
         Fig15CounterCache,
         Fig16TxnSize,
         Fig17NvmLatency,
+        FigIntegrity,
         Table1Stages,
         Table2Config,
     )

@@ -36,6 +36,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 from ..config import SystemConfig, fast_config
 from ..errors import JobExecutionError
 from ..sim.stats import CoreStats, MachineStats
+from ..utils.versioning import code_version
 from ..workloads.base import WorkloadParams
 
 __all__ = [
@@ -121,31 +122,9 @@ def _canonical(value: object) -> object:
     return value
 
 
-_code_version_cache: Optional[str] = None
-
-
-def code_version() -> str:
-    """Digest of the ``repro`` package sources.
-
-    Any change to the simulator's code changes this digest and thereby
-    invalidates every cached sweep result — correctness beats reuse.
-    """
-    global _code_version_cache
-    if _code_version_cache is not None:
-        return _code_version_cache
-    package_dir = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-    digest = hashlib.sha256()
-    for root, dirs, files in sorted(os.walk(package_dir)):
-        dirs[:] = sorted(d for d in dirs if d != "__pycache__")
-        for name in sorted(files):
-            if not name.endswith(".py"):
-                continue
-            path = os.path.join(root, name)
-            digest.update(os.path.relpath(path, package_dir).encode())
-            with open(path, "rb") as stream:
-                digest.update(stream.read())
-    _code_version_cache = digest.hexdigest()[:16]
-    return _code_version_cache
+# Re-exported for backwards compatibility; the implementation moved to
+# repro.utils.versioning so the crash/sim layers can fingerprint code
+# without depending on the bench layer.
 
 
 def job_cache_key(job: SweepJob) -> str:

@@ -32,7 +32,9 @@ from ..crypto import aes as aes_module
 from ..crypto.counter_cache import CounterCache
 from ..crypto.otp import OTPCipher, _xor, _xor_reference, make_block_cipher
 from ..errors import ConfigurationError
+from ..integrity.tree import IntegrityTreeEngine
 from ..mem.writequeue import WriteQueue
+from ..nvm.address import AddressMap
 
 #: Iteration counts per scale: (fast-path ops, reference-path ops).
 _SCALE_OPS = {
@@ -161,6 +163,36 @@ def bench_kernels(scale: str = "quick") -> Dict[str, Dict[str, float]]:
     results["counter_cache_lookup"] = {
         "ns_per_op": round(fast_s / lookup_n * 1e9, 1),
     }
+
+    # -- Bonsai tree root update: incremental path vs full rebuild --------
+    # Every counter persist in a +bmt design refreshes the leaf-to-root
+    # path with update_group; root_over is the from-scratch sparse
+    # rebuild the post-crash verifier uses, retained here as the
+    # reference.  Both must agree on the root (checked once below).
+    tree = IntegrityTreeEngine(
+        EncryptionConfig(cipher="prf"), AddressMap(memory_size_bytes=1024 * 1024)
+    )
+    tree_groups = 64
+    tree_counters: Dict[int, int] = {}
+    for group in range(tree_groups):
+        base = group * 512
+        values = tuple(group * 8 + i + 1 for i in range(8))
+        tree.update_group(base, values)
+        for i, value in enumerate(values):
+            tree_counters[base + i * 64] = value
+    if tree.root != tree.root_over(tree_counters):
+        raise ConfigurationError("bmt kernel setup: incremental root != rebuild")
+    bmt_fast_n = 2000 * mult
+    bmt_ref_n = 20 * mult
+
+    def run_bmt_fast() -> None:
+        for index in range(bmt_fast_n):
+            base = (index % tree_groups) * 512
+            tree.update_group(base, tuple(index + i + 1 for i in range(8)))
+
+    fast_s = _best_of(run_bmt_fast)
+    ref_s = _best_of(lambda: [tree.root_over(tree_counters) for _ in range(bmt_ref_n)])
+    results["bmt_root_update"] = _kernel(fast_s, bmt_fast_n, ref_s, bmt_ref_n)
 
     # -- Write queue acceptance (every simulated writeback) --------------
     accept_n = 5000 * mult

@@ -26,9 +26,9 @@ from typing import Dict, Optional, Tuple
 from ..config import SystemConfig, fast_config
 from ..sim.machine import Machine
 from ..sim.snapshot import CheckpointPolicy, SnapshotStore, run_with_checkpoints
+from ..utils.versioning import code_version
 from ..workloads.base import WorkloadParams
 from .harness import WorkloadRunOutcome, build_traces
-from .parallel import code_version
 
 __all__ = ["Heartbeat", "run_workload_resilient"]
 

@@ -218,6 +218,49 @@ class EncryptionConfig:
 
 
 @dataclass(frozen=True)
+class IntegrityConfig:
+    """Bonsai Merkle Tree parameters (integrity-verified designs).
+
+    The tree covers the counter region: leaves are 64 B counter lines
+    (eight 8 B counters), interior nodes are 64 B blocks of ``arity``
+    child digests, and the root lives in a crash-safe on-chip secure
+    register.  See ``docs/integrity_tree.md``.
+    """
+
+    #: Children per interior node.  8 keeps a node exactly one 64 B
+    #: line of 8 B digests, so tree writes look like counter writes.
+    arity: int = 8
+    #: On-chip tree-node cache capacity, in 64 B nodes.
+    node_cache_entries: int = 64
+    #: Tree write queue depth (same ADR/ready-bit semantics as the
+    #: counter write queue).
+    tree_write_queue_entries: int = 16
+    #: Default persistence mode when the design does not pin one:
+    #: ``"eager"`` persists the leaf-to-root path at every counter
+    #: persist (Freij-style strict ordering); ``"lazy"`` coalesces
+    #: dirty tree nodes until counter_cache_writeback()/eviction.
+    mode: str = "eager"
+    #: Osiris bound: when a write's (global) encryption counter outruns
+    #: the line's persisted counter by more than this, the write is
+    #: escalated to a counter-atomic pair, so the post-crash counter
+    #: search (same window) can always re-authenticate an in-flight
+    #: line against its ECC-lane tag.
+    max_counter_lag: int = 64
+
+    def __post_init__(self) -> None:
+        _require(_is_power_of_two(self.arity), "tree arity must be a power of two")
+        _require(self.arity >= 2, "tree arity must be at least 2")
+        _require(
+            self.arity <= CACHE_LINE_SIZE // COUNTER_SIZE,
+            "a tree node's digests must fit one %d B line" % CACHE_LINE_SIZE,
+        )
+        _require(self.node_cache_entries >= 1, "tree node cache needs entries")
+        _require(self.tree_write_queue_entries >= 1, "tree write queue needs entries")
+        _require(self.mode in ("eager", "lazy"), "integrity mode is 'eager' or 'lazy'")
+        _require(self.max_counter_lag >= 1, "counter lag bound must be positive")
+
+
+@dataclass(frozen=True)
 class SystemConfig:
     """Top-level configuration tying the whole machine together."""
 
@@ -233,6 +276,7 @@ class SystemConfig:
     controller: MemoryControllerConfig = field(default_factory=MemoryControllerConfig)
     nvm: NVMTimingConfig = field(default_factory=NVMTimingConfig)
     encryption: EncryptionConfig = field(default_factory=EncryptionConfig)
+    integrity: IntegrityConfig = field(default_factory=IntegrityConfig)
     memory_size_bytes: int = 8 * GB
     #: When True the simulator moves and encrypts real bytes; when False
     #: it tracks only addresses and timing (for large sweeps).
@@ -264,6 +308,10 @@ class SystemConfig:
             self,
             counter_cache=replace(self.counter_cache, size_bytes=size_bytes),
         )
+
+    def with_integrity(self, **overrides: Any) -> "SystemConfig":
+        """Return a copy with integrity-tree fields replaced."""
+        return replace(self, integrity=replace(self.integrity, **overrides))
 
     def describe(self) -> Dict[str, str]:
         """Human-readable parameter table (used by the Table 2 bench)."""

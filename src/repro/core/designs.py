@@ -9,8 +9,8 @@ directly comparable.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Tuple
 
 from ..errors import ConfigurationError
 
@@ -41,10 +41,30 @@ class DesignPolicy:
     magic_counter_persistence: bool
     #: Bus width in bits (72 for the co-located designs).
     bus_width_bits: int
+    #: Maintain a Bonsai Merkle Tree over the counter region (the +bmt
+    #: design variants); post-crash verification walks it.
+    integrity_tree: bool = False
+    #: Tree persistence mode pinned by the design (``"eager"`` or
+    #: ``"lazy"``); None defers to ``IntegrityConfig.mode``.
+    integrity_mode: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.pair_all_writes and self.pair_ca_writes:
             raise ConfigurationError("a design pairs all writes or CA writes, not both")
+        if self.integrity_tree and not self.encrypts:
+            raise ConfigurationError("the integrity tree covers encryption counters")
+        if self.integrity_tree and self.colocated:
+            raise ConfigurationError(
+                "the integrity tree requires the separate counter region"
+            )
+        if self.integrity_tree and self.magic_counter_persistence:
+            raise ConfigurationError(
+                "magic counter persistence leaves nothing for the tree to verify"
+            )
+        if self.integrity_mode is not None and self.integrity_mode not in ("eager", "lazy"):
+            raise ConfigurationError("integrity mode must be 'eager' or 'lazy'")
+        if self.integrity_mode is not None and not self.integrity_tree:
+            raise ConfigurationError("integrity mode requires the integrity tree")
         if self.colocated and (self.pair_all_writes or self.pair_ca_writes):
             raise ConfigurationError("co-located designs are atomic by construction")
         if self.colocated and self.bus_width_bits != 72:
@@ -206,6 +226,46 @@ SCA = DesignPolicy(
     bus_width_bits=64,
 )
 
+FCA_BMT = replace(
+    FCA,
+    name="fca+bmt",
+    description=(
+        "FCA plus a Bonsai Merkle Tree over the counter region, eagerly "
+        "persisted: every counter persist drives its leaf-to-root path "
+        "into the tree write queue (Freij-style strict ordering)."
+    ),
+    integrity_tree=True,
+    integrity_mode="eager",
+)
+
+SCA_BMT = replace(
+    SCA,
+    name="sca+bmt",
+    description=(
+        "SCA plus a Bonsai Merkle Tree over the counter region, lazily "
+        "persisted: dirty tree nodes coalesce on chip and flush at "
+        "counter_cache_writeback() and node-cache evictions, mirroring "
+        "SCA's counter relaxation."
+    ),
+    integrity_tree=True,
+    integrity_mode="lazy",
+)
+
+#: Mode ablations: same base design, the other persistence discipline.
+FCA_BMT_LAZY = replace(
+    FCA_BMT,
+    name="fca+bmt-lazy",
+    description="FCA with a lazily persisted counter tree (mode ablation).",
+    integrity_mode="lazy",
+)
+
+SCA_BMT_EAGER = replace(
+    SCA_BMT,
+    name="sca+bmt-eager",
+    description="SCA with an eagerly persisted counter tree (mode ablation).",
+    integrity_mode="eager",
+)
+
 #: The designs evaluated in the paper's figures, in plot order.
 ALL_DESIGNS: Tuple[DesignPolicy, ...] = (
     NO_ENCRYPTION,
@@ -219,8 +279,50 @@ ALL_DESIGNS: Tuple[DesignPolicy, ...] = (
 #: The four designs of Figures 12/14 (normalized to no-encryption).
 BASELINE_DESIGNS: Tuple[DesignPolicy, ...] = (SCA, FCA, CO_LOCATED, CO_LOCATED_CC)
 
+#: The integrity-verified variants (kept out of ALL_DESIGNS so the
+#: paper-figure sweeps are unchanged; campaigns and the integrity
+#: benchmarks opt in by name).
+INTEGRITY_DESIGNS: Tuple[DesignPolicy, ...] = (
+    FCA_BMT,
+    SCA_BMT,
+    FCA_BMT_LAZY,
+    SCA_BMT_EAGER,
+)
+
 _BY_NAME: Dict[str, DesignPolicy] = {d.name: d for d in ALL_DESIGNS}
 _BY_NAME[UNSAFE.name] = UNSAFE
+for _design in INTEGRITY_DESIGNS:
+    _BY_NAME[_design.name] = _design
+
+#: (base design, requested mode) -> integrity variant name.  None means
+#: "the variant's native mode" (eager for FCA, lazy for SCA).
+_INTEGRITY_BY_BASE: Dict[Tuple[str, Optional[str]], str] = {
+    ("fca", None): FCA_BMT.name,
+    ("fca", "eager"): FCA_BMT.name,
+    ("fca", "lazy"): FCA_BMT_LAZY.name,
+    ("sca", None): SCA_BMT.name,
+    ("sca", "lazy"): SCA_BMT.name,
+    ("sca", "eager"): SCA_BMT_EAGER.name,
+}
+
+
+def integrity_variant(base: str, mode: Optional[str] = None) -> str:
+    """Name of the +bmt variant of ``base`` in the requested mode.
+
+    Accepts a variant name as ``base`` too (re-resolving its mode), so
+    ``--integrity`` is idempotent on already-suffixed design lists.
+    """
+    policy = get_design(base)
+    if policy.integrity_tree:
+        base = base.split("+", 1)[0]
+    try:
+        return _INTEGRITY_BY_BASE[(base, mode)]
+    except KeyError:
+        bases = sorted({name for name, _ in _INTEGRITY_BY_BASE})
+        raise ConfigurationError(
+            "no integrity-tree variant of design %r (mode %r); "
+            "integrity designs exist for: %s" % (base, mode, ", ".join(bases))
+        ) from None
 
 
 def get_design(name: str) -> DesignPolicy:

@@ -12,6 +12,10 @@ the triage taxonomy:
   it to a provably consistent one;
 * ``detected``           — the state was bad and recovery *said so*
   (decryption failure, corrupt-record check, checksum mismatch);
+* ``detected-by-tree``   — recovery accepted a state the oracle proves
+  wrong, but the integrity tree's post-crash walk (root register +
+  ECC-lane tag sweep; ``+bmt`` designs) flagged it — would-be silent
+  corruption converted into a detection;
 * ``silent-corruption``  — recovery accepted a state the oracle proves
   wrong: the bucket that breaks real systems;
 * ``recovery-crashed``   — the recovery procedure itself raised an
@@ -57,6 +61,7 @@ class Outcome(enum.Enum):
     RECOVERED = "recovered"
     RECOVERED_SEARCH = "recovered-by-search"
     DETECTED = "detected"
+    DETECTED_TREE = "detected-by-tree"
     SILENT = "silent-corruption"
     CRASHED = "recovery-crashed"
 
@@ -105,7 +110,7 @@ def job_key(job: CampaignJob) -> str:
     The code version is part of the key: resuming a campaign across a
     simulator change re-runs everything rather than mixing semantics.
     """
-    from ..bench.parallel import code_version
+    from ..utils.versioning import code_version
 
     document = job.document()
     document["code"] = code_version()
@@ -160,6 +165,9 @@ def run_campaign_job(job: CampaignJob) -> Dict[str, object]:
         from .counter_recovery import CounterRecoverer
 
         recoverer = CounterRecoverer(outcome.result.config.encryption)
+    tree_checked = outcome.result.policy.integrity_tree
+    if tree_checked:
+        from ..integrity.verifier import repair_image, verify_image
     tallies: Dict[str, int] = {o.value: 0 for o in Outcome}
     examples: List[Dict[str, object]] = []
     fault_events = 0
@@ -184,6 +192,32 @@ def run_campaign_job(job: CampaignJob) -> Dict[str, object]:
             else:
                 classified = Outcome.SILENT
                 detail = verdict.silent[0]
+        if classified is Outcome.SILENT and tree_checked:
+            # The recovery path accepted a state the oracle rejects.  A
+            # +bmt design gets one more line of defence: replay the
+            # root-register walk and the ECC-lane tag sweep that real
+            # integrity-verified hardware performs on the first fetch
+            # after restart.  Anything it flags stops being *silent*.
+            tree_report = verify_image(image, outcome.result.config)
+            if not tree_report.clean:
+                classified = Outcome.DETECTED_TREE
+                detail = tree_report.describe()
+        if classified is Outcome.DETECTED_TREE and recoverer is not None:
+            # Phoenix-style repair: re-run the Osiris counter search
+            # with the tree as oracle, reseal the root, and see whether
+            # the recovered state now satisfies both the tree and the
+            # workload validator.  Failure must not mask the detection.
+            try:
+                retry_image, _retry_events = injector.crash_with_faults(
+                    crash_ns, [model], seed=job.seed
+                )
+                _search, after = repair_image(retry_image, outcome.result.config)
+                retried = manager.recover(retry_image, encrypted=encrypted)
+                if after.clean and validator.classify(retried).consistent:
+                    classified = Outcome.RECOVERED_SEARCH
+                    detail = "consistent after tree-guided counter search"
+            except Exception:
+                pass  # stays DETECTED_TREE
         if classified is Outcome.DETECTED and recoverer is not None:
             # Optional triage stage: rebuild the same crash image and
             # let the Osiris-style counter search try to repair it.  A
@@ -375,9 +409,9 @@ class CampaignReport:
         lines: List[str] = []
         lines.append("crash campaign — %d job(s), %d crash point(s)" % (
             len(self.results), self.points))
-        header = "%-10s %-8s %-13s %-18s %6s %6s %6s %6s %6s %6s" % (
+        header = "%-10s %-13s %-13s %-18s %6s %6s %6s %6s %6s %6s %6s" % (
             "workload", "design", "mechanism", "fault",
-            "points", "recov", "search", "detect", "SILENT", "CRASH",
+            "points", "recov", "search", "detect", "tree", "SILENT", "CRASH",
         )
         lines.append(header)
         lines.append("-" * len(header))
@@ -385,7 +419,7 @@ class CampaignReport:
             job = result["job"]
             outcomes = result["outcomes"]
             lines.append(
-                "%-10s %-8s %-13s %-18s %6d %6d %6d %6d %6d %6d"
+                "%-10s %-13s %-13s %-18s %6d %6d %6d %6d %6d %6d %6d"
                 % (
                     job["workload"],
                     job["design"],
@@ -395,6 +429,7 @@ class CampaignReport:
                     outcomes.get(Outcome.RECOVERED.value, 0),
                     outcomes.get(Outcome.RECOVERED_SEARCH.value, 0),
                     outcomes.get(Outcome.DETECTED.value, 0),
+                    outcomes.get(Outcome.DETECTED_TREE.value, 0),
                     outcomes.get(Outcome.SILENT.value, 0),
                     outcomes.get(Outcome.CRASHED.value, 0),
                 )
@@ -402,11 +437,12 @@ class CampaignReport:
         lines.append("-" * len(header))
         lines.append(
             "totals: %d recovered, %d recovered-by-search, %d detected, "
-            "%d silent-corruption, %d recovery-crashed"
+            "%d detected-by-tree, %d silent-corruption, %d recovery-crashed"
             % (
                 self.total(Outcome.RECOVERED),
                 self.total(Outcome.RECOVERED_SEARCH),
                 self.total(Outcome.DETECTED),
+                self.total(Outcome.DETECTED_TREE),
                 self.silent,
                 self.crashed,
             )

@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..config import CACHE_LINE_SIZE
 from ..crypto.counters import CounterStore
+from ..crypto.integrity import IntegrityEngine
 from ..faults.base import FaultEvent, FaultModel, apply_fault_models
 from ..nvm.address import AddressMap
 from ..nvm.device import NVMDevice
@@ -38,6 +39,14 @@ class CrashImage:
     #: Entries that survived this crash only thanks to the ADR drain —
     #: the work an exhausted ADR reserve would have lost (fault models).
     adr_pending: int = 0
+    #: Bonsai-tree secure register at the crash (integrity designs).
+    #: Captured over everything the controller *persisted* — including
+    #: ready entries a budget-limited ADR reserve then drops, which is
+    #: exactly how the tree detects a dropped drain.
+    secure_root: Optional[int] = None
+    #: ECC-lane MACs of the persisted data lines, captured before any
+    #: fault model mutates the image (tags ride atomically with data).
+    line_tags: Optional[Dict[int, bytes]] = None
 
     @property
     def address_map(self) -> AddressMap:
@@ -54,6 +63,10 @@ class CrashInjector:
         #: The ideal design's evaluation fiction: counters always
         #: persist, so its images are decryptable by construction.
         self._magic_counters = result.policy.magic_counter_persistence
+        self._integrity = result.policy.integrity_tree
+        self._config = result.config
+        self._tag_engine: Optional[IntegrityEngine] = None
+        self._tree_engine = None
 
     def crash_at(
         self,
@@ -82,13 +95,55 @@ class CrashInjector:
         )
         for address, value in counters.items():
             store.write(address, value)
-        return CrashImage(
+        image = CrashImage(
             crash_ns=crash_ns,
             device=device,
             counter_store=store,
             design=self.result.policy.name,
             adr_pending=self._journal.adr_pending(crash_ns) if adr else 0,
         )
+        if self._integrity:
+            self._capture_integrity(image, crash_ns, adr, adr_budget)
+        return image
+
+    def _capture_integrity(
+        self, image: CrashImage, crash_ns: float, adr: bool, adr_budget: Optional[int]
+    ) -> None:
+        """Stamp the image with the secure root and the ECC-lane tags.
+
+        The root is computed over the *unbudgeted* ADR reconstruction:
+        the register is updated as the controller persists counters, so
+        it covers ready entries even when a failing ADR reserve later
+        drops them — the resulting root mismatch is the detection.
+        Tags are captured from the (budgeted) image itself; fault
+        models mutate the image only after this capture, so mutations
+        surface as tag mismatches.
+        """
+        if self._tree_engine is None:
+            # Deferred import: repro.integrity.verifier imports this
+            # module, so a top-level import would cycle.
+            from ..integrity.tree import IntegrityTreeEngine
+
+            self._tree_engine = IntegrityTreeEngine(
+                self._config.encryption,
+                self._address_map,
+                arity=self._config.integrity.arity,
+            )
+            self._tag_engine = IntegrityEngine(self._config.encryption)
+        if adr and adr_budget is None:
+            covered = image.counter_store.snapshot()
+        else:
+            _, covered = self._journal.reconstruct(crash_ns, adr=True, adr_budget=None)
+        image.secure_root = self._tree_engine.root_over(covered)
+        tags: Dict[int, bytes] = {}
+        for address in image.device.touched_lines():
+            if not self._address_map.is_data_address(address):
+                continue
+            stored = image.device.read_line(address)
+            tags[address] = self._tag_engine.tag(
+                address, stored.encrypted_with, stored.payload
+            )
+        image.line_tags = tags
 
     def crash_with_faults(
         self,

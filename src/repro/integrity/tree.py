@@ -1,0 +1,264 @@
+"""The Bonsai Merkle Tree over the counter region.
+
+Geometry
+--------
+
+The tree authenticates the *counter store*, not the data region: with
+per-line MACs riding in the ECC lanes (``repro.crypto.integrity``),
+protecting the counters transitively protects the data, which is what
+makes the Bonsai tree orders of magnitude smaller than a full-memory
+tree.  One level-0 node digests one 64 B counter line (= the eight
+counters of one data-line group); each interior node digests ``arity``
+children; the root lives in a crash-safe secure register on the
+controller, never in NVM.
+
+Digests are single u64 values produced by a keyed SplitMix64 chain —
+the same simulation-substitute trade as :mod:`repro.crypto.prf`: fast,
+deterministic, input-sensitive, and explicitly **not** cryptographic.
+Node indices are deliberately *not* absorbed into the digest, so every
+untouched node at a level shares one precomputed default digest and
+the tree can stay sparse (only touched paths are materialized).
+
+Crash semantics
+---------------
+
+The engine is on-chip (volatile) working state; NVM persistence of
+tree nodes is traffic/latency modeling handled by the memory
+controller.  What survives a crash is (a) the secure root register and
+(b) whatever counter lines persisted — interior nodes are always
+reconstructible from the persisted leaves (:meth:`root_over`), the
+Phoenix observation that makes tree-node writes journal-free.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Mapping, Tuple
+
+from ..config import CACHE_LINE_SIZE, COUNTERS_PER_LINE, EncryptionConfig
+from ..crypto.counter_cache import GROUP_SPAN
+from ..crypto.prf import SplitMixPRF, _splitmix64
+from ..errors import AddressError, ConfigurationError
+from ..nvm.address import AddressMap
+from ..utils.bitops import align_down, is_power_of_two
+
+__all__ = ["IntegrityTreeEngine", "TreeNode", "derive_tree_key"]
+
+#: A tree node is identified by ``(level, index)``: level 0 holds the
+#: counter-line digests, the root sits alone at ``engine.levels``.
+TreeNode = Tuple[int, int]
+
+_TWO_U64 = struct.Struct("<QQ")
+
+#: Domain-separation constants so a leaf digest can never collide with
+#: an interior digest over the same values.
+_LEAF_DOMAIN = 0x9D1B0F5B1E4C68A1
+_NODE_DOMAIN = 0x6E2A9C47D3B185F3
+
+
+def derive_tree_key(config: EncryptionConfig) -> int:
+    """Derive an independent u64 tree-hash key from the encryption key."""
+    mixer = SplitMixPRF(config.key)
+    lo, hi = _TWO_U64.unpack(mixer.encrypt_block(b"bmt-tree-hash-ky"))
+    return lo ^ hi
+
+
+class IntegrityTreeEngine:
+    """Sparse keyed hash tree over counter lines, with a secure root.
+
+    ``update_group`` is the hot path: one counter-line change re-hashes
+    only its leaf-to-root path (``levels`` digests).  ``root_over``
+    rebuilds the root from scratch over a persisted counter mapping —
+    the post-crash verification walk.
+    """
+
+    def __init__(
+        self,
+        encryption: EncryptionConfig,
+        address_map: AddressMap,
+        arity: int = COUNTERS_PER_LINE,
+    ) -> None:
+        if not is_power_of_two(arity) or arity < 2:
+            raise ConfigurationError("tree arity must be a power of two >= 2")
+        self.arity = arity
+        self.counter_region_base = address_map.counter_region_base
+        self.counter_region_bytes = address_map.counter_region_bytes
+        #: One leaf per data-line group (= per counter line).
+        self.num_leaves = max(
+            1, -(-address_map.data_region_bytes // GROUP_SPAN)
+        )
+        levels = 1
+        while arity ** levels < self.num_leaves:
+            levels += 1
+        #: Root level; persistable node levels are ``0 .. levels - 1``.
+        self.levels = levels
+        self._key = derive_tree_key(encryption)
+        # Default digest of an untouched node, per level: level 0 is
+        # the digest of eight zero counters, level L+1 the digest of
+        # ``arity`` level-L defaults.  Uniform within a level because
+        # indices are not absorbed.
+        defaults = [self._chain(_LEAF_DOMAIN, (0,) * COUNTERS_PER_LINE)]
+        for _ in range(levels):
+            defaults.append(self._chain(_NODE_DOMAIN, (defaults[-1],) * arity))
+        self._defaults = defaults
+        self._nodes: Dict[TreeNode, int] = {}
+        self._root = defaults[levels]
+
+    # -- digest primitives ---------------------------------------------------
+
+    def _chain(self, domain: int, values) -> int:
+        state = _splitmix64(self._key ^ domain)
+        for value in values:
+            state = _splitmix64(state ^ value)
+        return state
+
+    def leaf_digest(self, counters: Tuple[int, ...]) -> int:
+        """Digest of one counter line (eight counter values)."""
+        if len(counters) != COUNTERS_PER_LINE:
+            raise AddressError(
+                "a tree leaf digests exactly %d counters" % COUNTERS_PER_LINE
+            )
+        return self._chain(_LEAF_DOMAIN, counters)
+
+    def node_digest(self, node: TreeNode) -> int:
+        """Current digest of a node (default if never touched)."""
+        return self._nodes.get(node, self._defaults[node[0]])
+
+    @property
+    def root(self) -> int:
+        """The secure register: root digest over the covered counters."""
+        return self._root
+
+    # -- incremental update (the runtime hot path) ---------------------------
+
+    def leaf_index(self, group_base: int) -> int:
+        """Leaf index covering the data-line group at ``group_base``."""
+        if group_base % GROUP_SPAN != 0:
+            raise AddressError("0x%x is not a group base" % group_base)
+        index = group_base // GROUP_SPAN
+        if index < 0 or index >= self.num_leaves:
+            raise AddressError("group 0x%x outside the covered data region" % group_base)
+        return index
+
+    def update_group(
+        self, group_base: int, counters: Tuple[int, ...]
+    ) -> List[TreeNode]:
+        """Re-hash the path for one changed counter line; update the root.
+
+        Returns the *persistable* path nodes, leaf-to-top (levels
+        ``0 .. levels - 1``).  The root is updated in the secure
+        register and is never written to NVM, so it is not in the path.
+        """
+        index = self.leaf_index(group_base)
+        digest = self.leaf_digest(counters)
+        self._nodes[(0, index)] = digest
+        path: List[TreeNode] = [(0, index)]
+        nodes = self._nodes
+        defaults = self._defaults
+        arity = self.arity
+        for level in range(1, self.levels + 1):
+            index //= arity
+            base = index * arity
+            child_default = defaults[level - 1]
+            digest = self._chain(
+                _NODE_DOMAIN,
+                [
+                    nodes.get((level - 1, base + k), child_default)
+                    for k in range(arity)
+                ],
+            )
+            nodes[(level, index)] = digest
+            if level < self.levels:
+                path.append((level, index))
+        self._root = digest
+        return path
+
+    def verify_leaf(self, group_base: int, counters: Tuple[int, ...]) -> bool:
+        """Check a fetched counter line against the tree (runtime verify)."""
+        node = (0, self.leaf_index(group_base))
+        return self.leaf_digest(counters) == self.node_digest(node)
+
+    # -- from-scratch rebuild (the post-crash walk) --------------------------
+
+    def root_over(self, counters: Mapping[int, int]) -> int:
+        """Root digest over a persisted counter mapping.
+
+        ``counters`` maps data-line address -> counter value (the
+        :meth:`repro.crypto.counters.CounterStore.snapshot` shape);
+        absent lines implicitly hold 0.  The rebuild is sparse: only
+        touched subtrees are hashed, everything else is a default.
+        """
+        groups: Dict[int, List[int]] = {}
+        for line_address, value in counters.items():
+            group = align_down(line_address, GROUP_SPAN)
+            slot = (line_address // CACHE_LINE_SIZE) % COUNTERS_PER_LINE
+            groups.setdefault(group, [0] * COUNTERS_PER_LINE)[slot] = value
+        level_digests: Dict[int, int] = {}
+        for group, values in groups.items():
+            level_digests[self.leaf_index(group)] = self.leaf_digest(tuple(values))
+        arity = self.arity
+        for level in range(1, self.levels + 1):
+            child_default = self._defaults[level - 1]
+            parents: Dict[int, int] = {}
+            for parent in {i // arity for i in level_digests}:
+                base = parent * arity
+                parents[parent] = self._chain(
+                    _NODE_DOMAIN,
+                    [
+                        level_digests.get(base + k, child_default)
+                        for k in range(arity)
+                    ],
+                )
+            level_digests = parents
+        return level_digests.get(0, self._defaults[self.levels])
+
+    def rebuild(self, counters: Mapping[int, int]) -> int:
+        """Reset the working tree to cover ``counters`` (Phoenix recovery).
+
+        Drops all materialized nodes (they are lazily re-derived as
+        defaults plus fresh updates) and reseals the root.
+        """
+        self._nodes.clear()
+        for line_address, value in sorted(counters.items()):
+            group = align_down(line_address, GROUP_SPAN)
+            # Re-insert whole groups once; update_group digests all 8 slots.
+            if (0, group // GROUP_SPAN) in self._nodes:
+                continue
+            values = [0] * COUNTERS_PER_LINE
+            for slot in range(COUNTERS_PER_LINE):
+                values[slot] = counters.get(group + slot * CACHE_LINE_SIZE, 0)
+            self.update_group(group, tuple(values))
+        return self._root
+
+    # -- NVM placement --------------------------------------------------------
+
+    def node_address(self, node: TreeNode) -> int:
+        """Pseudo NVM address of a tree node, for bank scheduling only.
+
+        Tree nodes notionally live alongside the counters; the exact
+        placement only influences bank/row arithmetic in the timing
+        model, so levels are packed densely and wrapped into the
+        counter region.
+        """
+        level, index = node
+        offset = 0
+        capacity = self.arity ** self.levels
+        for _ in range(level):
+            offset += capacity
+            capacity //= self.arity
+        span = align_down(self.counter_region_bytes, CACHE_LINE_SIZE)
+        return self.counter_region_base + ((offset + index) * CACHE_LINE_SIZE) % span
+
+    # -- checkpoint state -----------------------------------------------------
+
+    def get_state(self) -> Dict[str, object]:
+        return {
+            "nodes": [(level, index, digest) for (level, index), digest in self._nodes.items()],
+            "root": self._root,
+        }
+
+    def set_state(self, state: Dict[str, object]) -> None:
+        self._nodes = {
+            (level, index): digest for level, index, digest in state["nodes"]
+        }
+        self._root = state["root"]

@@ -1,0 +1,161 @@
+"""Post-crash integrity verification and repair over crash images.
+
+Recovery with a Bonsai Merkle Tree has two independent checks:
+
+* **Root walk** — rebuild the tree root from the *persisted* counters
+  (:meth:`IntegrityTreeEngine.root_over`) and compare it to the secure
+  register captured at the crash.  Any counter-region corruption —
+  torn counter lines, counter bit-flips, ADR entries that were dropped
+  after the register covered them — moves the computed root.
+* **Tag sweep** — re-verify each data line's ECC-lane MAC against the
+  line's persisted ciphertext and its architectural counter.  Data
+  corruption (torn or flipped lines) and stale counters both fail the
+  tag even when the counter region itself hashes clean.
+
+Both checks use only post-crash-visible state (the image, the register,
+the persisted tags) — no simulator ground truth — so a passing
+verification is exactly what real recovery firmware could conclude.
+
+Repair is Phoenix + Osiris: search each failing line's counter
+neighborhood until its tag verifies (:mod:`repro.crash.counter_recovery`),
+then rebuild the tree over the recovered counters and reseal the root.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..config import SystemConfig
+from ..crash.counter_recovery import CounterRecoverer, CounterRecoveryReport
+from ..crash.injector import CrashImage
+from ..crypto.integrity import IntegrityEngine, TaggedLine
+from .tree import IntegrityTreeEngine
+
+__all__ = ["TreeVerificationReport", "repair_image", "verify_image"]
+
+
+@dataclass
+class TreeVerificationReport:
+    """Outcome of one post-crash verification walk."""
+
+    design: str
+    crash_ns: float
+    #: The secure register at the crash; None when the image predates
+    #: integrity capture (verification then only runs the tag sweep).
+    root_expected: Optional[int]
+    #: Root rebuilt from the image's persisted counters.
+    root_computed: int
+    #: Data lines whose ECC-lane MAC verifies under *no* counter in the
+    #: Osiris search window — genuine corruption.
+    tag_failures: List[int] = field(default_factory=list)
+    #: Lines whose MAC failed the architectural counter but verified at
+    #: a forward lag: legitimate in-flight state (data persisted before
+    #: its counter writeback), repairable by counter search.
+    stale_lines: int = 0
+    lines_checked: int = 0
+
+    @property
+    def root_match(self) -> bool:
+        return self.root_expected is None or self.root_expected == self.root_computed
+
+    @property
+    def clean(self) -> bool:
+        return self.root_match and not self.tag_failures
+
+    def describe(self) -> str:
+        if self.clean:
+            return "tree verification clean (%d lines)" % self.lines_checked
+        parts = []
+        if not self.root_match:
+            parts.append(
+                "root mismatch (register %016x != computed %016x)"
+                % (self.root_expected, self.root_computed)
+            )
+        if self.tag_failures:
+            parts.append(
+                "%d tag failure(s) at %s"
+                % (
+                    len(self.tag_failures),
+                    ", ".join("0x%x" % a for a in self.tag_failures[:4])
+                    + ("..." if len(self.tag_failures) > 4 else ""),
+                )
+            )
+        return "; ".join(parts)
+
+
+def _tree_engine(image: CrashImage, config: SystemConfig) -> IntegrityTreeEngine:
+    return IntegrityTreeEngine(
+        config.encryption, image.address_map, arity=config.integrity.arity
+    )
+
+
+def verify_image(
+    image: CrashImage, config: SystemConfig, max_lag: Optional[int] = None
+) -> TreeVerificationReport:
+    """Run the root walk and the tag sweep over a crash image.
+
+    Consumes the integrity capture the injector stores on the image
+    (``secure_root``, ``line_tags``); faults mutate the image *after*
+    capture, so any mutation surfaces as a mismatch here.
+
+    The tag sweep mirrors Osiris semantics: a line whose MAC fails the
+    architectural counter but verifies at a forward lag (within
+    ``max_lag``) is legitimate in-flight state — SCA lets non-atomic
+    data drain before its counter writeback — and counts as *stale*,
+    not corrupt.  Only a line no candidate counter can authenticate is
+    a tag failure.
+    """
+    if max_lag is None:
+        max_lag = config.integrity.max_counter_lag
+    engine = _tree_engine(image, config)
+    report = TreeVerificationReport(
+        design=image.design,
+        crash_ns=image.crash_ns,
+        root_expected=image.secure_root,
+        root_computed=engine.root_over(image.counter_store.snapshot()),
+    )
+    tags = image.line_tags or {}
+    mac = IntegrityEngine(config.encryption)
+    for address in sorted(tags):
+        if not image.address_map.is_data_address(address):
+            continue
+        stored = image.device.read_line(address)
+        architectural = image.counter_store.read(address)
+        report.lines_checked += 1
+        if mac.verify(address, architectural, stored.payload, tags[address]):
+            continue
+        line = TaggedLine(address=address, ciphertext=stored.payload, tag=tags[address])
+        if any(
+            line.verify_with(mac, architectural + lag)
+            for lag in range(1, max_lag + 1)
+        ):
+            report.stale_lines += 1
+        else:
+            report.tag_failures.append(address)
+    return report
+
+
+def repair_image(
+    image: CrashImage,
+    config: SystemConfig,
+    max_lag: Optional[int] = None,
+) -> Tuple[CounterRecoveryReport, TreeVerificationReport]:
+    """Osiris counter search + Phoenix root reseal, in place.
+
+    Searches each tagged line's counter neighborhood until its MAC
+    verifies (bounded by ``max_lag``), writes recovered counters back
+    into the image, then recomputes the tree over the repaired
+    counters and installs the new root in the image's register —
+    recovery *reseals* the tree rather than proving the old root.
+
+    Returns the recovery report and the post-repair verification
+    (clean iff every tagged line now decrypts consistently).
+    """
+    if max_lag is None:
+        max_lag = config.integrity.max_counter_lag
+    recoverer = CounterRecoverer(config.encryption, max_lag=max_lag)
+    recovery = recoverer.recover_image(image, tags=image.line_tags)
+    engine = _tree_engine(image, config)
+    image.secure_root = engine.root_over(image.counter_store.snapshot())
+    return recovery, verify_image(image, config)

@@ -39,6 +39,9 @@ from ..config import CACHE_LINE_SIZE, SystemConfig
 from ..core.designs import DesignPolicy
 from ..crypto.counters import CounterStore
 from ..crypto.engine import EncryptionEngine
+from ..errors import SimulationError
+from ..integrity.cache import TreeNodeCache
+from ..integrity.tree import IntegrityTreeEngine, TreeNode
 from ..nvm.address import AddressMap
 from ..nvm.device import NVMDevice
 from ..nvm.timing import BankTimingModel, BusModel
@@ -96,6 +99,14 @@ class ControllerStats:
     counter_fill_reads: int = 0
     total_read_latency_ns: float = 0.0
     total_write_accept_wait_ns: float = 0.0
+    # Bonsai-tree designs only (all zero otherwise).
+    tree_node_writes: int = 0
+    coalesced_tree_writes: int = 0
+    tree_verifications: int = 0
+    tree_node_fills: int = 0
+    root_updates: int = 0
+    ccwb_tree_flushes: int = 0
+    lag_forced_pairs: int = 0
 
     @property
     def mean_read_latency_ns(self) -> float:
@@ -148,8 +159,29 @@ class MemoryController:
             coalesce=config.controller.coalesce_writes,
             entry_ids=self._entry_ids,
         )
+        # Bonsai Merkle Tree over the counters (the +bmt designs): the
+        # working tree and its secure root live on chip; the node cache
+        # and the dedicated tree write queue model the persistence
+        # traffic under the design's eager or lazy discipline.
+        self.tree: Optional[IntegrityTreeEngine] = None
+        self.tree_cache: Optional[TreeNodeCache] = None
+        self.tree_queue: Optional[WriteQueue] = None
+        self._tree_mode = ""
+        if policy.integrity_tree:
+            self.tree = IntegrityTreeEngine(
+                config.encryption, self.address_map, arity=config.integrity.arity
+            )
+            self.tree_cache = TreeNodeCache(config.integrity.node_cache_entries)
+            self.tree_queue = WriteQueue(
+                "tree-wq",
+                config.integrity.tree_write_queue_entries,
+                coalesce=config.controller.coalesce_writes,
+                entry_ids=self._entry_ids,
+            )
+            self._tree_mode = policy.integrity_mode or config.integrity.mode
+        self._max_counter_lag = config.integrity.max_counter_lag
         self._fifo_drain = config.controller.drain_policy == "fifo"
-        self._last_drain = {"data": 0.0, "counter": 0.0}
+        self._last_drain = {"data": 0.0, "counter": 0.0, "tree": 0.0}
         self._counter_hold_ns = config.controller.counter_drain_hold_ns
         self._pair_ready_latency_ns = config.controller.pair_ready_latency_ns
         #: Read-queue occupancy (Table 2: 32 entries).  A slot is held
@@ -294,6 +326,12 @@ class MemoryController:
         arrival = self.bus.schedule_transfer(access.complete_ns, CACHE_LINE_SIZE)
         self.stats.bytes_read += CACHE_LINE_SIZE
         self.stats.counter_fill_reads += 1
+        if self.tree is not None:
+            # The fetched counters cannot be trusted (used for OTPs)
+            # until their tree path authenticates.
+            arrival = max(
+                arrival, self._verify_counter_fetch(data_address, request_ns)
+            )
         return arrival
 
     # ------------------------------------------------------------------
@@ -329,7 +367,23 @@ class MemoryController:
                 line, encryption.ciphertext, request_ns, encryption.counter
             )
 
-        if self.policy.write_is_paired(counter_atomic):
+        paired = self.policy.write_is_paired(counter_atomic)
+        if (
+            not paired
+            and self.tree is not None
+            and not self.policy.magic_counter_persistence
+            and encryption.counter - self.counter_store.read(line)
+            > self._max_counter_lag
+        ):
+            # Osiris bound: the global counter has outrun this line's
+            # persisted counter beyond the post-crash search window, so
+            # an unpaired write here would be unrecoverable after a
+            # crash.  Integrity-verified designs escalate the write to
+            # a counter-atomic pair — all-or-nothing, no crash window —
+            # keeping every persisted line re-authenticable.
+            self.stats.lag_forced_pairs += 1
+            paired = True
+        if paired:
             return self._write_paired(
                 line, encryption.ciphertext, request_ns, encryption.counter
             )
@@ -522,9 +576,10 @@ class MemoryController:
             )
             self.device.persist_line(line, payload, counter)
             self.counter_store.write_counter_line(group_base, counters)
+            settled_ns = self._note_counter_persist(group_base, counters, ready_ns)
             return WriteTicket(
                 address=line,
-                accept_ns=ready_ns,
+                accept_ns=settled_ns,
                 drain_ns=max(candidate_data.drain_ns, candidate_ctr.drain_ns),
                 paired=True,
                 coalesced=True,
@@ -600,6 +655,7 @@ class MemoryController:
 
         self.device.persist_line(line, payload, counter)
         self.counter_store.write_counter_line(group_base, counters)
+        settled_ns = self._note_counter_persist(group_base, counters, ready_ns)
         self.journal.record_data(
             entry_id=data_entry.entry_id,
             address=line,
@@ -610,10 +666,10 @@ class MemoryController:
             drain_ns=data_drain,
             partner_id=counter_entry_id,
         )
-        self.stats.total_write_accept_wait_ns += ready_ns - request_ns
+        self.stats.total_write_accept_wait_ns += settled_ns - request_ns
         return WriteTicket(
             address=line,
-            accept_ns=ready_ns,
+            accept_ns=settled_ns,
             drain_ns=max(data_drain, counter_drain),
             paired=True,
             coalesced=merged is not None,
@@ -662,12 +718,13 @@ class MemoryController:
         if coalesced is not None:
             self.stats.coalesced_counter_writes += 1
             self.counter_store.write_counter_line(group_base, counters)
+            settled_ns = self._note_counter_persist(group_base, counters, request_ns)
             self.journal.amend_counter(
                 coalesced.entry_id, group_base, counters, effective_ns=request_ns
             )
             return WriteTicket(
                 address=counter_line,
-                accept_ns=request_ns,
+                accept_ns=settled_ns,
                 drain_ns=coalesced.drain_ns,
                 paired=False,
                 coalesced=True,
@@ -686,6 +743,7 @@ class MemoryController:
         )
         self.counter_queue.set_drain_time(entry, drain, slot_release_ns=issue)
         self.counter_store.write_counter_line(group_base, counters)
+        settled_ns = self._note_counter_persist(group_base, counters, entry.accept_ns)
         self.journal.record_counter(
             address=counter_line,
             counters=counters,
@@ -699,11 +757,121 @@ class MemoryController:
         self.stats.counter_writes += 1
         return WriteTicket(
             address=counter_line,
-            accept_ns=entry.accept_ns,
+            accept_ns=settled_ns,
             drain_ns=drain,
             paired=False,
             coalesced=False,
         )
+
+    # ------------------------------------------------------------------
+    # Bonsai Merkle Tree maintenance (the +bmt designs)
+    # ------------------------------------------------------------------
+
+    def _note_counter_persist(
+        self, group_base: int, counters: Tuple[int, ...], effective_ns: float
+    ) -> float:
+        """Re-hash the tree path for a just-persisted counter line.
+
+        The secure root always advances with the persisted counters;
+        what differs per mode is when the *interior nodes* reach NVM:
+        eagerly right here (Freij-style strict ordering), or lazily by
+        dirtying the node cache and flushing at
+        ``counter_cache_writeback()`` / eviction (the SCA relaxation —
+        safe because interior nodes are reconstructible from the
+        persisted leaves).
+
+        Returns when the write's tree obligation is met.  The eager
+        discipline takes no ADR cover for metadata — that is Freij's
+        premise — so a write is not architecturally persistent until
+        its whole root path has *drained* to the array, and the
+        returned settle time extends the caller's acceptance ticket.
+        The lazy mode has no ordering obligation (interior nodes are
+        reconstructible) and returns ``effective_ns`` unchanged.
+        """
+        if self.tree is None:
+            return effective_ns
+        path = self.tree.update_group(group_base, counters)
+        self.stats.root_updates += 1
+        assert self.tree_cache is not None
+        settled_ns = effective_ns
+        if self._tree_mode == "eager":
+            for node in path:
+                evicted = self.tree_cache.insert(node, dirty=False)
+                if evicted is not None:
+                    self._persist_tree_node(evicted, effective_ns)
+                settled_ns = max(
+                    settled_ns, self._persist_tree_node(node, effective_ns)
+                )
+        else:
+            for node in path:
+                evicted = self.tree_cache.insert(node, dirty=True)
+                if evicted is not None:
+                    self._persist_tree_node(evicted, effective_ns)
+        return settled_ns
+
+    def _persist_tree_node(self, node: TreeNode, request_ns: float) -> float:
+        """Send one tree node's current digest to NVM.
+
+        Pure traffic: tree writes carry no journal records because a
+        crash never needs them back — recovery rebuilds interior nodes
+        from the persisted counters and checks the secure register.
+        Repeated writes of a hot upper node coalesce in the tree queue.
+        Returns when the node's digest is durable in the array (the
+        point an eager/strict-ordering caller must wait for).
+        """
+        assert self.tree is not None and self.tree_queue is not None
+        address = self.tree.node_address(node)
+        coalesced = self.tree_queue.try_coalesce(address, request_ns, None, 0)
+        if coalesced is not None:
+            self.stats.coalesced_tree_writes += 1
+            return max(request_ns, coalesced.drain_ns)
+        entry = self.tree_queue.accept(address, request_ns, None, is_counter=False)
+        self.tree_queue.mark_ready(entry, entry.accept_ns)
+        issue, drain = self._drain_write(
+            self.tree_queue, address, entry.accept_ns, CACHE_LINE_SIZE
+        )
+        self.tree_queue.set_drain_time(entry, drain, slot_release_ns=issue)
+        self.stats.tree_node_writes += 1
+        self.stats.bytes_written += CACHE_LINE_SIZE
+        return drain
+
+    def _verify_counter_fetch(self, data_address: int, request_ns: float) -> float:
+        """Authenticate a counter-line fetch against the tree.
+
+        Walks the leaf-to-root path bottom-up; the walk stops at the
+        first node already in the on-chip node cache (a cached node is
+        trusted — it was verified on its way in).  Uncached nodes cost
+        a real 64 B NVM read each.  Returns when the fetched counters
+        are trusted.
+        """
+        assert self.tree is not None and self.tree_cache is not None
+        group_base = self.address_map.data_group_base(data_address)
+        if not self.tree.verify_leaf(
+            group_base, self.counter_store.read_counter_line(group_base)
+        ):
+            raise SimulationError(
+                "integrity-tree mismatch for counter line of group 0x%x" % group_base
+            )
+        self.stats.tree_verifications += 1
+        arrival = request_ns
+        index = self.tree.leaf_index(group_base)
+        for level in range(self.tree.levels):
+            node = (level, index)
+            if self.tree_cache.touch(node):
+                break
+            address = self.tree.node_address(node)
+            bank = self.address_map.bank_of(address)
+            row = self.address_map.row_of(address)
+            access = self.banks.schedule_read(bank, request_ns, row=row)
+            node_arrival = self.bus.schedule_transfer(access.complete_ns, CACHE_LINE_SIZE)
+            arrival = max(arrival, node_arrival)
+            self.stats.bytes_read += CACHE_LINE_SIZE
+            self.stats.tree_node_fills += 1
+            evicted = self.tree_cache.insert(node, dirty=False)
+            if evicted is not None:
+                self._persist_tree_node(evicted, request_ns)
+            index //= self.tree.arity
+        return arrival
 
     def _drain_write(
         self, queue: WriteQueue, address: int, ready_ns: float, payload_bytes: int
@@ -716,10 +884,13 @@ class MemoryController:
         held for a grace window first (``counter_drain_hold_ns``).
         """
         start = ready_ns
-        is_counter_queue = queue is self.counter_queue
-        if is_counter_queue:
+        if queue is self.counter_queue:
             start += self._counter_hold_ns
-        drain_key = "counter" if is_counter_queue else "data"
+            drain_key = "counter"
+        elif queue is self.tree_queue:
+            drain_key = "tree"
+        else:
+            drain_key = "data"
         if self._fifo_drain:
             # Strict FIFO drain: head-of-line blocking (ablation).
             start = max(start, self._last_drain[drain_key])
@@ -749,7 +920,16 @@ class MemoryController:
         if flushed is None:
             return None
         self.stats.ccwb_lines_flushed += 1
-        return self._writeback_counter_line(flushed, request_ns)
+        ticket = self._writeback_counter_line(flushed, request_ns)
+        if self.tree_cache is not None and self._tree_mode == "lazy":
+            # The lazy discipline piggybacks on the paper's persistence
+            # point: flush every coalesced dirty tree node here, so the
+            # NVM tree catches up exactly when the counters do.
+            dirty = self.tree_cache.flush_dirty()
+            for node in dirty:
+                self._persist_tree_node(node, request_ns)
+            self.stats.ccwb_tree_flushes += len(dirty)
+        return ticket
 
     # ------------------------------------------------------------------
     # Introspection
@@ -787,6 +967,13 @@ class MemoryController:
             "next_entry_id": self._entry_ids.next_id,
             "data_queue": self.data_queue.get_state(),
             "counter_queue": self.counter_queue.get_state(),
+            "tree": self.tree.get_state() if self.tree is not None else None,
+            "tree_cache": (
+                self.tree_cache.get_state() if self.tree_cache is not None else None
+            ),
+            "tree_queue": (
+                self.tree_queue.get_state() if self.tree_queue is not None else None
+            ),
             "last_drain": dict(self._last_drain),
             "read_slots": list(self._read_slots),
             "read_queue_peak": self.read_queue_peak,
@@ -805,6 +992,10 @@ class MemoryController:
         self._entry_ids.next_id = state["next_entry_id"]
         self.data_queue.set_state(state["data_queue"])
         self.counter_queue.set_state(state["counter_queue"])
+        if self.tree is not None and state["tree"] is not None:
+            self.tree.set_state(state["tree"])
+            self.tree_cache.set_state(state["tree_cache"])
+            self.tree_queue.set_state(state["tree_queue"])
         self._last_drain = dict(state["last_drain"])
         self._read_slots = list(state["read_slots"])
         self.read_queue_peak = state["read_queue_peak"]

@@ -215,6 +215,17 @@ class Machine:
             coalesced_counter_writes=self.controller.stats.coalesced_counter_writes,
             paired_writes=self.controller.stats.paired_writes,
             mean_read_latency_ns=self.controller.stats.mean_read_latency_ns,
+            tree_node_writes=self.controller.stats.tree_node_writes,
+            coalesced_tree_writes=self.controller.stats.coalesced_tree_writes,
+            tree_verifications=self.controller.stats.tree_verifications,
+            tree_node_fills=self.controller.stats.tree_node_fills,
+            root_updates=self.controller.stats.root_updates,
+            ccwb_tree_flushes=self.controller.stats.ccwb_tree_flushes,
+            tree_wq_peak=(
+                self.controller.tree_queue.peak_occupancy
+                if self.controller.tree_queue is not None
+                else 0
+            ),
         )
         return SimulationResult(
             stats=stats,

@@ -14,7 +14,7 @@ software:
   bit-flipped snapshot is detected on load and quarantined (renamed to
   ``*.corrupt``) rather than trusted.
 * **Versioning** — the header records the repository code hash
-  (``repro.bench.parallel.code_version``); a snapshot written by
+  (``repro.utils.versioning.code_version``); a snapshot written by
   different sources is invalidated instead of restored, because resumed
   timing would silently diverge from a fresh run.
 * **Recovery** — :meth:`SnapshotStore.load_latest` falls back

@@ -57,6 +57,15 @@ class MachineStats:
     coalesced_counter_writes: int
     paired_writes: int
     mean_read_latency_ns: float
+    # Bonsai-tree designs only; defaulted so stats dicts from runs that
+    # predate the integrity subsystem still round-trip.
+    tree_node_writes: int = 0
+    coalesced_tree_writes: int = 0
+    tree_verifications: int = 0
+    tree_node_fills: int = 0
+    root_updates: int = 0
+    ccwb_tree_flushes: int = 0
+    tree_wq_peak: int = 0
 
     @property
     def throughput_txn_per_s(self) -> float:

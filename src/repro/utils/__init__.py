@@ -11,6 +11,7 @@ from .bitops import (
 )
 from .stats import Counter, Histogram, RunningMean, geometric_mean
 from .tables import format_table
+from .versioning import code_version
 
 __all__ = [
     "align_down",
@@ -25,4 +26,5 @@ __all__ = [
     "RunningMean",
     "geometric_mean",
     "format_table",
+    "code_version",
 ]

@@ -1,0 +1,47 @@
+"""Source-tree fingerprinting shared by caching and snapshot layers.
+
+Result caches, campaign journals and simulation snapshots are only
+valid for the exact simulator sources that produced them.  They all key
+their artifacts on :func:`code_version`, a digest of every ``.py`` file
+in the ``repro`` package: any code change invalidates every cached
+result — correctness beats reuse.
+
+This lives in ``repro.utils`` (not ``repro.bench``) because the crash
+and sim layers need it too, and they must not depend on the bench
+layer.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from typing import Optional
+
+__all__ = ["code_version"]
+
+_code_version_cache: Optional[str] = None
+
+
+def code_version() -> str:
+    """Digest of the ``repro`` package sources.
+
+    Any change to the simulator's code changes this digest and thereby
+    invalidates every cached sweep result, campaign journal entry and
+    snapshot written under the previous sources.
+    """
+    global _code_version_cache
+    if _code_version_cache is not None:
+        return _code_version_cache
+    package_dir = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    digest = hashlib.sha256()
+    for root, dirs, files in sorted(os.walk(package_dir)):
+        dirs[:] = sorted(d for d in dirs if d != "__pycache__")
+        for name in sorted(files):
+            if not name.endswith(".py"):
+                continue
+            path = os.path.join(root, name)
+            digest.update(os.path.relpath(path, package_dir).encode())
+            with open(path, "rb") as stream:
+                digest.update(stream.read())
+    _code_version_cache = digest.hexdigest()[:16]
+    return _code_version_cache

@@ -1,0 +1,184 @@
+"""Unit tests for the Bonsai tree engine and the tree-node cache."""
+
+import pytest
+
+from repro.config import CACHE_LINE_SIZE, COUNTERS_PER_LINE, EncryptionConfig
+from repro.crypto.counter_cache import GROUP_SPAN
+from repro.errors import AddressError, ConfigurationError
+from repro.integrity import IntegrityTreeEngine, TreeNodeCache, derive_tree_key
+from repro.nvm.address import AddressMap
+
+
+def make_engine(memory_kb=64, arity=COUNTERS_PER_LINE):
+    return IntegrityTreeEngine(
+        EncryptionConfig(),
+        AddressMap(memory_size_bytes=memory_kb * 1024),
+        arity=arity,
+    )
+
+
+def populate(engine, groups, salt=1):
+    """Update ``groups`` counter lines; returns the equivalent mapping."""
+    counters = {}
+    for group in range(groups):
+        base = group * GROUP_SPAN
+        values = tuple(group * COUNTERS_PER_LINE + i + salt for i in range(COUNTERS_PER_LINE))
+        engine.update_group(base, values)
+        for i, value in enumerate(values):
+            counters[base + i * CACHE_LINE_SIZE] = value
+    return counters
+
+
+class TestTreeEngine:
+    def test_empty_root_matches_empty_rebuild(self):
+        engine = make_engine()
+        assert engine.root == engine.root_over({})
+
+    def test_incremental_update_matches_from_scratch_rebuild(self):
+        engine = make_engine()
+        counters = populate(engine, groups=13)
+        assert engine.root == engine.root_over(counters)
+        # Overwriting a group moves the root and stays consistent.
+        before = engine.root
+        engine.update_group(0, tuple(range(100, 100 + COUNTERS_PER_LINE)))
+        for i in range(COUNTERS_PER_LINE):
+            counters[i * CACHE_LINE_SIZE] = 100 + i
+        assert engine.root != before
+        assert engine.root == engine.root_over(counters)
+
+    def test_update_returns_persistable_path_without_root(self):
+        engine = make_engine()
+        path = engine.update_group(0, (1,) * COUNTERS_PER_LINE)
+        assert len(path) == engine.levels
+        assert [level for level, _index in path] == list(range(engine.levels))
+        # The root level never appears: it lives in the secure register.
+        assert all(level < engine.levels for level, _index in path)
+
+    def test_verify_leaf(self):
+        engine = make_engine()
+        values = tuple(range(1, COUNTERS_PER_LINE + 1))
+        engine.update_group(GROUP_SPAN, values)
+        assert engine.verify_leaf(GROUP_SPAN, values)
+        tampered = (99,) + values[1:]
+        assert not engine.verify_leaf(GROUP_SPAN, tampered)
+
+    def test_leaf_index_validation(self):
+        engine = make_engine()
+        with pytest.raises(AddressError):
+            engine.leaf_index(GROUP_SPAN + CACHE_LINE_SIZE)  # not a group base
+        with pytest.raises(AddressError):
+            engine.leaf_index(engine.num_leaves * GROUP_SPAN)  # out of region
+
+    def test_leaf_digest_requires_full_line(self):
+        engine = make_engine()
+        with pytest.raises(AddressError):
+            engine.leaf_digest((1, 2, 3))
+
+    def test_rebuild_reseals_to_the_rebuilt_root(self):
+        engine = make_engine()
+        counters = populate(engine, groups=5)
+        expected = engine.root_over(counters)
+        dirty = make_engine()
+        populate(dirty, groups=9, salt=7)  # unrelated working state
+        assert dirty.rebuild(counters) == expected
+        assert dirty.root == expected
+
+    def test_node_addresses_line_aligned_in_counter_region(self):
+        engine = make_engine()
+        engine.update_group(0, (1,) * COUNTERS_PER_LINE)
+        for node in list(engine._nodes):
+            address = engine.node_address(node)
+            assert address % CACHE_LINE_SIZE == 0
+            assert engine.counter_region_base <= address
+            assert address < engine.counter_region_base + engine.counter_region_bytes
+
+    def test_state_roundtrip_preserves_root_and_verification(self):
+        engine = make_engine()
+        counters = populate(engine, groups=4)
+        clone = make_engine()
+        clone.set_state(engine.get_state())
+        assert clone.root == engine.root
+        assert clone.root == clone.root_over(counters)
+
+    def test_key_derivation_is_deterministic_and_key_dependent(self):
+        config = EncryptionConfig()
+        other = EncryptionConfig(key=b"a-different-key!"[:16])
+        assert derive_tree_key(config) == derive_tree_key(config)
+        assert derive_tree_key(config) != derive_tree_key(other)
+        # Different keys produce different digests over the same data.
+        a = IntegrityTreeEngine(config, AddressMap(memory_size_bytes=64 * 1024))
+        b = IntegrityTreeEngine(other, AddressMap(memory_size_bytes=64 * 1024))
+        values = (5,) * COUNTERS_PER_LINE
+        assert a.leaf_digest(values) != b.leaf_digest(values)
+
+    def test_arity_must_be_power_of_two(self):
+        for arity in (0, 1, 3, 6):
+            with pytest.raises(ConfigurationError):
+                make_engine(arity=arity)
+        wide = make_engine(arity=16)
+        assert wide.levels >= 1
+
+
+class TestTreeNodeCache:
+    def test_needs_at_least_one_entry(self):
+        with pytest.raises(ConfigurationError):
+            TreeNodeCache(0)
+
+    def test_touch_miss_then_insert_hit(self):
+        cache = TreeNodeCache(4)
+        assert not cache.touch((0, 0))
+        assert cache.insert((0, 0), dirty=False) is None
+        assert cache.touch((0, 0))
+        assert len(cache) == 1
+
+    def test_eviction_returns_only_dirty_victims(self):
+        cache = TreeNodeCache(2)
+        cache.insert((0, 0), dirty=False)
+        cache.insert((0, 1), dirty=True)
+        # Clean LRU victim (0, 0) is dropped silently.
+        assert cache.insert((0, 2), dirty=True) is None
+        # Now (0, 1) is the dirty LRU victim and must be written back.
+        assert cache.insert((0, 3), dirty=False) == (0, 1)
+
+    def test_touch_refreshes_lru_order(self):
+        cache = TreeNodeCache(2)
+        cache.insert((0, 0), dirty=True)
+        cache.insert((0, 1), dirty=True)
+        cache.touch((0, 0))
+        assert cache.insert((0, 2), dirty=False) == (0, 1)
+
+    def test_clean_does_not_refresh_lru_order(self):
+        cache = TreeNodeCache(2)
+        cache.insert((0, 0), dirty=True)
+        cache.insert((0, 1), dirty=True)
+        assert cache.clean((0, 0))
+        # (0, 0) stays LRU despite the writeback; being clean now, it
+        # is dropped without a victim.
+        assert cache.insert((0, 2), dirty=False) is None
+        assert not cache.contains((0, 0))
+        assert cache.contains((0, 1))
+
+    def test_flush_dirty_is_sorted_and_cleans(self):
+        cache = TreeNodeCache(8)
+        cache.insert((1, 3), dirty=True)
+        cache.insert((0, 5), dirty=True)
+        cache.insert((0, 1), dirty=False)
+        assert cache.flush_dirty() == [(0, 5), (1, 3)]
+        assert cache.dirty_count() == 0
+        assert cache.flush_dirty() == []
+
+    def test_invalidate_all(self):
+        cache = TreeNodeCache(4)
+        cache.insert((0, 0), dirty=True)
+        cache.invalidate_all()
+        assert len(cache) == 0
+
+    def test_state_roundtrip_preserves_order_and_dirty_bits(self):
+        cache = TreeNodeCache(2)
+        cache.insert((0, 0), dirty=True)
+        cache.insert((0, 1), dirty=False)
+        clone = TreeNodeCache(2)
+        clone.set_state(cache.get_state())
+        assert clone.dirty_count() == 1
+        # LRU order survived: (0, 0) is still the dirty victim.
+        assert clone.insert((0, 2), dirty=False) == (0, 0)

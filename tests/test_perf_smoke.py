@@ -33,6 +33,10 @@ def test_otp_aes_kernel_meets_3x_bar(kernels):
     assert kernels["otp_encrypt_aes"]["speedup_vs_reference"] >= 2.0
 
 
+def test_bmt_incremental_update_beats_full_rebuild(kernels):
+    assert kernels["bmt_root_update"]["speedup_vs_reference"] >= 2.0
+
+
 def test_kernel_timings_present_and_positive(kernels):
     for name, entry in kernels.items():
         assert entry["ns_per_op"] > 0, name

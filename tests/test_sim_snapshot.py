@@ -78,7 +78,9 @@ class TestResumeDeterminism:
     def test_resume_from_any_cut_is_bit_identical(self, mechanism, data):
         seed = data.draw(st.integers(min_value=0, max_value=999), label="seed")
         design = data.draw(
-            st.sampled_from(("sca", "co-located-cc", "no-encryption")),
+            st.sampled_from(
+                ("sca", "co-located-cc", "no-encryption", "sca+bmt", "fca+bmt")
+            ),
             label="design",
         )
         config = make_config()

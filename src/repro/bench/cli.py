@@ -36,7 +36,8 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="?",
         default="all",
         help="experiment name (%s), 'all', 'perf' (kernel/sweep regression "
-        "benchmarks), or 'campaign' (fault-injection crash campaign)"
+        "benchmarks), 'campaign' (fault-injection crash campaign), or "
+        "'designs' (print the composed design matrix)"
         % ", ".join(EXPERIMENTS),
     )
     parser.add_argument(
@@ -355,6 +356,66 @@ def _run_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_designs(args: argparse.Namespace) -> int:
+    """Print the composed design matrix (the valid ``--designs`` values).
+
+    One row per registered design, with the three policy axes it is
+    composed from, the bus width the layout implies, and the
+    crash-consistency verdict — so campaign/sweep users don't have to
+    read ``designs.py`` to find valid names.
+    """
+    from ..core.designs import get_design, list_designs
+
+    names = list_designs(include_unsafe=True, include_integrity=True)
+    rows = []
+    for name in names:
+        design = get_design(name)
+        rows.append(
+            {
+                "name": design.name,
+                "layout": design.layout.kind
+                + ("+cc" if design.has_counter_cache else ""),
+                "atomicity": design.atomicity.kind,
+                "integrity": design.integrity_mode or "-",
+                "bus_bits": design.bus_width_bits,
+                "crash_consistent": design.crash_consistent,
+                "description": design.description,
+            }
+        )
+    if args.json is not None:
+        import json
+
+        payload = json.dumps({"designs": rows}, indent=2, sort_keys=True)
+        if args.json == "-":
+            print(payload)
+        else:
+            with open(args.json, "w", encoding="utf-8") as stream:
+                stream.write(payload + "\n")
+            print("wrote %s" % args.json)
+            return 0
+        return 0
+    header = ("design", "layout", "atomicity", "integrity", "bus", "crash-consistent")
+    widths = [len(column) for column in header]
+    table = []
+    for row in rows:
+        cells = (
+            row["name"],
+            row["layout"],
+            row["atomicity"],
+            row["integrity"],
+            "%db" % row["bus_bits"],
+            "yes" if row["crash_consistent"] else "NO",
+        )
+        widths = [max(width, len(cell)) for width, cell in zip(widths, cells)]
+        table.append(cells)
+    fmt = "  ".join("%%-%ds" % width for width in widths)
+    print(fmt % header)
+    print(fmt % tuple("-" * width for width in widths))
+    for cells in table:
+        print(fmt % cells)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.list:
@@ -362,16 +423,19 @@ def main(argv: Optional[List[str]] = None) -> int:
             print("%-8s %s" % (name, (cls.__doc__ or "").strip().splitlines()[0]))
         print("%-8s %s" % ("perf", "Kernel and sweep regression benchmarks (BENCH_*.json)"))
         print("%-8s %s" % ("campaign", "Fault-injection crash campaign with triage report"))
+        print("%-8s %s" % ("designs", "Print the composed design matrix (valid --designs values)"))
         return 0
     if args.experiment == "perf":
         return _run_perf(args)
     if args.experiment == "campaign":
         return _run_campaign(args)
+    if args.experiment == "designs":
+        return _run_designs(args)
     executor = _make_executor(args)
     if args.experiment != "all" and args.experiment not in EXPERIMENTS:
         print(
-            "repro-bench: unknown experiment %r; available: %s, all, perf, campaign"
-            % (args.experiment, ", ".join(EXPERIMENTS)),
+            "repro-bench: unknown experiment %r; available: %s, all, perf, "
+            "campaign, designs" % (args.experiment, ", ".join(EXPERIMENTS)),
             file=sys.stderr,
         )
         return 2

@@ -189,6 +189,12 @@ class MemoryControllerConfig:
     #: commit barrier's critical path — this is the per-transaction
     #: cost that Figure 16 shows amortizing with transaction size.
     pair_ready_latency_ns: float = 30.0
+    #: When set, the controller appends every :class:`MemoryEvent` as a
+    #: JSON line to this path (see :mod:`repro.mem.events`) — the
+    #: observability hook for campaign debugging and perf analysis.
+    #: The trace is diagnostic output, not simulation state: it is not
+    #: checkpointed and replays from a restored snapshot re-append.
+    event_trace_path: Optional[str] = None
 
     def __post_init__(self) -> None:
         _require(self.read_queue_entries > 0, "read queue must have entries")

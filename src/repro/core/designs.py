@@ -1,90 +1,253 @@
-"""The six evaluated counter-atomicity design points (paper Section 6.1).
+"""The evaluated design points, composed from three policy axes.
 
-Each design is a :class:`DesignPolicy` — a bundle of flags the memory
-controller consults at every read, write, counter-cache event and crash.
-The policies deliberately contain *no* behaviour of their own so the
-mechanism lives in one place (the controller) and the designs remain
-directly comparable.
+The paper's design space is compositional: an encryption **layout**
+(plain / co-located 72 B / split counter region), a counter-**atomicity**
+discipline (unpaired / FCA / SCA ready-bit pairing), and an
+**integrity**-tree persistence mode (none / eager / lazy).  A
+:class:`DesignPolicy` is the composition of one spec per axis; its name
+— including the ``+bmt`` / ``+bmt-<mode>`` suffixes — is *derived* from
+the axes by :func:`design_name`, and the registry is built by composing
+specs rather than hand-enumerating the cross product.
+
+The specs carry *no behaviour*: the memory controller instantiates one
+strategy object per axis (``mem/layout.py``, ``mem/atomicity.py``,
+``mem/integrity_policy.py``) from these descriptions, so designs remain
+directly comparable and a new axis value lands as one spec plus one
+strategy class.  Consumers that predate the axes (crash injector,
+campaign triage, snapshots) read the derived flag properties, which
+preserve the old flat-flag API.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..errors import ConfigurationError
 
+#: Layout axis values.
+LAYOUT_KINDS = ("plain", "colocated", "split")
+#: Atomicity axis values.
+ATOMICITY_KINDS = ("unpaired", "fca", "sca")
+#: Integrity axis values ("none" composes to the base design).
+INTEGRITY_KINDS = ("none", "eager", "lazy")
+
+
+@dataclass(frozen=True)
+class LayoutSpec:
+    """Where ciphertext and counters live, and how bytes move.
+
+    ``plain`` is the unencrypted baseline; ``colocated`` packs the
+    counter into one 72 B access over a 72-bit bus (Figure 5(a)/(b));
+    ``split`` keeps counters in their own NVM region over the standard
+    64-bit bus (Figure 5(c)).
+    """
+
+    kind: str
+    #: Is there an on-chip counter cache?
+    counter_cache: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in LAYOUT_KINDS:
+            raise ConfigurationError(
+                "unknown layout kind %r; one of: %s" % (self.kind, ", ".join(LAYOUT_KINDS))
+            )
+        if self.kind == "plain" and self.counter_cache:
+            raise ConfigurationError("a counter cache requires encryption counters")
+
+
+@dataclass(frozen=True)
+class AtomicitySpec:
+    """How data writes and their counter updates reach persistence.
+
+    ``fca`` pairs every write through the ready-bit protocol
+    (Section 3.2.2); ``sca`` pairs only ``CounterAtomic``-annotated
+    writes and flushes the rest at ``counter_cache_writeback()``
+    (Section 4); ``unpaired`` never pairs.
+    """
+
+    kind: str
+    #: Do dirty counter-cache evictions generate NVM counter writes?
+    counter_evict_writes: bool = False
+    #: Ideal-design fiction: counters persist by magic, writebacks cost
+    #: nothing and crash recovery always sees fresh counters.
+    magic_counter_persistence: bool = False
+    #: Tree persistence mode a ``+bmt`` composition defaults to (eager
+    #: for FCA's strict ordering, lazy for SCA's relaxation); None
+    #: means the discipline has no integrity-tree variant.
+    native_tree_mode: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ATOMICITY_KINDS:
+            raise ConfigurationError(
+                "unknown atomicity kind %r; one of: %s"
+                % (self.kind, ", ".join(ATOMICITY_KINDS))
+            )
+        if self.magic_counter_persistence and self.kind != "unpaired":
+            raise ConfigurationError("magic counter persistence never pairs")
+        if self.native_tree_mode is not None and self.native_tree_mode not in (
+            "eager",
+            "lazy",
+        ):
+            raise ConfigurationError("native tree mode must be 'eager' or 'lazy'")
+
+
+@dataclass(frozen=True)
+class IntegritySpec:
+    """Bonsai-Merkle-tree persistence over the counter region.
+
+    ``eager`` drives every counter persist's leaf-to-root path into the
+    tree write queue (Freij-style strict ordering); ``lazy`` coalesces
+    dirty nodes on chip and flushes at ``counter_cache_writeback()``
+    and node-cache evictions (Phoenix-style); ``none`` keeps no tree.
+    """
+
+    kind: str = "none"
+
+    def __post_init__(self) -> None:
+        if self.kind not in INTEGRITY_KINDS:
+            raise ConfigurationError(
+                "unknown integrity kind %r; one of: %s"
+                % (self.kind, ", ".join(INTEGRITY_KINDS))
+            )
+
+    @property
+    def tree(self) -> bool:
+        return self.kind != "none"
+
+
+def _base_name(layout: LayoutSpec, atomicity: AtomicitySpec) -> str:
+    """Evaluation name of the (layout, atomicity) composition."""
+    if layout.kind == "plain":
+        return "no-encryption"
+    if layout.kind == "colocated":
+        return "co-located-cc" if layout.counter_cache else "co-located"
+    if atomicity.magic_counter_persistence:
+        return "ideal"
+    if atomicity.kind == "fca":
+        return "fca"
+    if atomicity.kind == "sca":
+        return "sca"
+    return "unsafe"
+
+
+def design_name(
+    layout: LayoutSpec, atomicity: AtomicitySpec, integrity: IntegritySpec
+) -> str:
+    """Derive a design's registry name from its three axes.
+
+    The integrity suffix is ``+bmt`` when the mode is the atomicity
+    discipline's native one and ``+bmt-<mode>`` for ablations, so
+    ``fca+bmt`` is eager while ``fca+bmt-lazy`` names the crossover.
+    """
+    name = _base_name(layout, atomicity)
+    if integrity.tree:
+        if integrity.kind == atomicity.native_tree_mode:
+            name += "+bmt"
+        else:
+            name += "+bmt-%s" % integrity.kind
+    return name
+
 
 @dataclass(frozen=True)
 class DesignPolicy:
-    """Counter-atomicity policy consulted by the memory controller."""
+    """One design point: a layout, an atomicity discipline, a tree mode.
+
+    The flat flag attributes (``encrypts``, ``pair_all_writes``,
+    ``bus_width_bits``, …) are derived from the axes; they are the
+    stable consumer API and match the pre-composition policy fields.
+    """
 
     name: str
     description: str
-    #: Does this design encrypt at all?
-    encrypts: bool
-    #: Are counters co-located with data in one 72 B access (wider bus)?
-    colocated: bool
-    #: Is there an on-chip counter cache?
-    has_counter_cache: bool
-    #: Pair *every* data write with a counter write (FCA).
-    pair_all_writes: bool
-    #: Pair only ``CounterAtomic``-annotated writes (SCA).
-    pair_ca_writes: bool
-    #: Do dirty counter-cache evictions generate NVM counter writes?
-    counter_evict_writes: bool
-    #: Does ``counter_cache_writeback()`` flush dirty counter lines?
-    ccwb_enabled: bool
-    #: Ideal-design fiction: counters persist by magic, counter
-    #: writebacks cost nothing and crash recovery always sees fresh
-    #: counters.
-    magic_counter_persistence: bool
-    #: Bus width in bits (72 for the co-located designs).
-    bus_width_bits: int
-    #: Maintain a Bonsai Merkle Tree over the counter region (the +bmt
-    #: design variants); post-crash verification walks it.
-    integrity_tree: bool = False
-    #: Tree persistence mode pinned by the design (``"eager"`` or
-    #: ``"lazy"``); None defers to ``IntegrityConfig.mode``.
-    integrity_mode: Optional[str] = None
+    layout: LayoutSpec
+    atomicity: AtomicitySpec
+    integrity: IntegritySpec = field(default_factory=IntegritySpec)
 
     def __post_init__(self) -> None:
-        if self.pair_all_writes and self.pair_ca_writes:
-            raise ConfigurationError("a design pairs all writes or CA writes, not both")
-        if self.integrity_tree and not self.encrypts:
-            raise ConfigurationError("the integrity tree covers encryption counters")
-        if self.integrity_tree and self.colocated:
-            raise ConfigurationError(
-                "the integrity tree requires the separate counter region"
-            )
-        if self.integrity_tree and self.magic_counter_persistence:
-            raise ConfigurationError(
-                "magic counter persistence leaves nothing for the tree to verify"
-            )
-        if self.integrity_mode is not None and self.integrity_mode not in ("eager", "lazy"):
-            raise ConfigurationError("integrity mode must be 'eager' or 'lazy'")
-        if self.integrity_mode is not None and not self.integrity_tree:
-            raise ConfigurationError("integrity mode requires the integrity tree")
-        if self.colocated and (self.pair_all_writes or self.pair_ca_writes):
-            raise ConfigurationError("co-located designs are atomic by construction")
-        if self.colocated and self.bus_width_bits != 72:
-            raise ConfigurationError("co-located designs require the 72-bit bus")
-        if not self.colocated and self.bus_width_bits != 64:
-            raise ConfigurationError("separate-counter designs use the 64-bit bus")
-        if not self.encrypts and (
-            self.colocated
-            or self.has_counter_cache
-            or self.pair_all_writes
-            or self.pair_ca_writes
+        if self.layout.kind == "plain" and self.atomicity.kind != "unpaired":
+            raise ConfigurationError("encryption features require encryption")
+        if self.layout.kind == "plain" and (
+            self.atomicity.counter_evict_writes
+            or self.atomicity.magic_counter_persistence
         ):
             raise ConfigurationError("encryption features require encryption")
+        if self.layout.kind == "colocated" and self.atomicity.kind != "unpaired":
+            raise ConfigurationError("co-located designs are atomic by construction")
+        if self.integrity.tree:
+            if self.layout.kind == "plain":
+                raise ConfigurationError("the integrity tree covers encryption counters")
+            if self.layout.kind == "colocated":
+                raise ConfigurationError(
+                    "the integrity tree requires the separate counter region"
+                )
+            if self.atomicity.magic_counter_persistence:
+                raise ConfigurationError(
+                    "magic counter persistence leaves nothing for the tree to verify"
+                )
 
-    # -- derived properties -------------------------------------------------
+    # -- derived flag properties (the pre-composition policy API) -----------
+
+    @property
+    def encrypts(self) -> bool:
+        """Does this design encrypt at all?"""
+        return self.layout.kind != "plain"
+
+    @property
+    def colocated(self) -> bool:
+        """Are counters co-located with data in one 72 B access?"""
+        return self.layout.kind == "colocated"
+
+    @property
+    def has_counter_cache(self) -> bool:
+        return self.layout.counter_cache
+
+    @property
+    def pair_all_writes(self) -> bool:
+        """Pair *every* data write with a counter write (FCA)."""
+        return self.atomicity.kind == "fca"
+
+    @property
+    def pair_ca_writes(self) -> bool:
+        """Pair only ``CounterAtomic``-annotated writes (SCA)."""
+        return self.atomicity.kind == "sca"
+
+    @property
+    def counter_evict_writes(self) -> bool:
+        return self.atomicity.counter_evict_writes
+
+    @property
+    def ccwb_enabled(self) -> bool:
+        """Does ``counter_cache_writeback()`` flush dirty counter lines?
+
+        Only SCA relies on the writeback instruction; FCA's counters
+        persist through pairing and the other designs ignore it.
+        """
+        return self.atomicity.kind == "sca"
+
+    @property
+    def magic_counter_persistence(self) -> bool:
+        return self.atomicity.magic_counter_persistence
+
+    @property
+    def bus_width_bits(self) -> int:
+        """72 for the co-located layouts, 64 otherwise."""
+        return 72 if self.layout.kind == "colocated" else 64
+
+    @property
+    def integrity_tree(self) -> bool:
+        """Maintain a Bonsai Merkle Tree over the counter region?"""
+        return self.integrity.tree
+
+    @property
+    def integrity_mode(self) -> Optional[str]:
+        """Tree persistence mode (``"eager"``/``"lazy"``), None if no tree."""
+        return self.integrity.kind if self.integrity.tree else None
 
     @property
     def uses_separate_counters(self) -> bool:
         """Counters live in their own NVM region (Figure 5(c) layout)."""
-        return self.encrypts and not self.colocated
+        return self.layout.kind == "split"
 
     @property
     def crash_consistent(self) -> bool:
@@ -98,7 +261,7 @@ class DesignPolicy:
             return True
         if self.colocated or self.magic_counter_persistence:
             return True
-        return self.pair_all_writes or self.pair_ca_writes
+        return self.atomicity.kind in ("fca", "sca")
 
     def write_is_paired(self, counter_atomic: bool) -> bool:
         """Should a write with this annotation pair with its counter?"""
@@ -107,163 +270,148 @@ class DesignPolicy:
         return self.pair_ca_writes and counter_atomic
 
 
-NO_ENCRYPTION = DesignPolicy(
-    name="no-encryption",
+def compose(
+    layout: LayoutSpec,
+    atomicity: AtomicitySpec,
+    integrity: IntegritySpec,
+    description: str,
+) -> DesignPolicy:
+    """Build a design whose name is derived from its axes."""
+    return DesignPolicy(
+        name=design_name(layout, atomicity, integrity),
+        description=description,
+        layout=layout,
+        atomicity=atomicity,
+        integrity=integrity,
+    )
+
+
+# -- axis building blocks ----------------------------------------------------
+
+_PLAIN = LayoutSpec("plain")
+_COLOCATED = LayoutSpec("colocated")
+_COLOCATED_CC = LayoutSpec("colocated", counter_cache=True)
+_SPLIT_CC = LayoutSpec("split", counter_cache=True)
+
+_UNPAIRED = AtomicitySpec("unpaired")
+_MAGIC = AtomicitySpec("unpaired", magic_counter_persistence=True)
+_EVICT_ONLY = AtomicitySpec("unpaired", counter_evict_writes=True)
+_FCA_ATOM = AtomicitySpec("fca", counter_evict_writes=True, native_tree_mode="eager")
+_SCA_ATOM = AtomicitySpec("sca", counter_evict_writes=True, native_tree_mode="lazy")
+
+_NO_TREE = IntegritySpec("none")
+_EAGER = IntegritySpec("eager")
+_LAZY = IntegritySpec("lazy")
+
+
+# -- the registered design points --------------------------------------------
+
+NO_ENCRYPTION = compose(
+    _PLAIN,
+    _UNPAIRED,
+    _NO_TREE,
     description="Plain NVMM without encryption (upper-bound baseline).",
-    encrypts=False,
-    colocated=False,
-    has_counter_cache=False,
-    pair_all_writes=False,
-    pair_ca_writes=False,
-    counter_evict_writes=False,
-    ccwb_enabled=False,
-    magic_counter_persistence=False,
-    bus_width_bits=64,
 )
 
-IDEAL = DesignPolicy(
-    name="ideal",
+IDEAL = compose(
+    _SPLIT_CC,
+    _MAGIC,
+    _NO_TREE,
     description=(
         "Counter-mode encryption whose counter persistence costs nothing; "
         "crash consistent by construction (evaluation fiction)."
     ),
-    encrypts=True,
-    colocated=False,
-    has_counter_cache=True,
-    pair_all_writes=False,
-    pair_ca_writes=False,
-    counter_evict_writes=False,
-    ccwb_enabled=False,
-    magic_counter_persistence=True,
-    bus_width_bits=64,
 )
 
-UNSAFE = DesignPolicy(
-    name="unsafe",
+UNSAFE = compose(
+    _SPLIT_CC,
+    _EVICT_ONLY,
+    _NO_TREE,
     description=(
         "Counter-mode encryption with lazy (eviction-only) counter "
         "writeback and no pairing: fast but NOT crash consistent. Used "
         "to demonstrate the motivating failure (Figures 3 and 4)."
     ),
-    encrypts=True,
-    colocated=False,
-    has_counter_cache=True,
-    pair_all_writes=False,
-    pair_ca_writes=False,
-    counter_evict_writes=True,
-    ccwb_enabled=False,
-    magic_counter_persistence=False,
-    bus_width_bits=64,
 )
 
-CO_LOCATED = DesignPolicy(
-    name="co-located",
+CO_LOCATED = compose(
+    _COLOCATED,
+    _UNPAIRED,
+    _NO_TREE,
     description=(
         "Data and counter co-located in one 72 B access over a 72-bit "
         "bus; no counter cache, so decryption serializes after every "
         "read (Section 3.2.1, Figure 5(a))."
     ),
-    encrypts=True,
-    colocated=True,
-    has_counter_cache=False,
-    pair_all_writes=False,
-    pair_ca_writes=False,
-    counter_evict_writes=False,
-    ccwb_enabled=False,
-    magic_counter_persistence=False,
-    bus_width_bits=72,
 )
 
-CO_LOCATED_CC = DesignPolicy(
-    name="co-located-cc",
+CO_LOCATED_CC = compose(
+    _COLOCATED_CC,
+    _UNPAIRED,
+    _NO_TREE,
     description=(
         "Co-located data and counter plus a counter cache that lets "
         "decryption overlap the read on a hit (Figure 5(b))."
     ),
-    encrypts=True,
-    colocated=True,
-    has_counter_cache=True,
-    pair_all_writes=False,
-    pair_ca_writes=False,
-    counter_evict_writes=False,
-    ccwb_enabled=False,
-    magic_counter_persistence=False,
-    bus_width_bits=72,
 )
 
-FCA = DesignPolicy(
-    name="fca",
+FCA = compose(
+    _SPLIT_CC,
+    _FCA_ATOM,
+    _NO_TREE,
     description=(
         "Full counter-atomicity: every write pairs its data line with a "
         "counter-line write through the ready-bit protocol (Section 3.2.2)."
     ),
-    encrypts=True,
-    colocated=False,
-    has_counter_cache=True,
-    pair_all_writes=True,
-    pair_ca_writes=False,
-    counter_evict_writes=True,
-    ccwb_enabled=False,
-    magic_counter_persistence=False,
-    bus_width_bits=64,
 )
 
-SCA = DesignPolicy(
-    name="sca",
+SCA = compose(
+    _SPLIT_CC,
+    _SCA_ATOM,
+    _NO_TREE,
     description=(
         "Selective counter-atomicity: only CounterAtomic writes pair; "
         "other counters coalesce in the counter cache until "
         "counter_cache_writeback() (Section 4)."
     ),
-    encrypts=True,
-    colocated=False,
-    has_counter_cache=True,
-    pair_all_writes=False,
-    pair_ca_writes=True,
-    counter_evict_writes=True,
-    ccwb_enabled=True,
-    magic_counter_persistence=False,
-    bus_width_bits=64,
 )
 
-FCA_BMT = replace(
-    FCA,
-    name="fca+bmt",
+FCA_BMT = compose(
+    _SPLIT_CC,
+    _FCA_ATOM,
+    _EAGER,
     description=(
         "FCA plus a Bonsai Merkle Tree over the counter region, eagerly "
         "persisted: every counter persist drives its leaf-to-root path "
         "into the tree write queue (Freij-style strict ordering)."
     ),
-    integrity_tree=True,
-    integrity_mode="eager",
 )
 
-SCA_BMT = replace(
-    SCA,
-    name="sca+bmt",
+SCA_BMT = compose(
+    _SPLIT_CC,
+    _SCA_ATOM,
+    _LAZY,
     description=(
         "SCA plus a Bonsai Merkle Tree over the counter region, lazily "
         "persisted: dirty tree nodes coalesce on chip and flush at "
         "counter_cache_writeback() and node-cache evictions, mirroring "
         "SCA's counter relaxation."
     ),
-    integrity_tree=True,
-    integrity_mode="lazy",
 )
 
 #: Mode ablations: same base design, the other persistence discipline.
-FCA_BMT_LAZY = replace(
-    FCA_BMT,
-    name="fca+bmt-lazy",
+FCA_BMT_LAZY = compose(
+    _SPLIT_CC,
+    _FCA_ATOM,
+    _LAZY,
     description="FCA with a lazily persisted counter tree (mode ablation).",
-    integrity_mode="lazy",
 )
 
-SCA_BMT_EAGER = replace(
-    SCA_BMT,
-    name="sca+bmt-eager",
+SCA_BMT_EAGER = compose(
+    _SPLIT_CC,
+    _SCA_ATOM,
+    _EAGER,
     description="SCA with an eagerly persisted counter tree (mode ablation).",
-    integrity_mode="eager",
 )
 
 #: The designs evaluated in the paper's figures, in plot order.
@@ -281,7 +429,7 @@ BASELINE_DESIGNS: Tuple[DesignPolicy, ...] = (SCA, FCA, CO_LOCATED, CO_LOCATED_C
 
 #: The integrity-verified variants (kept out of ALL_DESIGNS so the
 #: paper-figure sweeps are unchanged; campaigns and the integrity
-#: benchmarks opt in by name).
+#: benchmarks opt in by name or via ``list_designs(include_integrity=True)``).
 INTEGRITY_DESIGNS: Tuple[DesignPolicy, ...] = (
     FCA_BMT,
     SCA_BMT,
@@ -294,35 +442,32 @@ _BY_NAME[UNSAFE.name] = UNSAFE
 for _design in INTEGRITY_DESIGNS:
     _BY_NAME[_design.name] = _design
 
-#: (base design, requested mode) -> integrity variant name.  None means
-#: "the variant's native mode" (eager for FCA, lazy for SCA).
-_INTEGRITY_BY_BASE: Dict[Tuple[str, Optional[str]], str] = {
-    ("fca", None): FCA_BMT.name,
-    ("fca", "eager"): FCA_BMT.name,
-    ("fca", "lazy"): FCA_BMT_LAZY.name,
-    ("sca", None): SCA_BMT.name,
-    ("sca", "lazy"): SCA_BMT.name,
-    ("sca", "eager"): SCA_BMT_EAGER.name,
-}
-
 
 def integrity_variant(base: str, mode: Optional[str] = None) -> str:
     """Name of the +bmt variant of ``base`` in the requested mode.
 
-    Accepts a variant name as ``base`` too (re-resolving its mode), so
-    ``--integrity`` is idempotent on already-suffixed design lists.
+    The variant name is re-derived from the base design's axes — no
+    suffix surgery — so passing an already-suffixed variant name as
+    ``base`` is idempotent (its mode is re-resolved from ``mode``).
     """
     policy = get_design(base)
-    if policy.integrity_tree:
-        base = base.split("+", 1)[0]
-    try:
-        return _INTEGRITY_BY_BASE[(base, mode)]
-    except KeyError:
-        bases = sorted({name for name, _ in _INTEGRITY_BY_BASE})
+    effective = mode or policy.atomicity.native_tree_mode
+    if policy.atomicity.native_tree_mode is None or effective is None:
+        bases = sorted(
+            d.name
+            for d in _BY_NAME.values()
+            if d.atomicity.native_tree_mode is not None and not d.integrity.tree
+        )
         raise ConfigurationError(
             "no integrity-tree variant of design %r (mode %r); "
             "integrity designs exist for: %s" % (base, mode, ", ".join(bases))
-        ) from None
+        )
+    name = design_name(policy.layout, policy.atomicity, IntegritySpec(effective))
+    if name not in _BY_NAME:
+        raise ConfigurationError(
+            "integrity variant %r of design %r is not registered" % (name, base)
+        )
+    return name
 
 
 def get_design(name: str) -> DesignPolicy:
@@ -335,9 +480,22 @@ def get_design(name: str) -> DesignPolicy:
         ) from None
 
 
-def list_designs(include_unsafe: bool = False) -> List[str]:
-    """Names of all designs in evaluation order."""
+def list_designs(
+    include_unsafe: bool = False, include_integrity: bool = False
+) -> List[str]:
+    """Names of all designs in evaluation order.
+
+    ``include_integrity`` appends each listed design's ``+bmt``
+    variants (derived from the registry, in registration order), so
+    the tree designs are treated consistently with their bases.
+    """
     names = [d.name for d in ALL_DESIGNS]
     if include_unsafe:
         names.append(UNSAFE.name)
+    if include_integrity:
+        listed = set(names)
+        for design in INTEGRITY_DESIGNS:
+            base = design_name(design.layout, design.atomicity, _NO_TREE)
+            if base in listed:
+                names.append(design.name)
     return names

@@ -4,15 +4,35 @@
 * :mod:`repro.mem.hierarchy` — the per-core L1 / shared L2 stack,
 * :mod:`repro.mem.writequeue` — the data and counter write queues with
   the paper's ready-bit pairing protocol,
-* :mod:`repro.mem.controller` — the memory controller (NVM coordinator +
-  encryption engine + queues) parameterized by a counter-atomicity
-  design policy.
+* :mod:`repro.mem.controller` — the slim memory controller coordinating
+  the composed policy layers over the event bus,
+* :mod:`repro.mem.layout` — the encryption layout paths (plain /
+  co-located 72 B / split counter region),
+* :mod:`repro.mem.atomicity` — the counter-atomicity disciplines
+  (unpaired / FCA / SCA ready-bit pairing),
+* :mod:`repro.mem.integrity_policy` — the integrity-tree persistence
+  modes (none / eager / lazy),
+* :mod:`repro.mem.events` — typed memory events, the controller's event
+  bus, and the stats / JSONL-trace subscribers.
 """
 
+from .atomicity import (
+    FullCounterAtomicity,
+    SelectiveCounterAtomicity,
+    UnpairedAtomicity,
+    WriteTicket,
+)
 from .cache import Cache, CacheStats, EvictedLine
 from .cacheline import CacheLine
-from .controller import MemoryController, ReadResult, WriteTicket
+from .controller import ControllerStats, MemoryController
+from .events import EventBus, JsonlTraceSubscriber, MemoryEvent, StatsSubscriber
 from .hierarchy import CacheHierarchy, HierarchyAccess
+from .integrity_policy import (
+    EagerTreePersistence,
+    LazyTreePersistence,
+    NoIntegrity,
+)
+from .layout import ColocatedLayout, PlainLayout, ReadResult, SplitCounterLayout
 from .writequeue import WriteQueue, WriteQueueEntry
 
 __all__ = [
@@ -22,9 +42,23 @@ __all__ = [
     "CacheLine",
     "CacheHierarchy",
     "HierarchyAccess",
+    "ColocatedLayout",
+    "ControllerStats",
+    "EagerTreePersistence",
+    "EventBus",
+    "FullCounterAtomicity",
+    "JsonlTraceSubscriber",
+    "LazyTreePersistence",
     "MemoryController",
+    "MemoryEvent",
+    "NoIntegrity",
+    "PlainLayout",
     "ReadResult",
-    "WriteTicket",
+    "SelectiveCounterAtomicity",
+    "SplitCounterLayout",
+    "StatsSubscriber",
+    "UnpairedAtomicity",
     "WriteQueue",
     "WriteQueueEntry",
+    "WriteTicket",
 ]

@@ -1,0 +1,562 @@
+"""Counter-atomicity policies: queue selection and ready-bit pairing.
+
+The atomicity layer owns the data and counter write queues and every
+path by which a write (data or counter) reaches them:
+
+* :class:`UnpairedAtomicity` — writes are accepted individually and are
+  immediately ready (the no-encryption, ideal, unsafe and co-located
+  designs; also SCA's non-annotated writes).
+* :class:`FullCounterAtomicity` — every data write pairs with its
+  covering counter-line write through the ready-bit protocol (paper
+  Section 3.2.2 / 5.2.2).
+* :class:`SelectiveCounterAtomicity` — only ``CounterAtomic``-annotated
+  writes pair; other counters coalesce in the counter cache until
+  ``counter_cache_writeback()`` (Section 4).
+
+A note on counter-atomic pairs and sibling counters: a paired write
+persists the whole covering counter line.  The seven sibling slots are
+taken from the *architectural* counter values (last persisted), not the
+counter cache — re-persisting them is idempotent, whereas persisting a
+dirty cached sibling could outrun its data line and strand it
+undecryptable.  Dirty cached counters persist via
+``counter_cache_writeback()`` or eviction, exactly as the paper's
+protocol requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Tuple
+
+from ..config import CACHE_LINE_SIZE, SystemConfig
+from ..core.designs import DesignPolicy
+from .events import CounterPersistEvent, DataPersistEvent, PairEvent
+from .writequeue import WriteQueue
+
+if TYPE_CHECKING:
+    from .controller import MemoryController
+
+
+@dataclass
+class WriteTicket:
+    """Acceptance of a write-line request.
+
+    ``accept_ns`` is when the write is architecturally persistent under
+    ADR (both queue entries accepted and ready, for paired writes);
+    sfence/persist_barrier waits on this.  ``drain_ns`` is when the data
+    actually reaches the NVM array (diagnostics, crash modeling).
+    """
+
+    address: int
+    accept_ns: float
+    drain_ns: float
+    paired: bool
+    coalesced: bool
+
+
+class UnpairedAtomicity:
+    """Base discipline: no pairing; every entry is ready on acceptance.
+
+    Also the shared implementation substrate — the paired disciplines
+    override :meth:`write_is_paired` (and FCA the counter-writeback
+    granularity) but reuse the queue mechanics defined here.
+    """
+
+    kind = "unpaired"
+
+    def __init__(self, ctrl: "MemoryController", config: SystemConfig, policy: DesignPolicy) -> None:
+        self.ctrl = ctrl
+        self.policy = policy
+        self.data_queue = WriteQueue(
+            "data-wq",
+            config.controller.data_write_queue_entries,
+            coalesce=config.controller.coalesce_writes,
+            entry_ids=ctrl.entry_ids,
+        )
+        self.counter_queue = WriteQueue(
+            "counter-wq",
+            config.controller.counter_write_queue_entries,
+            coalesce=config.controller.coalesce_writes,
+            entry_ids=ctrl.entry_ids,
+        )
+        self.pair_ready_latency_ns = config.controller.pair_ready_latency_ns
+        self._magic = policy.magic_counter_persistence
+
+    # -- pairing discipline --------------------------------------------------
+
+    def write_is_paired(self, counter_atomic: bool) -> bool:
+        return False
+
+    def accept_write(
+        self,
+        line: int,
+        payload: Optional[bytes],
+        request_ns: float,
+        counter: int,
+        counter_atomic: bool,
+    ) -> WriteTicket:
+        """Route one encrypted split-region data write per the discipline.
+
+        Unpaired writes may still be escalated to a counter-atomic pair
+        by the integrity layer's Osiris counter-lag bound: an unpaired
+        write whose global counter has outrun the persisted counter
+        beyond the post-crash search window would be unrecoverable, so
+        integrity-verified designs force the pair (all-or-nothing, no
+        crash window), keeping every persisted line re-authenticable.
+        """
+        paired = self.write_is_paired(counter_atomic)
+        lag_forced = False
+        if not paired and self.ctrl.integrity.should_force_pair(line, counter):
+            lag_forced = True
+            paired = True
+        if paired:
+            return self.write_paired(line, payload, request_ns, counter, lag_forced)
+        ticket = self.write_unpaired(line, payload, request_ns, encrypted_with=counter)
+        if self._magic:
+            # Ideal fiction: the architectural counter becomes durable
+            # instantly and for free, together with the data.
+            ctrl = self.ctrl
+            ctrl.counter_store.write(line, counter)
+            ctrl.journal.record_counter(
+                address=ctrl.address_map.counter_line_address_of(line),
+                counters=(counter,),
+                group_base=line,
+                accept_ns=ticket.accept_ns,
+                ready_ns=ticket.accept_ns,
+                drain_ns=ticket.accept_ns,
+                single_slot=True,
+            )
+        return ticket
+
+    # -- unpaired data writes ------------------------------------------------
+
+    def write_unpaired(
+        self,
+        line: int,
+        payload: Optional[bytes],
+        request_ns: float,
+        encrypted_with: int,
+    ) -> WriteTicket:
+        """Unpaired data write: coalesce or enqueue, drain when banks allow."""
+        ctrl = self.ctrl
+        coalesced = self.data_queue.try_coalesce(line, request_ns, payload, encrypted_with)
+        if coalesced is not None:
+            ctrl.device.persist_line(line, payload, encrypted_with)
+            ctrl.journal.amend_data(
+                coalesced.entry_id, payload, encrypted_with, effective_ns=request_ns
+            )
+            ctrl.events.emit(
+                DataPersistEvent(
+                    address=line,
+                    payload_bytes=CACHE_LINE_SIZE,
+                    coalesced=True,
+                    accept_ns=request_ns,
+                    drain_ns=coalesced.drain_ns,
+                )
+            )
+            return WriteTicket(
+                address=line,
+                accept_ns=request_ns,
+                drain_ns=coalesced.drain_ns,
+                paired=False,
+                coalesced=True,
+            )
+        entry = self.data_queue.accept(
+            line, request_ns, payload, is_counter=False, encrypted_with=encrypted_with
+        )
+        self.data_queue.mark_ready(entry, entry.accept_ns)
+        issue, drain = ctrl.drain_write(self.data_queue, "data", line, entry.accept_ns, CACHE_LINE_SIZE)
+        self.data_queue.set_drain_time(entry, drain, slot_release_ns=issue)
+        ctrl.device.persist_line(line, payload, encrypted_with)
+        ctrl.journal.record_data(
+            entry_id=entry.entry_id,
+            address=line,
+            payload=payload,
+            encrypted_with=encrypted_with,
+            accept_ns=entry.accept_ns,
+            ready_ns=entry.ready_ns,
+            drain_ns=drain,
+        )
+        ctrl.events.emit(
+            DataPersistEvent(
+                address=line,
+                payload_bytes=CACHE_LINE_SIZE,
+                coalesced=False,
+                accept_ns=entry.accept_ns,
+                drain_ns=drain,
+                accept_wait_ns=entry.accept_ns - request_ns,
+            )
+        )
+        return WriteTicket(
+            address=line, accept_ns=entry.accept_ns, drain_ns=drain, paired=False, coalesced=False
+        )
+
+    # -- counter-atomic pairs ------------------------------------------------
+
+    def write_paired(
+        self,
+        line: int,
+        payload: Optional[bytes],
+        request_ns: float,
+        counter: int,
+        lag_forced: bool = False,
+    ) -> WriteTicket:
+        """Counter-atomic write: data + counter entries with ready bits.
+
+        Follows the paper's seven-step walkthrough: both entries are
+        inserted, each checks for its partner, and both become ready
+        only when both are present.  Neither drains before ready, and
+        the ADR drain at a failure takes ready entries only, so the
+        pair persists all-or-nothing.
+
+        Counter updates to a counter line that is already queued (and
+        still undrained) merge into the queued entry — the merge and
+        ready-bit update are a single ADR-protected operation, so the
+        amendment takes effect exactly when the new pair becomes ready.
+        """
+        ctrl = self.ctrl
+        group_base = ctrl.address_map.data_group_base(line)
+        counter_line = ctrl.address_map.counter_line_address_of(line)
+        counters = self._pair_counter_line_values(line, counter)
+
+        # A new pair to a line whose previous pair is still queued
+        # merges into it: the merge plus the ready-bit update is one
+        # ADR-protected operation, so both the data amendment and the
+        # counter amendment take effect exactly when this pair becomes
+        # ready, preserving all-or-nothing behaviour.
+        candidate_data = self.data_queue.peek_coalesce(
+            line, request_ns, allow_counter_atomic=True
+        )
+        candidate_ctr = self.counter_queue.peek_coalesce(
+            counter_line, request_ns, allow_counter_atomic=True
+        )
+        if (
+            candidate_data is not None
+            and candidate_data.counter_atomic
+            and candidate_ctr is not None
+        ):
+            self.data_queue.commit_coalesce(candidate_data, payload, counter)
+            self.counter_queue.commit_coalesce(
+                candidate_ctr, None, 0, counter_values=(group_base, counters)
+            )
+            ready_ns = request_ns + self.pair_ready_latency_ns
+            ctrl.events.emit(
+                DataPersistEvent(
+                    address=line,
+                    payload_bytes=CACHE_LINE_SIZE,
+                    coalesced=True,
+                    accept_ns=ready_ns,
+                    drain_ns=candidate_data.drain_ns,
+                )
+            )
+            ctrl.events.emit(
+                CounterPersistEvent(
+                    address=counter_line,
+                    payload_bytes=0,
+                    coalesced=True,
+                    paired=True,
+                    accept_ns=ready_ns,
+                    drain_ns=candidate_ctr.drain_ns,
+                )
+            )
+            ctrl.journal.amend_data(
+                candidate_data.entry_id, payload, counter, effective_ns=ready_ns
+            )
+            ctrl.journal.amend_counter(
+                candidate_ctr.entry_id, group_base, counters, effective_ns=ready_ns
+            )
+            ctrl.device.persist_line(line, payload, counter)
+            ctrl.counter_store.write_counter_line(group_base, counters)
+            settled_ns = ctrl.integrity.note_counter_persist(group_base, counters, ready_ns)
+            ctrl.events.emit(
+                PairEvent(
+                    address=line,
+                    settled_ns=settled_ns,
+                    accept_wait_ns=0.0,
+                    lag_forced=lag_forced,
+                    coalesced=True,
+                )
+            )
+            return WriteTicket(
+                address=line,
+                accept_ns=settled_ns,
+                drain_ns=max(candidate_data.drain_ns, candidate_ctr.drain_ns),
+                paired=True,
+                coalesced=True,
+            )
+
+        data_entry = self.data_queue.accept(
+            line,
+            request_ns,
+            payload,
+            is_counter=False,
+            encrypted_with=counter,
+            counter_atomic=True,
+        )
+        pair_time = data_entry.accept_ns
+
+        merged = self.counter_queue.try_coalesce(
+            counter_line,
+            pair_time,
+            None,
+            0,
+            counter_values=(group_base, counters),
+            allow_counter_atomic=True,
+        )
+        if merged is not None:
+            ready_ns = max(pair_time, merged.accept_ns) + self.pair_ready_latency_ns
+            counter_drain = merged.drain_ns
+            counter_entry_id = merged.entry_id
+            ctrl.events.emit(
+                CounterPersistEvent(
+                    address=counter_line,
+                    payload_bytes=0,
+                    coalesced=True,
+                    paired=True,
+                    accept_ns=ready_ns,
+                    drain_ns=counter_drain,
+                )
+            )
+            ctrl.journal.amend_counter(
+                merged.entry_id, group_base, counters, effective_ns=ready_ns
+            )
+        else:
+            counter_entry = self.counter_queue.accept(
+                counter_line,
+                request_ns,
+                None,
+                is_counter=True,
+                counter_values=(group_base, counters),
+                counter_atomic=True,
+            )
+            ready_ns = (
+                max(pair_time, counter_entry.accept_ns) + self.pair_ready_latency_ns
+            )
+            self.counter_queue.mark_ready(counter_entry, ready_ns)
+            counter_entry.partner_id = data_entry.entry_id
+            counter_bytes = self.counter_payload_bytes(group_base, counters)
+            counter_issue, counter_drain = ctrl.drain_write(
+                self.counter_queue, "counter", counter_line, ready_ns, counter_bytes
+            )
+            self.counter_queue.set_drain_time(
+                counter_entry, counter_drain, slot_release_ns=counter_issue
+            )
+            counter_entry_id = counter_entry.entry_id
+            ctrl.events.emit(
+                CounterPersistEvent(
+                    address=counter_line,
+                    payload_bytes=counter_bytes,
+                    coalesced=False,
+                    paired=True,
+                    accept_ns=counter_entry.accept_ns,
+                    drain_ns=counter_drain,
+                )
+            )
+            ctrl.journal.record_counter(
+                address=counter_line,
+                counters=counters,
+                group_base=group_base,
+                accept_ns=counter_entry.accept_ns,
+                ready_ns=ready_ns,
+                drain_ns=counter_drain,
+                entry_id=counter_entry.entry_id,
+            )
+
+        self.data_queue.mark_ready(data_entry, ready_ns)
+        data_entry.partner_id = counter_entry_id
+        data_issue, data_drain = ctrl.drain_write(
+            self.data_queue, "data", line, ready_ns, CACHE_LINE_SIZE
+        )
+        self.data_queue.set_drain_time(data_entry, data_drain, slot_release_ns=data_issue)
+        ctrl.events.emit(
+            DataPersistEvent(
+                address=line,
+                payload_bytes=CACHE_LINE_SIZE,
+                coalesced=False,
+                accept_ns=data_entry.accept_ns,
+                drain_ns=data_drain,
+            )
+        )
+
+        ctrl.device.persist_line(line, payload, counter)
+        ctrl.counter_store.write_counter_line(group_base, counters)
+        settled_ns = ctrl.integrity.note_counter_persist(group_base, counters, ready_ns)
+        ctrl.journal.record_data(
+            entry_id=data_entry.entry_id,
+            address=line,
+            payload=payload,
+            encrypted_with=counter,
+            accept_ns=data_entry.accept_ns,
+            ready_ns=ready_ns,
+            drain_ns=data_drain,
+            partner_id=counter_entry_id,
+        )
+        ctrl.events.emit(
+            PairEvent(
+                address=line,
+                settled_ns=settled_ns,
+                accept_wait_ns=settled_ns - request_ns,
+                lag_forced=lag_forced,
+                coalesced=merged is not None,
+            )
+        )
+        return WriteTicket(
+            address=line,
+            accept_ns=settled_ns,
+            drain_ns=max(data_drain, counter_drain),
+            paired=True,
+            coalesced=merged is not None,
+        )
+
+    # -- counter-line writebacks (evictions / ccwb flushes) ------------------
+
+    def writeback_counter_line(
+        self,
+        flushed: Tuple[int, Tuple[int, ...]],
+        request_ns: float,
+    ) -> WriteTicket:
+        """Write one counter line (eviction or ccwb flush) to NVM."""
+        ctrl = self.ctrl
+        group_base, counters = flushed
+        counter_line = ctrl.address_map.counter_line_address_of(group_base)
+        coalesced = self.counter_queue.try_coalesce(
+            counter_line, request_ns, None, 0, counter_values=(group_base, counters)
+        )
+        if coalesced is not None:
+            ctrl.events.emit(
+                CounterPersistEvent(
+                    address=counter_line,
+                    payload_bytes=0,
+                    coalesced=True,
+                    paired=False,
+                    accept_ns=request_ns,
+                    drain_ns=coalesced.drain_ns,
+                )
+            )
+            ctrl.counter_store.write_counter_line(group_base, counters)
+            settled_ns = ctrl.integrity.note_counter_persist(group_base, counters, request_ns)
+            ctrl.journal.amend_counter(
+                coalesced.entry_id, group_base, counters, effective_ns=request_ns
+            )
+            return WriteTicket(
+                address=counter_line,
+                accept_ns=settled_ns,
+                drain_ns=coalesced.drain_ns,
+                paired=False,
+                coalesced=True,
+            )
+        entry = self.counter_queue.accept(
+            counter_line,
+            request_ns,
+            None,
+            is_counter=True,
+            counter_values=(group_base, counters),
+        )
+        self.counter_queue.mark_ready(entry, entry.accept_ns)
+        counter_bytes = self.counter_payload_bytes(group_base, counters)
+        issue, drain = ctrl.drain_write(
+            self.counter_queue, "counter", counter_line, entry.accept_ns, counter_bytes
+        )
+        self.counter_queue.set_drain_time(entry, drain, slot_release_ns=issue)
+        ctrl.counter_store.write_counter_line(group_base, counters)
+        settled_ns = ctrl.integrity.note_counter_persist(group_base, counters, entry.accept_ns)
+        ctrl.journal.record_counter(
+            address=counter_line,
+            counters=counters,
+            group_base=group_base,
+            accept_ns=entry.accept_ns,
+            ready_ns=entry.ready_ns,
+            drain_ns=drain,
+            entry_id=entry.entry_id,
+        )
+        ctrl.events.emit(
+            CounterPersistEvent(
+                address=counter_line,
+                payload_bytes=counter_bytes,
+                coalesced=False,
+                paired=False,
+                accept_ns=entry.accept_ns,
+                drain_ns=drain,
+            )
+        )
+        return WriteTicket(
+            address=counter_line,
+            accept_ns=settled_ns,
+            drain_ns=drain,
+            paired=False,
+            coalesced=False,
+        )
+
+    # -- helpers -------------------------------------------------------------
+
+    def counter_payload_bytes(self, group_base: int, counters: Tuple[int, ...]) -> int:
+        """Bytes a counter writeback moves to NVM.
+
+        Coalesced writebacks move only the modified 8 B slots over the
+        64-bit bus; full counter-atomicity overrides this with
+        cache-line granularity (the Section 4.1 overhead).
+        """
+        stored = self.ctrl.counter_store.read_counter_line(group_base)
+        changed = sum(1 for old, new in zip(stored, counters) if old != new)
+        return 8 * max(1, changed)
+
+    def _pair_counter_line_values(self, line: int, new_counter: int) -> Tuple[int, ...]:
+        """Counter-line contents persisted by a pair.
+
+        The written slot carries the new counter; sibling slots carry
+        their last *persisted* values (see the module docstring for why
+        dirty cached siblings must not ride along).
+        """
+        ctrl = self.ctrl
+        group_base = ctrl.address_map.data_group_base(line)
+        own_slot = (line - group_base) // CACHE_LINE_SIZE
+        values = list(ctrl.counter_store.read_counter_line(line))
+        values[own_slot] = new_counter
+        return tuple(values)
+
+    # -- checkpoint state ----------------------------------------------------
+
+    def get_state(self) -> dict:
+        return {
+            "data_queue": self.data_queue.get_state(),
+            "counter_queue": self.counter_queue.get_state(),
+        }
+
+    def set_state(self, state: dict) -> None:
+        self.data_queue.set_state(state["data_queue"])
+        self.counter_queue.set_state(state["counter_queue"])
+
+
+class FullCounterAtomicity(UnpairedAtomicity):
+    """FCA: every write pairs; counter writebacks are full lines."""
+
+    kind = "fca"
+
+    def write_is_paired(self, counter_atomic: bool) -> bool:
+        return True
+
+    def counter_payload_bytes(self, group_base: int, counters: Tuple[int, ...]) -> int:
+        return CACHE_LINE_SIZE
+
+
+class SelectiveCounterAtomicity(UnpairedAtomicity):
+    """SCA: only ``CounterAtomic``-annotated writes pair."""
+
+    kind = "sca"
+
+    def write_is_paired(self, counter_atomic: bool) -> bool:
+        return counter_atomic
+
+
+_ATOMICITY_CLASSES = {
+    "unpaired": UnpairedAtomicity,
+    "fca": FullCounterAtomicity,
+    "sca": SelectiveCounterAtomicity,
+}
+
+
+def build_atomicity(
+    ctrl: "MemoryController", config: SystemConfig, policy: DesignPolicy
+) -> UnpairedAtomicity:
+    """Instantiate the atomicity strategy for a design's axis value."""
+    return _ATOMICITY_CLASSES[policy.atomicity.kind](ctrl, config, policy)

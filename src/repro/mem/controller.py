@@ -1,116 +1,73 @@
-"""The memory controller: NVM coordinator + encryption + write queues.
+"""The memory controller: a slim coordinator over composed policy layers.
 
-All six design points of the paper run through this one controller,
-parameterized by a :class:`repro.core.designs.DesignPolicy`.  The
-controller owns:
+All design points of the paper run through this one controller,
+parameterized by a :class:`repro.core.designs.DesignPolicy` whose three
+axes select three strategy objects:
 
-* the encryption engine and counter cache (when the design has them),
-* the read path with per-design decrypt-overlap rules (Figure 6),
-* the data and counter write queues with the ready-bit pairing protocol
-  (Section 5.2.2),
-* bank and bus resource timelines, and
-* the persist journal that lets the crash injector reconstruct the NVM
-  image at any instant.
+* a **layout path** (:mod:`repro.mem.layout`) owning read/write byte
+  movement — plain, co-located 72 B, or split counter region,
+* an **atomicity policy** (:mod:`repro.mem.atomicity`) owning the data
+  and counter write queues, ready-bit pairing and lag-forced pair
+  escalation — unpaired, FCA, or SCA,
+* an **integrity persistence** (:mod:`repro.mem.integrity_policy`)
+  owning tree-node drains and counter-fetch authentication — none,
+  eager, or lazy.
+
+The controller itself keeps only what the layers share: the NVM device
+and its bank/bus timing models, the counter store and encryption
+engine, the read queue, the drain scheduler, the persist journal, and
+the event bus (:mod:`repro.mem.events`) that every observable action is
+emitted on.  Statistics are derived from the event stream by a bus
+subscriber rather than incremented inline; see ``docs/architecture.md``
+for the layer diagram and the bus contract.
 
 Timing contract: every public operation takes the requester's current
 time and returns absolute completion/acceptance times.  Functionally,
 writes are applied to the device immediately (modeling write-queue
 forwarding); the journal records *when* each write became durable so
 crash images can be reconstructed exactly.
-
-A note on counter-atomic pairs and sibling counters: a paired write
-persists the whole covering counter line.  The seven sibling slots are
-taken from the *architectural* counter values (last persisted), not the
-counter cache — re-persisting them is idempotent, whereas persisting a
-dirty cached sibling could outrun its data line and strand it
-undecryptable.  Dirty cached counters persist via
-``counter_cache_writeback()`` or eviction, exactly as the paper's
-protocol requires.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import heapq
-from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
 
-from ..config import CACHE_LINE_SIZE, SystemConfig
+from ..config import SystemConfig
 from ..core.designs import DesignPolicy
+from ..crypto.counter_cache import CounterCacheStats
 from ..crypto.counters import CounterStore
 from ..crypto.engine import EncryptionEngine
-from ..errors import SimulationError
 from ..integrity.cache import TreeNodeCache
-from ..integrity.tree import IntegrityTreeEngine, TreeNode
+from ..integrity.tree import IntegrityTreeEngine
 from ..nvm.address import AddressMap
 from ..nvm.device import NVMDevice
 from ..nvm.timing import BankTimingModel, BusModel
 from ..persist.journal import PersistJournal
+from .atomicity import UnpairedAtomicity, WriteTicket, build_atomicity
+from .events import (
+    CcwbEvent,
+    CcwbFlushEvent,
+    ControllerStats,
+    DrainEvent,
+    EventBus,
+    JsonlTraceSubscriber,
+    ReadEvent,
+    StatsSubscriber,
+    WriteRequestEvent,
+)
+from .integrity_policy import NoIntegrity, build_integrity
+from .layout import COLOCATED_PAYLOAD, PlainLayout, ReadResult, build_layout
 from .writequeue import EntryIdAllocator, WriteQueue
 
-#: Payload size of a co-located access (64 B data + 8 B counter).
-COLOCATED_PAYLOAD = CACHE_LINE_SIZE + 8
-
-
-@dataclass
-class ReadResult:
-    """Completion of a read-line request."""
-
-    address: int
-    #: When decrypted plaintext is available to the cache hierarchy.
-    complete_ns: float
-    plaintext: Optional[bytes]
-    counter_cache_hit: bool
-    #: Raw memory latency before decryption overlap (diagnostics).
-    raw_read_ns: float
-
-
-@dataclass
-class WriteTicket:
-    """Acceptance of a write-line request.
-
-    ``accept_ns`` is when the write is architecturally persistent under
-    ADR (both queue entries accepted and ready, for paired writes);
-    sfence/persist_barrier waits on this.  ``drain_ns`` is when the data
-    actually reaches the NVM array (diagnostics, crash modeling).
-    """
-
-    address: int
-    accept_ns: float
-    drain_ns: float
-    paired: bool
-    coalesced: bool
-
-
-@dataclass
-class ControllerStats:
-    """Aggregate controller statistics for one simulation."""
-
-    reads: int = 0
-    data_writes: int = 0
-    counter_writes: int = 0
-    paired_writes: int = 0
-    coalesced_data_writes: int = 0
-    coalesced_counter_writes: int = 0
-    ccwb_calls: int = 0
-    ccwb_lines_flushed: int = 0
-    bytes_read: int = 0
-    bytes_written: int = 0
-    counter_fill_reads: int = 0
-    total_read_latency_ns: float = 0.0
-    total_write_accept_wait_ns: float = 0.0
-    # Bonsai-tree designs only (all zero otherwise).
-    tree_node_writes: int = 0
-    coalesced_tree_writes: int = 0
-    tree_verifications: int = 0
-    tree_node_fills: int = 0
-    root_updates: int = 0
-    ccwb_tree_flushes: int = 0
-    lag_forced_pairs: int = 0
-
-    @property
-    def mean_read_latency_ns(self) -> float:
-        return self.total_read_latency_ns / self.reads if self.reads else 0.0
+__all__ = [
+    "COLOCATED_PAYLOAD",
+    "ControllerStats",
+    "MemoryController",
+    "ReadResult",
+    "WriteTicket",
+]
 
 
 class MemoryController:
@@ -143,58 +100,64 @@ class MemoryController:
                 counter_store=self.counter_store,
                 functional=config.functional,
             )
-        # One id space shared by both queues keeps journal entry ids
+        # One id space shared by every queue keeps journal entry ids
         # unique; owning the allocator (instead of a module global)
         # makes entry ids reproducible across checkpoint/restore.
-        self._entry_ids = EntryIdAllocator()
-        self.data_queue = WriteQueue(
-            "data-wq",
-            config.controller.data_write_queue_entries,
-            coalesce=config.controller.coalesce_writes,
-            entry_ids=self._entry_ids,
-        )
-        self.counter_queue = WriteQueue(
-            "counter-wq",
-            config.controller.counter_write_queue_entries,
-            coalesce=config.controller.coalesce_writes,
-            entry_ids=self._entry_ids,
-        )
-        # Bonsai Merkle Tree over the counters (the +bmt designs): the
-        # working tree and its secure root live on chip; the node cache
-        # and the dedicated tree write queue model the persistence
-        # traffic under the design's eager or lazy discipline.
-        self.tree: Optional[IntegrityTreeEngine] = None
-        self.tree_cache: Optional[TreeNodeCache] = None
-        self.tree_queue: Optional[WriteQueue] = None
-        self._tree_mode = ""
-        if policy.integrity_tree:
-            self.tree = IntegrityTreeEngine(
-                config.encryption, self.address_map, arity=config.integrity.arity
-            )
-            self.tree_cache = TreeNodeCache(config.integrity.node_cache_entries)
-            self.tree_queue = WriteQueue(
-                "tree-wq",
-                config.integrity.tree_write_queue_entries,
-                coalesce=config.controller.coalesce_writes,
-                entry_ids=self._entry_ids,
-            )
-            self._tree_mode = policy.integrity_mode or config.integrity.mode
-        self._max_counter_lag = config.integrity.max_counter_lag
+        self.entry_ids = EntryIdAllocator()
+        # The event bus: stats derive from the stream; an optional JSONL
+        # trace subscriber gives campaigns an observability hook.
+        self.events = EventBus()
+        self._stats = StatsSubscriber()
+        self.events.subscribe(self._stats)
+        self._trace: Optional[JsonlTraceSubscriber] = None
+        if config.controller.event_trace_path:
+            self._trace = JsonlTraceSubscriber(config.controller.event_trace_path)
+            self.events.subscribe(self._trace)
         self._fifo_drain = config.controller.drain_policy == "fifo"
         self._last_drain = {"data": 0.0, "counter": 0.0, "tree": 0.0}
         self._counter_hold_ns = config.controller.counter_drain_hold_ns
-        self._pair_ready_latency_ns = config.controller.pair_ready_latency_ns
         #: Read-queue occupancy (Table 2: 32 entries).  A slot is held
         #: from request to data arrival; a full queue delays the start
         #: of new reads (blocking cores rarely fill it, but counter
         #: fills and multicore bursts can).
-        self._read_slots: list = []
+        self._read_slots: List[float] = []
         self._read_queue_capacity = config.controller.read_queue_entries
         self.read_queue_peak = 0
         self.total_read_queue_wait_ns = 0.0
         self.journal = PersistJournal()
-        self.stats = ControllerStats()
         self._functional = config.functional
+        # The three composed strategy layers (see the module docstring).
+        self.atomicity: UnpairedAtomicity = build_atomicity(self, config, policy)
+        self.integrity: NoIntegrity = build_integrity(self, config, policy)
+        self.layout: PlainLayout = build_layout(self, config, policy)
+
+    # ------------------------------------------------------------------
+    # Layer delegation (the pre-decomposition attribute surface)
+    # ------------------------------------------------------------------
+
+    @property
+    def stats(self) -> ControllerStats:
+        return self._stats.stats
+
+    @property
+    def data_queue(self) -> WriteQueue:
+        return self.atomicity.data_queue
+
+    @property
+    def counter_queue(self) -> WriteQueue:
+        return self.atomicity.counter_queue
+
+    @property
+    def tree(self) -> Optional[IntegrityTreeEngine]:
+        return self.integrity.tree
+
+    @property
+    def tree_cache(self) -> Optional[TreeNodeCache]:
+        return self.integrity.tree_cache
+
+    @property
+    def tree_queue(self) -> Optional[WriteQueue]:
+        return self.integrity.tree_queue
 
     # ------------------------------------------------------------------
     # Read path (Figure 6)
@@ -217,122 +180,26 @@ class MemoryController:
 
     def read_line(self, address: int, request_ns: float) -> ReadResult:
         """Fetch and (if encrypted) decrypt one data line."""
-        self.stats.reads += 1
         request_ns = self._acquire_read_slot(request_ns)
         line = self.address_map.line_base(address)
-        payload_bytes = COLOCATED_PAYLOAD if self.policy.colocated else CACHE_LINE_SIZE
+        payload_bytes = self.layout.read_payload_bytes
         bank = self.address_map.bank_of(line)
         row = self.address_map.row_of(line)
         access = self.banks.schedule_read(bank, request_ns, row=row)
         data_arrival = self.bus.schedule_transfer(access.complete_ns, payload_bytes)
         self._release_read_slot(data_arrival)
-        self.stats.bytes_read += payload_bytes
-
         stored = self.device.read_line(line)
-        if self.engine is None:
-            result = ReadResult(
+        result = self.layout.complete_read(line, request_ns, data_arrival, stored.payload)
+        self.events.emit(
+            ReadEvent(
                 address=line,
-                complete_ns=data_arrival,
-                plaintext=stored.payload if self._functional else None,
-                counter_cache_hit=False,
-                raw_read_ns=data_arrival - request_ns,
+                request_ns=request_ns,
+                complete_ns=result.complete_ns,
+                payload_bytes=payload_bytes,
+                counter_cache_hit=result.counter_cache_hit,
             )
-        else:
-            result = self._read_encrypted(line, request_ns, data_arrival, stored.payload)
-        self.stats.total_read_latency_ns += result.complete_ns - request_ns
+        )
         return result
-
-    def _read_encrypted(
-        self,
-        line: int,
-        request_ns: float,
-        data_arrival: float,
-        ciphertext: bytes,
-    ) -> ReadResult:
-        engine = self.engine
-        assert engine is not None
-        latency = engine.latency_ns
-        if self.policy.colocated:
-            return self._read_colocated(line, request_ns, data_arrival, ciphertext)
-        decryption = engine.decrypt_for_read(
-            line, ciphertext if self._functional else None
-        )
-        if decryption.counter_cache_hit:
-            # OTP generation overlaps the array read (Figure 6(c)).
-            complete = max(data_arrival, request_ns + latency)
-        else:
-            # Fetch the counter line in parallel with the data; the OTP
-            # can only be generated once the counter arrives.
-            counter_arrival = self._fetch_counter_line(line, request_ns)
-            complete = max(data_arrival, counter_arrival + latency)
-        if decryption.evicted_counter_line is not None and self.policy.counter_evict_writes:
-            self._writeback_counter_line(decryption.evicted_counter_line, request_ns)
-        return ReadResult(
-            address=line,
-            complete_ns=complete,
-            plaintext=decryption.plaintext,
-            counter_cache_hit=decryption.counter_cache_hit,
-            raw_read_ns=data_arrival - request_ns,
-        )
-
-    def _read_colocated(
-        self,
-        line: int,
-        request_ns: float,
-        data_arrival: float,
-        ciphertext: bytes,
-    ) -> ReadResult:
-        """Co-located designs: the 72 B fetch carries the counter."""
-        engine = self.engine
-        assert engine is not None
-        latency = engine.latency_ns
-        hit = False
-        if self.policy.has_counter_cache:
-            cached = engine.counter_cache.lookup_for_read(line)
-            if cached is not None:
-                # Figure 5(b): decrypt with the cached counter, in
-                # parallel with the fetch.
-                hit = True
-                complete = max(data_arrival, request_ns + latency)
-            else:
-                # Miss: the counter rides in with the data, so the
-                # decryption serializes after the fetch; install the
-                # fetched counters in the cache for next time.
-                complete = data_arrival + latency
-                engine.counter_cache.fill(
-                    line, self.counter_store.read_counter_line(line)
-                )
-        else:
-            # Figure 5(a)/6(a): always serialized.
-            complete = data_arrival + latency
-        counter = self.counter_store.read(line)
-        plaintext = None
-        if self._functional:
-            plaintext = engine.cipher.decrypt(line, counter, ciphertext)
-        return ReadResult(
-            address=line,
-            complete_ns=complete,
-            plaintext=plaintext,
-            counter_cache_hit=hit,
-            raw_read_ns=data_arrival - request_ns,
-        )
-
-    def _fetch_counter_line(self, data_address: int, request_ns: float) -> float:
-        """Read the covering counter line from NVM (separate designs)."""
-        counter_line = self.address_map.counter_line_address_of(data_address)
-        bank = self.address_map.bank_of(counter_line)
-        row = self.address_map.row_of(counter_line)
-        access = self.banks.schedule_read(bank, request_ns, row=row)
-        arrival = self.bus.schedule_transfer(access.complete_ns, CACHE_LINE_SIZE)
-        self.stats.bytes_read += CACHE_LINE_SIZE
-        self.stats.counter_fill_reads += 1
-        if self.tree is not None:
-            # The fetched counters cannot be trusted (used for OTPs)
-            # until their tree path authenticates.
-            arrival = max(
-                arrival, self._verify_counter_fetch(data_address, request_ns)
-            )
-        return arrival
 
     # ------------------------------------------------------------------
     # Write path (Section 5.2.2)
@@ -346,560 +213,51 @@ class MemoryController:
         counter_atomic: bool = False,
     ) -> WriteTicket:
         """Accept one data-line writeback (clwb or cache eviction)."""
-        self.stats.data_writes += 1
         line = self.address_map.line_base(address)
-
-        if self.engine is None:
-            return self._write_plain(line, payload, request_ns, encrypted_with=0)
-
-        encryption = self.engine.encrypt_for_write(
-            line, payload if self._functional else None
+        self.events.emit(
+            WriteRequestEvent(
+                address=line, request_ns=request_ns, counter_atomic=counter_atomic
+            )
         )
-        if encryption.evicted_counter_line is not None and self.policy.counter_evict_writes:
-            self._writeback_counter_line(encryption.evicted_counter_line, request_ns)
-        if not encryption.counter_cache_hit and self.policy.uses_separate_counters:
-            # Background fill of the covering counter line: the write
-            # does not stall, but the fill's read traffic is real.
-            self._fetch_counter_line(line, request_ns)
+        return self.layout.write_line(line, payload, request_ns, counter_atomic)
 
-        if self.policy.colocated:
-            return self._write_colocated(
-                line, encryption.ciphertext, request_ns, encryption.counter
-            )
-
-        paired = self.policy.write_is_paired(counter_atomic)
-        if (
-            not paired
-            and self.tree is not None
-            and not self.policy.magic_counter_persistence
-            and encryption.counter - self.counter_store.read(line)
-            > self._max_counter_lag
-        ):
-            # Osiris bound: the global counter has outrun this line's
-            # persisted counter beyond the post-crash search window, so
-            # an unpaired write here would be unrecoverable after a
-            # crash.  Integrity-verified designs escalate the write to
-            # a counter-atomic pair — all-or-nothing, no crash window —
-            # keeping every persisted line re-authenticable.
-            self.stats.lag_forced_pairs += 1
-            paired = True
-        if paired:
-            return self._write_paired(
-                line, encryption.ciphertext, request_ns, encryption.counter
-            )
-
-        ticket = self._write_plain(
-            line, encryption.ciphertext, request_ns, encrypted_with=encryption.counter
-        )
-        if self.policy.magic_counter_persistence:
-            # Ideal fiction: the architectural counter becomes durable
-            # instantly and for free, together with the data.
-            self.counter_store.write(line, encryption.counter)
-            self.journal.record_counter(
-                address=self.address_map.counter_line_address_of(line),
-                counters=(encryption.counter,),
-                group_base=line,
-                accept_ns=ticket.accept_ns,
-                ready_ns=ticket.accept_ns,
-                drain_ns=ticket.accept_ns,
-                single_slot=True,
-            )
-        return ticket
-
-    def _write_plain(
+    def drain_write(
         self,
-        line: int,
-        payload: Optional[bytes],
-        request_ns: float,
-        encrypted_with: int,
-    ) -> WriteTicket:
-        """Unpaired data write: coalesce or enqueue, drain when banks allow."""
-        coalesced = self.data_queue.try_coalesce(line, request_ns, payload, encrypted_with)
-        if coalesced is not None:
-            self.stats.coalesced_data_writes += 1
-            self.device.persist_line(line, payload, encrypted_with)
-            self.journal.amend_data(
-                coalesced.entry_id, payload, encrypted_with, effective_ns=request_ns
-            )
-            return WriteTicket(
-                address=line,
-                accept_ns=request_ns,
-                drain_ns=coalesced.drain_ns,
-                paired=False,
-                coalesced=True,
-            )
-        entry = self.data_queue.accept(
-            line, request_ns, payload, is_counter=False, encrypted_with=encrypted_with
-        )
-        self.data_queue.mark_ready(entry, entry.accept_ns)
-        issue, drain = self._drain_write(self.data_queue, line, entry.accept_ns, CACHE_LINE_SIZE)
-        self.data_queue.set_drain_time(entry, drain, slot_release_ns=issue)
-        self.device.persist_line(line, payload, encrypted_with)
-        self.journal.record_data(
-            entry_id=entry.entry_id,
-            address=line,
-            payload=payload,
-            encrypted_with=encrypted_with,
-            accept_ns=entry.accept_ns,
-            ready_ns=entry.ready_ns,
-            drain_ns=drain,
-        )
-        self.stats.bytes_written += CACHE_LINE_SIZE
-        self.stats.total_write_accept_wait_ns += entry.accept_ns - request_ns
-        return WriteTicket(
-            address=line, accept_ns=entry.accept_ns, drain_ns=drain, paired=False, coalesced=False
-        )
-
-    def _write_colocated(
-        self,
-        line: int,
-        payload: Optional[bytes],
-        request_ns: float,
-        counter: int,
-    ) -> WriteTicket:
-        """Co-located designs: one 72 B access carries data + counter.
-
-        Data and counter are inherently atomic here; the journal records
-        them with identical timestamps so crash images stay in sync.
-        """
-        counter_line = self.address_map.counter_line_address_of(line)
-        coalesced = self.data_queue.try_coalesce(line, request_ns, payload, counter)
-        if coalesced is not None:
-            self.stats.coalesced_data_writes += 1
-            self.device.persist_line(line, payload, counter)
-            self.counter_store.write(line, counter)
-            self.journal.amend_data(
-                coalesced.entry_id, payload, counter, effective_ns=request_ns
-            )
-            self.journal.record_counter(
-                address=counter_line,
-                counters=(counter,),
-                group_base=line,
-                accept_ns=request_ns,
-                ready_ns=request_ns,
-                drain_ns=coalesced.drain_ns,
-                single_slot=True,
-            )
-            return WriteTicket(
-                address=line,
-                accept_ns=request_ns,
-                drain_ns=coalesced.drain_ns,
-                paired=False,
-                coalesced=True,
-            )
-        entry = self.data_queue.accept(
-            line, request_ns, payload, is_counter=False, encrypted_with=counter
-        )
-        self.data_queue.mark_ready(entry, entry.accept_ns)
-        issue, drain = self._drain_write(self.data_queue, line, entry.accept_ns, COLOCATED_PAYLOAD)
-        self.data_queue.set_drain_time(entry, drain, slot_release_ns=issue)
-        self.device.persist_line(line, payload, counter)
-        self.counter_store.write(line, counter)
-        self.journal.record_data(
-            entry_id=entry.entry_id,
-            address=line,
-            payload=payload,
-            encrypted_with=counter,
-            accept_ns=entry.accept_ns,
-            ready_ns=entry.ready_ns,
-            drain_ns=drain,
-        )
-        self.journal.record_counter(
-            address=counter_line,
-            counters=(counter,),
-            group_base=line,
-            accept_ns=entry.accept_ns,
-            ready_ns=entry.ready_ns,
-            drain_ns=drain,
-            single_slot=True,
-        )
-        self.stats.bytes_written += COLOCATED_PAYLOAD
-        self.stats.total_write_accept_wait_ns += entry.accept_ns - request_ns
-        return WriteTicket(
-            address=line, accept_ns=entry.accept_ns, drain_ns=drain, paired=False, coalesced=False
-        )
-
-    def _write_paired(
-        self,
-        line: int,
-        payload: Optional[bytes],
-        request_ns: float,
-        counter: int,
-    ) -> WriteTicket:
-        """Counter-atomic write: data + counter entries with ready bits.
-
-        Follows the paper's seven-step walkthrough: both entries are
-        inserted, each checks for its partner, and both become ready
-        only when both are present.  Neither drains before ready, and
-        the ADR drain at a failure takes ready entries only, so the
-        pair persists all-or-nothing.
-
-        Counter updates to a counter line that is already queued (and
-        still undrained) merge into the queued entry — the merge and
-        ready-bit update are a single ADR-protected operation, so the
-        amendment takes effect exactly when the new pair becomes ready.
-        """
-        assert self.engine is not None
-        self.stats.paired_writes += 1
-        group_base = self.address_map.data_group_base(line)
-        counter_line = self.address_map.counter_line_address_of(line)
-        counters = self._pair_counter_line_values(line, counter)
-
-        # A new pair to a line whose previous pair is still queued
-        # merges into it: the merge plus the ready-bit update is one
-        # ADR-protected operation, so both the data amendment and the
-        # counter amendment take effect exactly when this pair becomes
-        # ready, preserving all-or-nothing behaviour.
-        candidate_data = self.data_queue.peek_coalesce(
-            line, request_ns, allow_counter_atomic=True
-        )
-        candidate_ctr = self.counter_queue.peek_coalesce(
-            counter_line, request_ns, allow_counter_atomic=True
-        )
-        if (
-            candidate_data is not None
-            and candidate_data.counter_atomic
-            and candidate_ctr is not None
-        ):
-            self.data_queue.commit_coalesce(candidate_data, payload, counter)
-            self.counter_queue.commit_coalesce(
-                candidate_ctr, None, 0, counter_values=(group_base, counters)
-            )
-            self.stats.coalesced_data_writes += 1
-            self.stats.coalesced_counter_writes += 1
-            ready_ns = request_ns + self._pair_ready_latency_ns
-            self.journal.amend_data(
-                candidate_data.entry_id, payload, counter, effective_ns=ready_ns
-            )
-            self.journal.amend_counter(
-                candidate_ctr.entry_id, group_base, counters, effective_ns=ready_ns
-            )
-            self.device.persist_line(line, payload, counter)
-            self.counter_store.write_counter_line(group_base, counters)
-            settled_ns = self._note_counter_persist(group_base, counters, ready_ns)
-            return WriteTicket(
-                address=line,
-                accept_ns=settled_ns,
-                drain_ns=max(candidate_data.drain_ns, candidate_ctr.drain_ns),
-                paired=True,
-                coalesced=True,
-            )
-
-        data_entry = self.data_queue.accept(
-            line,
-            request_ns,
-            payload,
-            is_counter=False,
-            encrypted_with=counter,
-            counter_atomic=True,
-        )
-        pair_time = data_entry.accept_ns
-
-        merged = self.counter_queue.try_coalesce(
-            counter_line,
-            pair_time,
-            None,
-            0,
-            counter_values=(group_base, counters),
-            allow_counter_atomic=True,
-        )
-        if merged is not None:
-            self.stats.coalesced_counter_writes += 1
-            ready_ns = max(pair_time, merged.accept_ns) + self._pair_ready_latency_ns
-            counter_drain = merged.drain_ns
-            counter_entry_id = merged.entry_id
-            self.journal.amend_counter(
-                merged.entry_id, group_base, counters, effective_ns=ready_ns
-            )
-        else:
-            counter_entry = self.counter_queue.accept(
-                counter_line,
-                request_ns,
-                None,
-                is_counter=True,
-                counter_values=(group_base, counters),
-                counter_atomic=True,
-            )
-            ready_ns = (
-                max(pair_time, counter_entry.accept_ns) + self._pair_ready_latency_ns
-            )
-            self.counter_queue.mark_ready(counter_entry, ready_ns)
-            counter_entry.partner_id = data_entry.entry_id
-            counter_bytes = self._counter_payload_bytes(group_base, counters)
-            counter_issue, counter_drain = self._drain_write(
-                self.counter_queue, counter_line, ready_ns, counter_bytes
-            )
-            self.counter_queue.set_drain_time(
-                counter_entry, counter_drain, slot_release_ns=counter_issue
-            )
-            counter_entry_id = counter_entry.entry_id
-            self.stats.bytes_written += counter_bytes
-            self.stats.counter_writes += 1
-            self.journal.record_counter(
-                address=counter_line,
-                counters=counters,
-                group_base=group_base,
-                accept_ns=counter_entry.accept_ns,
-                ready_ns=ready_ns,
-                drain_ns=counter_drain,
-                entry_id=counter_entry.entry_id,
-            )
-
-        self.data_queue.mark_ready(data_entry, ready_ns)
-        data_entry.partner_id = counter_entry_id
-        data_issue, data_drain = self._drain_write(
-            self.data_queue, line, ready_ns, CACHE_LINE_SIZE
-        )
-        self.data_queue.set_drain_time(data_entry, data_drain, slot_release_ns=data_issue)
-        self.stats.bytes_written += CACHE_LINE_SIZE
-
-        self.device.persist_line(line, payload, counter)
-        self.counter_store.write_counter_line(group_base, counters)
-        settled_ns = self._note_counter_persist(group_base, counters, ready_ns)
-        self.journal.record_data(
-            entry_id=data_entry.entry_id,
-            address=line,
-            payload=payload,
-            encrypted_with=counter,
-            accept_ns=data_entry.accept_ns,
-            ready_ns=ready_ns,
-            drain_ns=data_drain,
-            partner_id=counter_entry_id,
-        )
-        self.stats.total_write_accept_wait_ns += settled_ns - request_ns
-        return WriteTicket(
-            address=line,
-            accept_ns=settled_ns,
-            drain_ns=max(data_drain, counter_drain),
-            paired=True,
-            coalesced=merged is not None,
-        )
-
-    def _counter_payload_bytes(
-        self, group_base: int, counters: Tuple[int, ...]
-    ) -> int:
-        """Bytes a counter writeback moves to NVM.
-
-        Full counter-atomicity updates counters at cache-line
-        granularity — the overhead the paper's Section 4.1 calls out —
-        while the selective design's coalesced writebacks move only the
-        modified 8 B slots over the 64-bit bus.
-        """
-        if self.policy.pair_all_writes:
-            return CACHE_LINE_SIZE
-        stored = self.counter_store.read_counter_line(group_base)
-        changed = sum(1 for old, new in zip(stored, counters) if old != new)
-        return 8 * max(1, changed)
-
-    def _pair_counter_line_values(self, line: int, new_counter: int) -> Tuple[int, ...]:
-        """Counter-line contents persisted by a pair.
-
-        The written slot carries the new counter; sibling slots carry
-        their last *persisted* values (see the module docstring for why
-        dirty cached siblings must not ride along).
-        """
-        group_base = self.address_map.data_group_base(line)
-        own_slot = (line - group_base) // CACHE_LINE_SIZE
-        values = list(self.counter_store.read_counter_line(line))
-        values[own_slot] = new_counter
-        return tuple(values)
-
-    def _writeback_counter_line(
-        self,
-        flushed: Tuple[int, Tuple[int, ...]],
-        request_ns: float,
-    ) -> WriteTicket:
-        """Write one counter line (eviction or ccwb flush) to NVM."""
-        group_base, counters = flushed
-        counter_line = self.address_map.counter_line_address_of(group_base)
-        coalesced = self.counter_queue.try_coalesce(
-            counter_line, request_ns, None, 0, counter_values=(group_base, counters)
-        )
-        if coalesced is not None:
-            self.stats.coalesced_counter_writes += 1
-            self.counter_store.write_counter_line(group_base, counters)
-            settled_ns = self._note_counter_persist(group_base, counters, request_ns)
-            self.journal.amend_counter(
-                coalesced.entry_id, group_base, counters, effective_ns=request_ns
-            )
-            return WriteTicket(
-                address=counter_line,
-                accept_ns=settled_ns,
-                drain_ns=coalesced.drain_ns,
-                paired=False,
-                coalesced=True,
-            )
-        entry = self.counter_queue.accept(
-            counter_line,
-            request_ns,
-            None,
-            is_counter=True,
-            counter_values=(group_base, counters),
-        )
-        self.counter_queue.mark_ready(entry, entry.accept_ns)
-        counter_bytes = self._counter_payload_bytes(group_base, counters)
-        issue, drain = self._drain_write(
-            self.counter_queue, counter_line, entry.accept_ns, counter_bytes
-        )
-        self.counter_queue.set_drain_time(entry, drain, slot_release_ns=issue)
-        self.counter_store.write_counter_line(group_base, counters)
-        settled_ns = self._note_counter_persist(group_base, counters, entry.accept_ns)
-        self.journal.record_counter(
-            address=counter_line,
-            counters=counters,
-            group_base=group_base,
-            accept_ns=entry.accept_ns,
-            ready_ns=entry.ready_ns,
-            drain_ns=drain,
-            entry_id=entry.entry_id,
-        )
-        self.stats.bytes_written += counter_bytes
-        self.stats.counter_writes += 1
-        return WriteTicket(
-            address=counter_line,
-            accept_ns=settled_ns,
-            drain_ns=drain,
-            paired=False,
-            coalesced=False,
-        )
-
-    # ------------------------------------------------------------------
-    # Bonsai Merkle Tree maintenance (the +bmt designs)
-    # ------------------------------------------------------------------
-
-    def _note_counter_persist(
-        self, group_base: int, counters: Tuple[int, ...], effective_ns: float
-    ) -> float:
-        """Re-hash the tree path for a just-persisted counter line.
-
-        The secure root always advances with the persisted counters;
-        what differs per mode is when the *interior nodes* reach NVM:
-        eagerly right here (Freij-style strict ordering), or lazily by
-        dirtying the node cache and flushing at
-        ``counter_cache_writeback()`` / eviction (the SCA relaxation —
-        safe because interior nodes are reconstructible from the
-        persisted leaves).
-
-        Returns when the write's tree obligation is met.  The eager
-        discipline takes no ADR cover for metadata — that is Freij's
-        premise — so a write is not architecturally persistent until
-        its whole root path has *drained* to the array, and the
-        returned settle time extends the caller's acceptance ticket.
-        The lazy mode has no ordering obligation (interior nodes are
-        reconstructible) and returns ``effective_ns`` unchanged.
-        """
-        if self.tree is None:
-            return effective_ns
-        path = self.tree.update_group(group_base, counters)
-        self.stats.root_updates += 1
-        assert self.tree_cache is not None
-        settled_ns = effective_ns
-        if self._tree_mode == "eager":
-            for node in path:
-                evicted = self.tree_cache.insert(node, dirty=False)
-                if evicted is not None:
-                    self._persist_tree_node(evicted, effective_ns)
-                settled_ns = max(
-                    settled_ns, self._persist_tree_node(node, effective_ns)
-                )
-        else:
-            for node in path:
-                evicted = self.tree_cache.insert(node, dirty=True)
-                if evicted is not None:
-                    self._persist_tree_node(evicted, effective_ns)
-        return settled_ns
-
-    def _persist_tree_node(self, node: TreeNode, request_ns: float) -> float:
-        """Send one tree node's current digest to NVM.
-
-        Pure traffic: tree writes carry no journal records because a
-        crash never needs them back — recovery rebuilds interior nodes
-        from the persisted counters and checks the secure register.
-        Repeated writes of a hot upper node coalesce in the tree queue.
-        Returns when the node's digest is durable in the array (the
-        point an eager/strict-ordering caller must wait for).
-        """
-        assert self.tree is not None and self.tree_queue is not None
-        address = self.tree.node_address(node)
-        coalesced = self.tree_queue.try_coalesce(address, request_ns, None, 0)
-        if coalesced is not None:
-            self.stats.coalesced_tree_writes += 1
-            return max(request_ns, coalesced.drain_ns)
-        entry = self.tree_queue.accept(address, request_ns, None, is_counter=False)
-        self.tree_queue.mark_ready(entry, entry.accept_ns)
-        issue, drain = self._drain_write(
-            self.tree_queue, address, entry.accept_ns, CACHE_LINE_SIZE
-        )
-        self.tree_queue.set_drain_time(entry, drain, slot_release_ns=issue)
-        self.stats.tree_node_writes += 1
-        self.stats.bytes_written += CACHE_LINE_SIZE
-        return drain
-
-    def _verify_counter_fetch(self, data_address: int, request_ns: float) -> float:
-        """Authenticate a counter-line fetch against the tree.
-
-        Walks the leaf-to-root path bottom-up; the walk stops at the
-        first node already in the on-chip node cache (a cached node is
-        trusted — it was verified on its way in).  Uncached nodes cost
-        a real 64 B NVM read each.  Returns when the fetched counters
-        are trusted.
-        """
-        assert self.tree is not None and self.tree_cache is not None
-        group_base = self.address_map.data_group_base(data_address)
-        if not self.tree.verify_leaf(
-            group_base, self.counter_store.read_counter_line(group_base)
-        ):
-            raise SimulationError(
-                "integrity-tree mismatch for counter line of group 0x%x" % group_base
-            )
-        self.stats.tree_verifications += 1
-        arrival = request_ns
-        index = self.tree.leaf_index(group_base)
-        for level in range(self.tree.levels):
-            node = (level, index)
-            if self.tree_cache.touch(node):
-                break
-            address = self.tree.node_address(node)
-            bank = self.address_map.bank_of(address)
-            row = self.address_map.row_of(address)
-            access = self.banks.schedule_read(bank, request_ns, row=row)
-            node_arrival = self.bus.schedule_transfer(access.complete_ns, CACHE_LINE_SIZE)
-            arrival = max(arrival, node_arrival)
-            self.stats.bytes_read += CACHE_LINE_SIZE
-            self.stats.tree_node_fills += 1
-            evicted = self.tree_cache.insert(node, dirty=False)
-            if evicted is not None:
-                self._persist_tree_node(evicted, request_ns)
-            index //= self.tree.arity
-        return arrival
-
-    def _drain_write(
-        self, queue: WriteQueue, address: int, ready_ns: float, payload_bytes: int
+        queue: WriteQueue,
+        role: str,
+        address: int,
+        ready_ns: float,
+        payload_bytes: int,
     ) -> Tuple[float, float]:
         """Schedule the array write + bus transfer for one drain.
 
-        Returns ``(issue_ns, complete_ns)``: the entry's queue slot
-        frees at issue (the write has left for its bank), while the
-        cell write is durable at complete.  Counter-line entries may be
-        held for a grace window first (``counter_drain_hold_ns``).
+        ``role`` names the queue's drain timeline (``"data"``,
+        ``"counter"``, ``"tree"``).  Returns ``(issue_ns,
+        complete_ns)``: the entry's queue slot frees at issue (the
+        write has left for its bank), while the cell write is durable
+        at complete.  Counter-line entries may be held for a grace
+        window first (``counter_drain_hold_ns``).
         """
         start = ready_ns
-        if queue is self.counter_queue:
+        if role == "counter":
             start += self._counter_hold_ns
-            drain_key = "counter"
-        elif queue is self.tree_queue:
-            drain_key = "tree"
-        else:
-            drain_key = "data"
         if self._fifo_drain:
             # Strict FIFO drain: head-of-line blocking (ablation).
-            start = max(start, self._last_drain[drain_key])
+            start = max(start, self._last_drain[role])
         bank = self.address_map.bank_of(address)
         row = self.address_map.row_of(address)
         bus_done = self.bus.schedule_transfer(start, payload_bytes)
         access = self.banks.schedule_write(bank, bus_done, row=row)
         if self._fifo_drain:
-            self._last_drain[drain_key] = access.complete_ns
+            self._last_drain[role] = access.complete_ns
+        self.events.emit(
+            DrainEvent(
+                role=role,
+                address=address,
+                issue_ns=access.start_ns,
+                complete_ns=access.complete_ns,
+            )
+        )
         return access.start_ns, access.complete_ns
 
     # ------------------------------------------------------------------
@@ -913,22 +271,15 @@ class MemoryController:
         ccwb support or the line is clean (a no-op, per the paper).
         The flushed entry's ready bit is always set — it is not paired.
         """
-        self.stats.ccwb_calls += 1
+        self.events.emit(CcwbEvent(address=address, request_ns=request_ns))
         if self.engine is None or not self.policy.ccwb_enabled:
             return None
         flushed = self.engine.counter_cache.writeback_line(address)
         if flushed is None:
             return None
-        self.stats.ccwb_lines_flushed += 1
-        ticket = self._writeback_counter_line(flushed, request_ns)
-        if self.tree_cache is not None and self._tree_mode == "lazy":
-            # The lazy discipline piggybacks on the paper's persistence
-            # point: flush every coalesced dirty tree node here, so the
-            # NVM tree catches up exactly when the counters do.
-            dirty = self.tree_cache.flush_dirty()
-            for node in dirty:
-                self._persist_tree_node(node, request_ns)
-            self.stats.ccwb_tree_flushes += len(dirty)
+        self.events.emit(CcwbFlushEvent(address=address, request_ns=request_ns))
+        ticket = self.atomicity.writeback_counter_line(flushed, request_ns)
+        self.integrity.on_ccwb(request_ns)
         return ticket
 
     # ------------------------------------------------------------------
@@ -936,7 +287,7 @@ class MemoryController:
     # ------------------------------------------------------------------
 
     @property
-    def counter_cache_stats(self):
+    def counter_cache_stats(self) -> Optional["CounterCacheStats"]:
         if self.engine is None:
             return None
         return self.engine.counter_cache.stats
@@ -955,8 +306,10 @@ class MemoryController:
         """Full controller state for a simulation checkpoint.
 
         Covers every mutable structure the timing and functional paths
-        touch; config-derived objects (address map, cipher, policy) are
-        rebuilt from config on restore.
+        touch, layer by layer; config-derived objects (address map,
+        cipher, policy, the strategy objects themselves) are rebuilt
+        from config on restore.  The event-trace subscriber is not
+        state — a restored run re-appends to its trace.
         """
         return {
             "device": self.device.get_state(),
@@ -964,16 +317,9 @@ class MemoryController:
             "bus": self.bus.get_state(),
             "counter_store": self.counter_store.get_state(),
             "engine": self.engine.get_state() if self.engine is not None else None,
-            "next_entry_id": self._entry_ids.next_id,
-            "data_queue": self.data_queue.get_state(),
-            "counter_queue": self.counter_queue.get_state(),
-            "tree": self.tree.get_state() if self.tree is not None else None,
-            "tree_cache": (
-                self.tree_cache.get_state() if self.tree_cache is not None else None
-            ),
-            "tree_queue": (
-                self.tree_queue.get_state() if self.tree_queue is not None else None
-            ),
+            "next_entry_id": self.entry_ids.next_id,
+            "atomicity": self.atomicity.get_state(),
+            "integrity": self.integrity.get_state(),
             "last_drain": dict(self._last_drain),
             "read_slots": list(self._read_slots),
             "read_queue_peak": self.read_queue_peak,
@@ -989,16 +335,12 @@ class MemoryController:
         self.counter_store.set_state(state["counter_store"])
         if self.engine is not None and state["engine"] is not None:
             self.engine.set_state(state["engine"])
-        self._entry_ids.next_id = state["next_entry_id"]
-        self.data_queue.set_state(state["data_queue"])
-        self.counter_queue.set_state(state["counter_queue"])
-        if self.tree is not None and state["tree"] is not None:
-            self.tree.set_state(state["tree"])
-            self.tree_cache.set_state(state["tree_cache"])
-            self.tree_queue.set_state(state["tree_queue"])
+        self.entry_ids.next_id = state["next_entry_id"]
+        self.atomicity.set_state(state["atomicity"])
+        self.integrity.set_state(state["integrity"])
         self._last_drain = dict(state["last_drain"])
         self._read_slots = list(state["read_slots"])
         self.read_queue_peak = state["read_queue_peak"]
         self.total_read_queue_wait_ns = state["total_read_queue_wait_ns"]
         self.journal.set_state(state["journal"])
-        self.stats = ControllerStats(**state["stats"])
+        self._stats.stats = ControllerStats(**state["stats"])

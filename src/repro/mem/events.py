@@ -1,0 +1,346 @@
+"""Typed memory events, the controller's event bus, and its subscribers.
+
+The decomposed controller (see :mod:`repro.mem.controller`) does not
+increment statistics inline.  Instead, every observable action on the
+write/read path — a read completing, a data line persisting, a
+counter-atomic pair committing, a tree node draining — is emitted as a
+typed :class:`MemoryEvent` on a synchronous :class:`EventBus`, and
+:class:`ControllerStats` is *derived* by :class:`StatsSubscriber` from
+the event stream.  An optional :class:`JsonlTraceSubscriber` appends
+every event as a JSON line, giving campaigns and perf debugging an
+observability hook without touching the simulation paths.
+
+Bus contract (also documented in ``docs/architecture.md``):
+
+* Dispatch is synchronous and in emission order; subscribers must not
+  emit events themselves or mutate simulation state.
+* Events are frozen dataclasses; timestamps are absolute simulated
+  nanoseconds (the controller's timing contract).
+* Float-valued statistics (read latency, accept waits) are accumulated
+  in emission order, which the controller keeps identical to the
+  pre-decomposition increment order so long-run sums stay bit-identical.
+* Subscribers are *not* checkpointed: :class:`StatsSubscriber` state is
+  captured via ``ControllerStats`` in the controller snapshot, and a
+  JSONL trace is diagnostic output that restored runs re-append to.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+from typing import Callable, ClassVar, List, Optional
+
+from ..config import CACHE_LINE_SIZE
+
+
+@dataclass(frozen=True)
+class MemoryEvent:
+    """Base class for everything emitted on the controller's bus."""
+
+    kind: ClassVar[str] = ""
+
+
+@dataclass(frozen=True)
+class ReadEvent(MemoryEvent):
+    """One ``read_line`` completed (decryption overlap already applied)."""
+
+    kind: ClassVar[str] = "read"
+    address: int
+    request_ns: float
+    complete_ns: float
+    payload_bytes: int
+    counter_cache_hit: bool
+
+
+@dataclass(frozen=True)
+class CounterFetchEvent(MemoryEvent):
+    """A covering counter line was read from the NVM counter region."""
+
+    kind: ClassVar[str] = "counter-fetch"
+    address: int
+    request_ns: float
+    payload_bytes: int
+
+
+@dataclass(frozen=True)
+class WriteRequestEvent(MemoryEvent):
+    """One ``write_line`` entered the controller (before routing)."""
+
+    kind: ClassVar[str] = "write-request"
+    address: int
+    request_ns: float
+    counter_atomic: bool
+
+
+@dataclass(frozen=True)
+class DataPersistEvent(MemoryEvent):
+    """A data-line write was accepted (or coalesced into a queued one).
+
+    ``accept_wait_ns`` is the stall between the request and queue
+    acceptance charged to this write; paired writes charge their wait on
+    the :class:`PairEvent` instead and carry ``0.0`` here.
+    """
+
+    kind: ClassVar[str] = "data-persist"
+    address: int
+    payload_bytes: int
+    coalesced: bool
+    accept_ns: float
+    drain_ns: float
+    accept_wait_ns: float = 0.0
+
+
+@dataclass(frozen=True)
+class CounterPersistEvent(MemoryEvent):
+    """A counter-line write reached the counter write queue.
+
+    Only split-counter-region persists emit this; co-located designs
+    carry the counter inside their 72 B data access and the ideal
+    design's magic counters never generate traffic.
+    """
+
+    kind: ClassVar[str] = "counter-persist"
+    address: int
+    payload_bytes: int
+    coalesced: bool
+    paired: bool
+    accept_ns: float
+    drain_ns: float
+
+
+@dataclass(frozen=True)
+class PairEvent(MemoryEvent):
+    """A counter-atomic pair committed (paper Section 5.2.2).
+
+    ``lag_forced`` marks pairs escalated by the Osiris counter-lag
+    bound rather than requested by the design's pairing discipline.
+    """
+
+    kind: ClassVar[str] = "pair"
+    address: int
+    settled_ns: float
+    accept_wait_ns: float
+    lag_forced: bool
+    coalesced: bool
+
+
+@dataclass(frozen=True)
+class CcwbEvent(MemoryEvent):
+    """``counter_cache_writeback()`` was invoked (flushing or not)."""
+
+    kind: ClassVar[str] = "ccwb"
+    address: int
+    request_ns: float
+
+
+@dataclass(frozen=True)
+class CcwbFlushEvent(MemoryEvent):
+    """A ccwb call found its covering counter line dirty and flushed it."""
+
+    kind: ClassVar[str] = "ccwb-flush"
+    address: int
+    request_ns: float
+
+
+@dataclass(frozen=True)
+class CcwbTreeFlushEvent(MemoryEvent):
+    """A lazy-mode ccwb drained the coalesced dirty tree nodes."""
+
+    kind: ClassVar[str] = "ccwb-tree-flush"
+    request_ns: float
+    nodes: int
+
+
+@dataclass(frozen=True)
+class TreeNodeEvent(MemoryEvent):
+    """One integrity-tree node digest was sent to (or merged in) NVM."""
+
+    kind: ClassVar[str] = "tree-node"
+    address: int
+    coalesced: bool
+    drain_ns: float
+
+
+@dataclass(frozen=True)
+class TreeVerifyEvent(MemoryEvent):
+    """A fetched counter line authenticated against the tree."""
+
+    kind: ClassVar[str] = "tree-verify"
+    group_base: int
+    request_ns: float
+
+
+@dataclass(frozen=True)
+class TreeFillEvent(MemoryEvent):
+    """An uncached tree node was read from NVM during verification."""
+
+    kind: ClassVar[str] = "tree-fill"
+    address: int
+    payload_bytes: int
+
+
+@dataclass(frozen=True)
+class RootUpdateEvent(MemoryEvent):
+    """The on-chip secure root advanced over a persisted counter line."""
+
+    kind: ClassVar[str] = "root-update"
+    group_base: int
+    effective_ns: float
+
+
+@dataclass(frozen=True)
+class DrainEvent(MemoryEvent):
+    """One write-queue entry drained to its bank (pure observability)."""
+
+    kind: ClassVar[str] = "drain"
+    role: str
+    address: int
+    issue_ns: float
+    complete_ns: float
+
+
+#: A bus subscriber: called once per event, in emission order.
+Subscriber = Callable[[MemoryEvent], None]
+
+
+class EventBus:
+    """Synchronous fan-out of :class:`MemoryEvent` to subscribers.
+
+    Dispatch happens inline on the emitting call — subscribers see
+    events in exactly the order the simulation produced them, which is
+    what lets :class:`StatsSubscriber` reproduce the legacy inline
+    float-accumulation order bit for bit.
+    """
+
+    def __init__(self) -> None:
+        self._subscribers: List[Subscriber] = []
+
+    def subscribe(self, subscriber: Subscriber) -> None:
+        self._subscribers.append(subscriber)
+
+    def emit(self, event: MemoryEvent) -> None:
+        for subscriber in self._subscribers:
+            subscriber(event)
+
+
+@dataclass
+class ControllerStats:
+    """Aggregate controller statistics for one simulation.
+
+    Derived from the event stream by :class:`StatsSubscriber`; nothing
+    in the simulation paths increments these fields directly.
+    """
+
+    reads: int = 0
+    data_writes: int = 0
+    counter_writes: int = 0
+    paired_writes: int = 0
+    coalesced_data_writes: int = 0
+    coalesced_counter_writes: int = 0
+    ccwb_calls: int = 0
+    ccwb_lines_flushed: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    counter_fill_reads: int = 0
+    total_read_latency_ns: float = 0.0
+    total_write_accept_wait_ns: float = 0.0
+    # Bonsai-tree designs only (all zero otherwise).
+    tree_node_writes: int = 0
+    coalesced_tree_writes: int = 0
+    tree_verifications: int = 0
+    tree_node_fills: int = 0
+    root_updates: int = 0
+    ccwb_tree_flushes: int = 0
+    lag_forced_pairs: int = 0
+
+    @property
+    def mean_read_latency_ns(self) -> float:
+        return self.total_read_latency_ns / self.reads if self.reads else 0.0
+
+
+class StatsSubscriber:
+    """Folds the event stream into a :class:`ControllerStats`.
+
+    The mapping is one event kind to a fixed set of increments; the
+    float accumulators pick up contributions in emission order.
+    """
+
+    def __init__(self, stats: Optional[ControllerStats] = None) -> None:
+        self.stats = stats if stats is not None else ControllerStats()
+
+    def __call__(self, event: MemoryEvent) -> None:
+        stats = self.stats
+        if isinstance(event, ReadEvent):
+            stats.reads += 1
+            stats.bytes_read += event.payload_bytes
+            stats.total_read_latency_ns += event.complete_ns - event.request_ns
+        elif isinstance(event, DataPersistEvent):
+            if event.coalesced:
+                stats.coalesced_data_writes += 1
+            else:
+                stats.bytes_written += event.payload_bytes
+            stats.total_write_accept_wait_ns += event.accept_wait_ns
+        elif isinstance(event, CounterPersistEvent):
+            if event.coalesced:
+                stats.coalesced_counter_writes += 1
+            else:
+                stats.counter_writes += 1
+                stats.bytes_written += event.payload_bytes
+        elif isinstance(event, PairEvent):
+            stats.paired_writes += 1
+            stats.total_write_accept_wait_ns += event.accept_wait_ns
+            if event.lag_forced:
+                stats.lag_forced_pairs += 1
+        elif isinstance(event, WriteRequestEvent):
+            stats.data_writes += 1
+        elif isinstance(event, CounterFetchEvent):
+            stats.counter_fill_reads += 1
+            stats.bytes_read += event.payload_bytes
+        elif isinstance(event, CcwbEvent):
+            stats.ccwb_calls += 1
+        elif isinstance(event, CcwbFlushEvent):
+            stats.ccwb_lines_flushed += 1
+        elif isinstance(event, CcwbTreeFlushEvent):
+            stats.ccwb_tree_flushes += event.nodes
+        elif isinstance(event, TreeNodeEvent):
+            if event.coalesced:
+                stats.coalesced_tree_writes += 1
+            else:
+                stats.tree_node_writes += 1
+                stats.bytes_written += CACHE_LINE_SIZE
+        elif isinstance(event, TreeVerifyEvent):
+            stats.tree_verifications += 1
+        elif isinstance(event, TreeFillEvent):
+            stats.tree_node_fills += 1
+            stats.bytes_read += event.payload_bytes
+        elif isinstance(event, RootUpdateEvent):
+            stats.root_updates += 1
+        # DrainEvent carries no statistics — trace-only.
+
+
+class JsonlTraceSubscriber:
+    """Appends every event as one JSON line (the observability hook).
+
+    The file handle opens lazily on the first event and stays open for
+    the controller's lifetime; lines are flushed per event so a crashed
+    or killed run keeps its trace prefix.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._stream = None
+
+    def __call__(self, event: MemoryEvent) -> None:
+        if self._stream is None:
+            self._stream = open(self.path, "a", encoding="utf-8")
+        record = {"kind": event.kind}
+        record.update(dataclasses.asdict(event))
+        self._stream.write(json.dumps(record, sort_keys=True))
+        self._stream.write("\n")
+        self._stream.flush()
+
+    def close(self) -> None:
+        if self._stream is not None:
+            self._stream.close()
+            self._stream = None

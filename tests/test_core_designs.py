@@ -5,8 +5,14 @@ import pytest
 from repro.core.designs import (
     ALL_DESIGNS,
     BASELINE_DESIGNS,
+    INTEGRITY_DESIGNS,
+    AtomicitySpec,
     DesignPolicy,
+    IntegritySpec,
+    LayoutSpec,
+    design_name,
     get_design,
+    integrity_variant,
     list_designs,
 )
 from repro.errors import ConfigurationError
@@ -75,41 +81,91 @@ class TestPolicyProperties:
 
 
 class TestPolicyValidation:
-    def _valid_kwargs(self):
-        return dict(
+    def _policy(self, layout, atomicity, integrity=IntegritySpec("none")):
+        return DesignPolicy(
             name="x",
             description="",
-            encrypts=True,
-            colocated=False,
-            has_counter_cache=True,
-            pair_all_writes=False,
-            pair_ca_writes=False,
-            counter_evict_writes=False,
-            ccwb_enabled=False,
-            magic_counter_persistence=False,
-            bus_width_bits=64,
+            layout=layout,
+            atomicity=atomicity,
+            integrity=integrity,
         )
 
-    def test_rejects_pairing_both_modes(self):
-        kwargs = self._valid_kwargs()
-        kwargs.update(pair_all_writes=True, pair_ca_writes=True)
+    def test_rejects_unknown_axis_kinds(self):
         with pytest.raises(ConfigurationError):
-            DesignPolicy(**kwargs)
+            LayoutSpec("stacked")
+        with pytest.raises(ConfigurationError):
+            AtomicitySpec("fca+sca")
+        with pytest.raises(ConfigurationError):
+            IntegritySpec("deferred")
 
     def test_rejects_colocated_with_pairing(self):
-        kwargs = self._valid_kwargs()
-        kwargs.update(colocated=True, pair_ca_writes=True, bus_width_bits=72)
         with pytest.raises(ConfigurationError):
-            DesignPolicy(**kwargs)
-
-    def test_rejects_colocated_narrow_bus(self):
-        kwargs = self._valid_kwargs()
-        kwargs.update(colocated=True, bus_width_bits=64)
-        with pytest.raises(ConfigurationError):
-            DesignPolicy(**kwargs)
+            self._policy(LayoutSpec("colocated"), AtomicitySpec("sca"))
 
     def test_rejects_encryption_features_without_encryption(self):
-        kwargs = self._valid_kwargs()
-        kwargs.update(encrypts=False)
         with pytest.raises(ConfigurationError):
-            DesignPolicy(**kwargs)
+            LayoutSpec("plain", counter_cache=True)
+        with pytest.raises(ConfigurationError):
+            self._policy(LayoutSpec("plain"), AtomicitySpec("fca"))
+
+    def test_rejects_magic_counters_that_pair(self):
+        with pytest.raises(ConfigurationError):
+            AtomicitySpec("fca", magic_counter_persistence=True)
+
+    def test_rejects_tree_without_separate_counters(self):
+        with pytest.raises(ConfigurationError):
+            self._policy(
+                LayoutSpec("colocated", counter_cache=True),
+                AtomicitySpec("unpaired"),
+                IntegritySpec("eager"),
+            )
+        with pytest.raises(ConfigurationError):
+            self._policy(LayoutSpec("plain"), AtomicitySpec("unpaired"), IntegritySpec("lazy"))
+
+    def test_bus_width_is_derived_from_layout(self):
+        colocated = self._policy(LayoutSpec("colocated"), AtomicitySpec("unpaired"))
+        split = self._policy(
+            LayoutSpec("split", counter_cache=True), AtomicitySpec("sca")
+        )
+        assert colocated.bus_width_bits == 72
+        assert split.bus_width_bits == 64
+
+
+class TestComposedRegistry:
+    def test_names_derive_from_axes(self):
+        for design in ALL_DESIGNS + INTEGRITY_DESIGNS:
+            assert design.name == design_name(
+                design.layout, design.atomicity, design.integrity
+            )
+
+    def test_native_mode_gets_plain_bmt_suffix(self):
+        assert get_design("fca+bmt").integrity_mode == "eager"
+        assert get_design("sca+bmt").integrity_mode == "lazy"
+
+    def test_ablations_get_mode_suffix(self):
+        assert get_design("fca+bmt-lazy").integrity_mode == "lazy"
+        assert get_design("sca+bmt-eager").integrity_mode == "eager"
+
+    def test_integrity_variant_recomposes_axes(self):
+        assert integrity_variant("fca") == "fca+bmt"
+        assert integrity_variant("sca") == "sca+bmt"
+        assert integrity_variant("fca", "lazy") == "fca+bmt-lazy"
+        assert integrity_variant("sca", "eager") == "sca+bmt-eager"
+
+    def test_integrity_variant_idempotent_on_variants(self):
+        assert integrity_variant("sca+bmt") == "sca+bmt"
+        assert integrity_variant("sca+bmt-eager", "eager") == "sca+bmt-eager"
+        assert integrity_variant("fca+bmt-lazy") == "fca+bmt"
+
+    def test_integrity_variant_rejects_unpaired_bases(self):
+        for base in ("no-encryption", "ideal", "unsafe", "co-located"):
+            with pytest.raises(ConfigurationError):
+                integrity_variant(base)
+
+    def test_list_designs_includes_variants_consistently(self):
+        names = list_designs(include_integrity=True)
+        assert names[:6] == list_designs()
+        assert set(names[6:]) == {"fca+bmt", "sca+bmt", "fca+bmt-lazy", "sca+bmt-eager"}
+        both = list_designs(include_unsafe=True, include_integrity=True)
+        assert "unsafe" in both and "sca+bmt" in both
+        assert len(both) == 11

@@ -1,0 +1,151 @@
+"""Tests for the controller's event bus, subscribers, and designs CLI."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.bench.cli import main as cli_main
+from repro.bench.harness import build_traces
+from repro.config import fast_config
+from repro.core.designs import get_design
+from repro.mem.controller import MemoryController
+from repro.mem.events import (
+    ControllerStats,
+    DataPersistEvent,
+    EventBus,
+    JsonlTraceSubscriber,
+    MemoryEvent,
+    ReadEvent,
+    StatsSubscriber,
+)
+from repro.sim.machine import Machine
+from repro.workloads.base import WorkloadParams
+
+
+def run_machine(config, design="sca", workload="hash", operations=4, seed=7):
+    traces, _runs, _layout = build_traces(
+        workload, config, "undo", WorkloadParams(operations=operations, seed=seed)
+    )
+    machine = Machine(config, design)
+    result = machine.run(traces)
+    return machine, result
+
+
+class TestEventBus:
+    def test_synchronous_in_order_dispatch(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(lambda e: seen.append(("a", e)))
+        bus.subscribe(lambda e: seen.append(("b", e)))
+        event = ReadEvent(
+            address=0, request_ns=0.0, complete_ns=1.0, payload_bytes=64,
+            counter_cache_hit=False,
+        )
+        bus.emit(event)
+        assert seen == [("a", event), ("b", event)]
+
+    def test_events_are_frozen(self):
+        event = DataPersistEvent(
+            address=64, payload_bytes=64, coalesced=False, accept_ns=1.0, drain_ns=2.0
+        )
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            event.address = 0
+
+
+class TestStatsDerivation:
+    """ControllerStats is purely a fold over the event stream."""
+
+    @pytest.mark.parametrize("design", ["no-encryption", "co-located-cc", "sca", "fca+bmt"])
+    def test_independent_subscriber_reproduces_stats(self, design):
+        config = fast_config(num_cores=2, functional=True)
+        traces, _runs, _layout = build_traces(
+            "hash", config, "undo", WorkloadParams(operations=4, seed=7)
+        )
+        machine = Machine(config, design)
+        shadow = StatsSubscriber()
+        machine.controller.events.subscribe(shadow)
+        machine.run(traces)
+        assert dataclasses.asdict(shadow.stats) == dataclasses.asdict(
+            machine.controller.stats
+        )
+
+    def test_stats_survive_state_roundtrip(self):
+        config = fast_config(num_cores=1, functional=True)
+        machine, _result = run_machine(config)
+        controller = machine.controller
+        state = controller.get_state()
+        fresh = MemoryController(config, get_design("sca"))
+        fresh.set_state(state)
+        assert dataclasses.asdict(fresh.stats) == dataclasses.asdict(controller.stats)
+        # The restored stats object is live — the stats subscriber must
+        # keep folding new events into it, not into a stale instance.
+        fresh.events.emit(
+            ReadEvent(
+                address=0, request_ns=0.0, complete_ns=5.0, payload_bytes=64,
+                counter_cache_hit=False,
+            )
+        )
+        assert fresh.stats.reads == controller.stats.reads + 1
+
+
+class TestJsonlTrace:
+    def test_trace_records_typed_events(self, tmp_path):
+        trace_path = tmp_path / "events.jsonl"
+        config = fast_config(num_cores=1, functional=True)
+        config = dataclasses.replace(
+            config,
+            controller=dataclasses.replace(
+                config.controller, event_trace_path=str(trace_path)
+            ),
+        )
+        _machine, result = run_machine(config)
+        lines = trace_path.read_text().strip().splitlines()
+        assert lines, "trace should not be empty"
+        records = [json.loads(line) for line in lines]
+        kinds = {record["kind"] for record in records}
+        assert {"read", "write-request", "data-persist", "drain"} <= kinds
+        reads = sum(1 for record in records if record["kind"] == "read")
+        assert reads == result.controller.stats.reads
+
+    def test_no_trace_file_without_config(self, tmp_path):
+        config = fast_config(num_cores=1, functional=True)
+        machine, _result = run_machine(config)
+        assert machine.controller._trace is None
+
+    def test_subscriber_writes_and_closes(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        subscriber = JsonlTraceSubscriber(str(path))
+        subscriber(
+            DataPersistEvent(
+                address=64, payload_bytes=64, coalesced=False, accept_ns=1.0, drain_ns=2.0
+            )
+        )
+        subscriber.close()
+        record = json.loads(path.read_text())
+        assert record["kind"] == "data-persist"
+        assert record["address"] == 64
+
+
+class TestDesignsCli:
+    def test_matrix_lists_every_design(self, capsys):
+        assert cli_main(["designs"]) == 0
+        out = capsys.readouterr().out
+        for name in (
+            "no-encryption", "ideal", "unsafe", "co-located", "co-located-cc",
+            "fca", "sca", "fca+bmt", "sca+bmt", "fca+bmt-lazy", "sca+bmt-eager",
+        ):
+            assert name in out
+        assert "72b" in out and "64b" in out
+        assert "NO" in out  # the unsafe design's verdict
+
+    def test_json_output(self, tmp_path, capsys):
+        path = tmp_path / "designs.json"
+        assert cli_main(["designs", "--json", str(path)]) == 0
+        document = json.loads(path.read_text())
+        rows = {row["name"]: row for row in document["designs"]}
+        assert len(rows) == 11
+        assert rows["sca+bmt"]["atomicity"] == "sca"
+        assert rows["sca+bmt"]["integrity"] == "lazy"
+        assert rows["co-located"]["bus_bits"] == 72
+        assert rows["unsafe"]["crash_consistent"] is False

@@ -1,0 +1,55 @@
+"""Golden-fingerprint equivalence: the composed controller vs the seed.
+
+``tests/fixtures/golden_equivalence.json`` was captured from the
+pre-refactor monolithic ``MemoryController`` (see
+``tests/equivalence_harness.py``).  Every registered design — including
+all four ``+bmt`` corners — must still produce bit-identical
+``result_fingerprint``s, ControllerStats, and checkpoint-resume
+fingerprints after the layout/atomicity/integrity decomposition.
+
+A failure here means the refactor changed something observable about
+the simulation; fix the refactor, do not re-capture the fixture.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.equivalence_harness import (
+    ALL_DESIGN_NAMES,
+    SCENARIOS,
+    load_fixture,
+    run_scenario,
+    scenario_key,
+)
+
+_FIXTURE = load_fixture()
+
+_CELLS = [
+    (design, workload, mechanism, operations, seed)
+    for design in ALL_DESIGN_NAMES
+    for workload, mechanism, operations, seed in SCENARIOS
+]
+
+
+def test_fixture_covers_every_registered_design():
+    from repro.core.designs import list_designs
+
+    registered = set(list_designs(include_unsafe=True, include_integrity=True))
+    assert registered == set(ALL_DESIGN_NAMES)
+    expected_keys = {scenario_key(*cell) for cell in _CELLS}
+    assert set(_FIXTURE["cells"]) == expected_keys
+
+
+@pytest.mark.parametrize(
+    "design,workload,mechanism,operations,seed",
+    _CELLS,
+    ids=[scenario_key(*cell) for cell in _CELLS],
+)
+def test_bit_identical_to_pre_refactor(design, workload, mechanism, operations, seed):
+    golden = _FIXTURE["cells"][scenario_key(design, workload, mechanism, operations, seed)]
+    actual = run_scenario(design, workload, mechanism, operations, seed)
+    assert actual["fingerprint"] == golden["fingerprint"]
+    assert actual["resume_fingerprint"] == golden["resume_fingerprint"]
+    assert actual["events"] == golden["events"]
+    assert actual["stats"] == golden["stats"]

@@ -12,6 +12,7 @@ from __future__ import annotations
 import pytest
 
 from repro.bench.perf import bench_kernels, bench_sweep
+from repro.utils.accel import HAVE_NUMPY
 
 
 @pytest.fixture(scope="module")
@@ -32,6 +33,22 @@ class TestKernelSpeedups:
 
     def test_otp_prf_not_slower_than_reference(self, kernels):
         assert kernels["otp_encrypt_prf"]["speedup_vs_reference"] >= 1.0
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="numpy not available")
+    def test_batched_aes_beats_per_block_calls(self, kernels):
+        """Vectorized T-table rounds vs a per-block encrypt_block loop."""
+        assert kernels["aes_blocks_batch"]["speedup_vs_reference"] >= 2.0
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="numpy not available")
+    def test_batched_otp_lines_beat_per_line_calls(self, kernels):
+        """encrypt_lines (batched pads + one XOR pass) vs encrypt per line."""
+        assert kernels["otp_encrypt_lines_batch"]["speedup_vs_reference"] >= 2.0
+
+    def test_bulk_counter_lookup_not_slower(self, kernels):
+        # The per-call loop is itself already mask-inlined, so the bulk
+        # win is modest (~1.15x measured); 0.8 tolerates runner noise
+        # while still catching an accidental slow-path rewrite.
+        assert kernels["counter_cache_bulk_lookup"]["speedup_vs_reference"] >= 0.8
 
 
 class TestSweepEngine:

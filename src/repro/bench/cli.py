@@ -83,6 +83,24 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="remove all cached sweep results, then proceed",
     )
+    perf = parser.add_argument_group("perf options (experiment = 'perf')")
+    perf.add_argument(
+        "--compare",
+        metavar="BASELINE.json",
+        default=None,
+        help="compare the fresh perf run against a recorded BENCH_*.json "
+        "document, printing per-kernel ns/op deltas; exits nonzero if any "
+        "kernel regresses beyond --regression-threshold",
+    )
+    perf.add_argument(
+        "--regression-threshold",
+        type=float,
+        default=3.0,
+        metavar="RATIO",
+        help="ns/op ratio vs the --compare baseline above which a kernel "
+        "counts as a hard regression (default 3.0; absolute timings are "
+        "machine-dependent, so keep this generous)",
+    )
     campaign = parser.add_argument_group(
         "campaign options (experiment = 'campaign')"
     )
@@ -212,13 +230,18 @@ def _make_executor(args: argparse.Namespace) -> SweepExecutor:
 
 
 def _run_perf(args: argparse.Namespace) -> int:
-    from .perf import render_perf_report, run_perf
+    import json
+
+    from .perf import (
+        compare_documents,
+        render_comparison,
+        render_perf_report,
+        run_perf,
+    )
 
     document = run_perf(scale=args.scale, workers=max(args.workers, 4))
     print(render_perf_report(document))
     if args.json is not None:
-        import json
-
         payload = json.dumps(document, indent=2, sort_keys=True)
         if args.json == "-":
             print(payload)
@@ -226,6 +249,15 @@ def _run_perf(args: argparse.Namespace) -> int:
             with open(args.json, "w", encoding="utf-8") as stream:
                 stream.write(payload + "\n")
             print("wrote %s" % args.json)
+    if args.compare is not None:
+        with open(args.compare, "r", encoding="utf-8") as stream:
+            baseline = json.load(stream)
+        comparison = compare_documents(
+            document, baseline, regression_threshold=args.regression_threshold
+        )
+        print(render_comparison(comparison))
+        if comparison["regressions"]:
+            return 1
     return 0
 
 

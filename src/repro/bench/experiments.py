@@ -89,7 +89,11 @@ class Fig12SingleCore(Experiment):
         _check_scale(scale)
         executor = self._executor(executor)
         params = _quick_params(scale)
-        config = bench_config()
+        # Timing-only mode: the runtime comparison only needs addresses,
+        # and no crash is ever injected, so skip crash bookkeeping too.
+        config = bench_config().scaled(functional=False).with_controller(
+            crash_bookkeeping=False
+        )
         workloads = list_workloads()
         designs = ("no-encryption",) + FIG12_DESIGNS
         jobs = [
@@ -314,8 +318,11 @@ class Fig15CounterCache(Experiment):
             params = WorkloadParams(operations=operations, footprint_bytes=footprint)
             for cache_size in cache_sizes:
                 config = bench_config().with_counter_cache(cache_size)
-                # Timing-only mode: these sweeps only need addresses.
-                config = config.scaled(functional=False)
+                # Timing-only mode: these sweeps only need addresses,
+                # and never inject crashes.
+                config = config.scaled(functional=False).with_controller(
+                    crash_bookkeeping=False
+                )
                 jobs.append(SweepJob("sca", "hash", config=config, params=params))
                 job_keys.append((footprint, cache_size))
         lookup = dict(zip(job_keys, executor.map_stats(jobs)))

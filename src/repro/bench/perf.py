@@ -35,6 +35,7 @@ from ..errors import ConfigurationError
 from ..integrity.tree import IntegrityTreeEngine
 from ..mem.writequeue import WriteQueue
 from ..nvm.address import AddressMap
+from ..utils.accel import HAVE_NUMPY
 
 #: Iteration counts per scale: (fast-path ops, reference-path ops).
 _SCALE_OPS = {
@@ -208,6 +209,57 @@ def bench_kernels(scale: str = "quick") -> Dict[str, Dict[str, float]]:
     results["writequeue_accept"] = {
         "ns_per_op": round(fast_s / accept_n * 1e9, 1),
     }
+
+    # -- Batched AES: numpy-vectorized rounds vs per-block T-tables ------
+    # Falls back to the scalar loop when numpy is absent/disabled, in
+    # which case the speedup hovers around 1x and the entry records
+    # numpy=False so comparisons know why.
+    batch_blocks = [bytes((i + j) % 256 for j in range(16)) for i in range(256)]
+    batch_rounds = 4 * mult
+    fast_s = _best_of(
+        lambda: [aes.encrypt_blocks(batch_blocks) for _ in range(batch_rounds)]
+    )
+    ref_s = _best_of(
+        lambda: [
+            [aes.encrypt_block(b) for b in batch_blocks] for _ in range(batch_rounds)
+        ]
+    )
+    batch_ops = batch_rounds * len(batch_blocks)
+    results["aes_blocks_batch"] = _kernel(fast_s, batch_ops, ref_s, batch_ops)
+    results["aes_blocks_batch"]["numpy"] = HAVE_NUMPY
+
+    # -- Batched OTP lines: pads_many + one vectorized XOR ---------------
+    batch_cipher = OTPCipher(make_block_cipher(EncryptionConfig(cipher="aes")))
+    line_items = [
+        ((index + 1) * 64, index + 1, line) for index in range(128)
+    ]
+    otp_batch_rounds = 2 * mult
+
+    def run_otp_batch() -> None:
+        for _ in range(otp_batch_rounds):
+            batch_cipher.encrypt_lines(line_items)
+            batch_cipher._pad_cache.clear()
+
+    def run_otp_batch_reference() -> None:
+        for _ in range(otp_batch_rounds):
+            for address, counter, text in line_items:
+                batch_cipher.encrypt(address, counter, text)
+            batch_cipher._pad_cache.clear()
+
+    fast_s = _best_of(run_otp_batch)
+    ref_s = _best_of(run_otp_batch_reference)
+    otp_batch_ops = otp_batch_rounds * len(line_items)
+    results["otp_encrypt_lines_batch"] = _kernel(
+        fast_s, otp_batch_ops, ref_s, otp_batch_ops
+    )
+    results["otp_encrypt_lines_batch"]["numpy"] = HAVE_NUMPY
+
+    # -- Bulk counter-cache probe vs per-call lookups --------------------
+    bulk_n = 5000 * mult
+    bulk_addresses = [(i % 64) * 512 + (i % 8) * 64 for i in range(bulk_n)]
+    fast_s = _best_of(lambda: cache.lookup_for_read_many(bulk_addresses))
+    ref_s = _best_of(lambda: [cache.lookup_for_read(a) for a in bulk_addresses])
+    results["counter_cache_bulk_lookup"] = _kernel(fast_s, bulk_n, ref_s, bulk_n)
     return results
 
 
@@ -241,7 +293,7 @@ def bench_sweep(
     from .parallel import ResultCache, SweepExecutor
 
     exp = get_experiment(experiment)
-    serial_s = _best_of(lambda: exp.run(scale), repeats=1)
+    serial_s = _best_of(lambda: exp.run(scale), repeats=2)
     serial_result = exp.run(scale)
 
     parallel_executor = SweepExecutor(workers=workers)
@@ -349,4 +401,108 @@ def render_perf_report(document: Dict[str, object]) -> str:
                 sweep["identical_values"],
             )
         )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Document comparison (perf trajectory across PRs)
+
+
+def compare_documents(
+    current: Dict[str, object],
+    baseline: Dict[str, object],
+    regression_threshold: float = 3.0,
+) -> Dict[str, object]:
+    """Compare two perf documents kernel by kernel.
+
+    For each kernel present in both, computes the ``ns_per_op`` ratio
+    ``current / baseline`` (< 1.0 is a speedup).  Kernels slower than
+    ``regression_threshold`` times the baseline land in
+    ``regressions``; absolute numbers are machine-dependent, so the
+    threshold is deliberately generous (default 3.0) and CI treats
+    anything below it as warn-only.  The end-to-end sweep ``serial_s``
+    is compared the same way when both documents carry one.
+    """
+    current_kernels = current.get("kernels", {}) or {}
+    baseline_kernels = baseline.get("kernels", {}) or {}
+    kernels: Dict[str, Dict[str, object]] = {}
+    regressions: List[str] = []
+    for name in sorted(set(current_kernels) & set(baseline_kernels)):
+        now_ns = float(current_kernels[name]["ns_per_op"])
+        then_ns = float(baseline_kernels[name]["ns_per_op"])
+        ratio = now_ns / then_ns if then_ns > 0 else float("inf")
+        entry: Dict[str, object] = {
+            "ns_per_op": now_ns,
+            "baseline_ns_per_op": then_ns,
+            "ratio": round(ratio, 3),
+            "delta_ns_per_op": round(now_ns - then_ns, 1),
+        }
+        if ratio > regression_threshold:
+            entry["regression"] = True
+            regressions.append(name)
+        kernels[name] = entry
+    only_current = sorted(set(current_kernels) - set(baseline_kernels))
+    only_baseline = sorted(set(baseline_kernels) - set(current_kernels))
+    result: Dict[str, object] = {
+        "regression_threshold": regression_threshold,
+        "kernels": kernels,
+        "regressions": regressions,
+        "new_kernels": only_current,
+        "removed_kernels": only_baseline,
+    }
+    current_sweep = current.get("sweep") or {}
+    baseline_sweep = baseline.get("sweep") or {}
+    if "serial_s" in current_sweep and "serial_s" in baseline_sweep:
+        now_s = float(current_sweep["serial_s"])
+        then_s = float(baseline_sweep["serial_s"])
+        ratio = now_s / then_s if then_s > 0 else float("inf")
+        result["sweep"] = {
+            "experiment": current_sweep.get("experiment"),
+            "serial_s": now_s,
+            "baseline_serial_s": then_s,
+            "ratio": round(ratio, 3),
+            "speedup_vs_baseline": round(then_s / now_s, 2) if now_s > 0 else 0.0,
+        }
+        if ratio > regression_threshold:
+            result["regressions"] = regressions + ["sweep.serial_s"]
+    return result
+
+
+def render_comparison(comparison: Dict[str, object]) -> str:
+    """Human-readable rendering of :func:`compare_documents` output."""
+    lines: List[str] = [
+        "perf vs baseline (ratio < 1.00 is faster; regression threshold %.1fx):"
+        % comparison["regression_threshold"]
+    ]
+    for name, entry in sorted(comparison["kernels"].items()):
+        marker = "  REGRESSION" if entry.get("regression") else ""
+        lines.append(
+            "  %-24s %10.1f ns/op   vs %10.1f   (%.3fx)%s"
+            % (
+                name,
+                entry["ns_per_op"],
+                entry["baseline_ns_per_op"],
+                entry["ratio"],
+                marker,
+            )
+        )
+    for name in comparison["new_kernels"]:
+        lines.append("  %-24s (new kernel, no baseline)" % name)
+    for name in comparison["removed_kernels"]:
+        lines.append("  %-24s (baseline only; kernel removed)" % name)
+    sweep = comparison.get("sweep")
+    if sweep:
+        lines.append(
+            "  sweep %s serial     %8.2f s      vs %8.2f s  (%.2fx faster)"
+            % (
+                sweep["experiment"],
+                sweep["serial_s"],
+                sweep["baseline_serial_s"],
+                sweep["speedup_vs_baseline"],
+            )
+        )
+    if comparison["regressions"]:
+        lines.append("regressions: %s" % ", ".join(comparison["regressions"]))
+    else:
+        lines.append("no regressions beyond threshold")
     return "\n".join(lines)

@@ -195,6 +195,17 @@ class MemoryControllerConfig:
     #: The trace is diagnostic output, not simulation state: it is not
     #: checkpointed and replays from a restored snapshot re-append.
     event_trace_path: Optional[str] = None
+    #: How many trace lines to write between file flushes.  The default
+    #: of 1 flushes per event (crash-durable trace prefix); raising it
+    #: amortizes the flush so tracing doesn't serialize the batched
+    #: event bus, at the cost of up to that many lost trailing lines
+    #: after a crash.
+    event_trace_flush_every: int = 1
+    #: Record crash-reconstruction state (persist journal, device line
+    #: images, wear map).  Timing-only figure sweeps that never inject
+    #: crashes turn this off to skip the per-write bookkeeping; crash
+    #: campaigns and checkpointing must leave it on.
+    crash_bookkeeping: bool = True
 
     def __post_init__(self) -> None:
         _require(self.read_queue_entries > 0, "read queue must have entries")
@@ -204,6 +215,7 @@ class MemoryControllerConfig:
             self.drain_policy in ("ready-first", "fifo"),
             "drain policy must be 'ready-first' or 'fifo'",
         )
+        _require(self.event_trace_flush_every >= 1, "trace flush cadence must be >= 1")
 
 
 @dataclass(frozen=True)

@@ -176,8 +176,17 @@ class CounterCache:
             return None
         victim_payload: Optional[Tuple[int, Tuple[int, ...]]] = None
         if len(cache_set) >= self.ways:
-            victim_base = min(cache_set, key=lambda base: cache_set[base].lru_tick)
-            victim = cache_set.pop(victim_base)
+            # Manual first-minimal scan: same victim as
+            # min(cache_set, key=...) but without 'ways' lambda calls.
+            values = iter(cache_set.values())
+            victim = next(values)
+            victim_tick = victim.lru_tick
+            for candidate in values:
+                candidate_tick = candidate.lru_tick
+                if candidate_tick < victim_tick:
+                    victim = candidate
+                    victim_tick = candidate_tick
+            del cache_set[victim.group_base]
             self.stats.evictions += 1
             if victim.dirty:
                 self.stats.dirty_evictions += 1
@@ -203,6 +212,54 @@ class CounterCache:
         self._tick += 1
         entry.lru_tick = self._tick
         return True
+
+    # -- bulk paths --------------------------------------------------------
+
+    def lookup_for_read_many(self, addresses: List[int]) -> List[Optional[int]]:
+        """Bulk read probe: one call, many addresses.
+
+        Equivalent to ``[self.lookup_for_read(a) for a in addresses]``
+        — identical stats, LRU ticks and results — with the per-call
+        overhead (attribute loads, method dispatch) amortized over the
+        batch; used by trace prefetch analysis and the perf harness.
+        """
+        sets = self._sets
+        group_mask = self._group_mask
+        set_mask = self._set_mask
+        stats = self.stats
+        tick = self._tick
+        out: List[Optional[int]] = []
+        append = out.append
+        for address in addresses:
+            group = address & group_mask
+            entry = sets[(group // GROUP_SPAN) & set_mask].get(group)
+            if entry is None:
+                stats.read_misses += 1
+                append(None)
+            else:
+                stats.read_hits += 1
+                tick += 1
+                entry.lru_tick = tick
+                append(entry.counters[(address // CACHE_LINE_SIZE) % COUNTERS_PER_LINE])
+        self._tick = tick
+        return out
+
+    def fill_many(
+        self, fills: List[Tuple[int, Tuple[int, ...]]]
+    ) -> List[Tuple[int, Tuple[int, ...]]]:
+        """Bulk install of counter lines (e.g. warm-up or replay).
+
+        Applies :meth:`fill` per ``(data_address, counters)`` pair in
+        order and returns the dirty victims that must be written back,
+        in eviction order.
+        """
+        fill = self.fill
+        victims: List[Tuple[int, Tuple[int, ...]]] = []
+        for data_address, counters in fills:
+            victim = fill(data_address, counters)
+            if victim is not None:
+                victims.append(victim)
+        return victims
 
     def writeback_line(self, data_address: int) -> Optional[Tuple[int, Tuple[int, ...]]]:
         """``counter_cache_writeback()``: flush one dirty counter line.

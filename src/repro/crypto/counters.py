@@ -18,6 +18,10 @@ from ..utils.bitops import align_down
 #: beyond anything a simulation reaches but still tests overflow logic.
 COUNTER_LIMIT = 1 << 48
 
+_LINE_MASK = ~(CACHE_LINE_SIZE - 1)
+_GROUP_SIZE = CACHE_LINE_SIZE * COUNTERS_PER_LINE
+_GROUP_MASK = ~(_GROUP_SIZE - 1)
+
 
 def counter_line_address(data_address: int, counter_region_base: int) -> int:
     """NVM address of the counter line covering ``data_address``.
@@ -61,36 +65,56 @@ class CounterStore:
 
     def read(self, data_address: int) -> int:
         """Architectural counter value for the line at ``data_address``."""
-        self._check(data_address)
-        line = align_down(data_address, CACHE_LINE_SIZE)
-        return self._counters.get(line, 0)
+        if data_address < 0 or data_address >= self.counter_region_base:
+            self._check(data_address)
+        return self._counters.get(data_address & _LINE_MASK, 0)
 
     def write(self, data_address: int, value: int) -> None:
         """Persist a counter value (one 8 B slot)."""
-        self._check(data_address)
+        if data_address < 0 or data_address >= self.counter_region_base:
+            self._check(data_address)
         if value < 0 or value >= COUNTER_LIMIT:
             raise CounterOverflowError(
                 "counter value %d out of range for line 0x%x" % (value, data_address)
             )
-        line = align_down(data_address, CACHE_LINE_SIZE)
-        self._counters[line] = value
+        self._counters[data_address & _LINE_MASK] = value
 
     def write_counter_line(self, data_address: int, values: Tuple[int, ...]) -> None:
         """Persist all eight counters of the counter line covering ``data_address``."""
         if len(values) != COUNTERS_PER_LINE:
             raise AddressError("a counter line holds exactly %d counters" % COUNTERS_PER_LINE)
-        base_line = align_down(
-            data_address, CACHE_LINE_SIZE * COUNTERS_PER_LINE
-        )
-        for slot, value in enumerate(values):
-            self.write(base_line + slot * CACHE_LINE_SIZE, value)
+        base_line = data_address & _GROUP_MASK
+        self._check(base_line)
+        self._check(base_line + _GROUP_SIZE - CACHE_LINE_SIZE)
+        counters = self._counters
+        address = base_line
+        for value in values:
+            if value < 0 or value >= COUNTER_LIMIT:
+                raise CounterOverflowError(
+                    "counter value %d out of range for line 0x%x" % (value, address)
+                )
+            counters[address] = value
+            address += CACHE_LINE_SIZE
 
     def read_counter_line(self, data_address: int) -> Tuple[int, ...]:
         """Read all eight counters of the covering counter line."""
-        base_line = align_down(data_address, CACHE_LINE_SIZE * COUNTERS_PER_LINE)
-        return tuple(
-            self.read(base_line + slot * CACHE_LINE_SIZE)
-            for slot in range(COUNTERS_PER_LINE)
+        base_line = data_address & _GROUP_MASK
+        self._check(base_line)
+        self._check(base_line + _GROUP_SIZE - CACHE_LINE_SIZE)
+        # Hot path (every pair/fill walks the group): unrolled gets
+        # instead of a genexpr-driven tuple().
+        get = self._counters.get
+        b = base_line
+        s = CACHE_LINE_SIZE
+        return (
+            get(b, 0),
+            get(b + s, 0),
+            get(b + 2 * s, 0),
+            get(b + 3 * s, 0),
+            get(b + 4 * s, 0),
+            get(b + 5 * s, 0),
+            get(b + 6 * s, 0),
+            get(b + 7 * s, 0),
         )
 
     def touched_lines(self) -> Iterator[int]:

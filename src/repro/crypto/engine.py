@@ -19,14 +19,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
-from ..config import CACHE_LINE_SIZE, EncryptionConfig, CounterCacheConfig
+from ..config import CACHE_LINE_SIZE, COUNTERS_PER_LINE, EncryptionConfig, CounterCacheConfig
 from ..errors import CryptoError
-from .counter_cache import CounterCache
+from .counter_cache import GROUP_SPAN, CounterCache
 from .counters import CounterStore
 from .otp import OTPCipher, make_block_cipher
 
 
-@dataclass
+@dataclass(slots=True)
 class WriteEncryption:
     """Result of encrypting one line for writeback."""
 
@@ -40,7 +40,7 @@ class WriteEncryption:
     evicted_counter_line: Optional[Tuple[int, Tuple[int, ...]]]
 
 
-@dataclass
+@dataclass(slots=True)
 class ReadDecryption:
     """Result of decrypting one line on a read fill."""
 
@@ -106,15 +106,33 @@ class EncryptionEngine:
         """
         if plaintext is not None and len(plaintext) != CACHE_LINE_SIZE:
             raise CryptoError("write payload must be one %d B line" % CACHE_LINE_SIZE)
-        cached = self.counter_cache.lookup_for_write(address)
+        # Hot path: one cache-set probe serves both the lookup_for_write
+        # and the update (same stat bumps and LRU ticks as the composed
+        # calls — one touch for the lookup hit, one for the update).
+        cache = self.counter_cache
+        group = address & cache._group_mask
+        cache_set = cache._sets[(group // GROUP_SPAN) & cache._set_mask]
+        entry = cache_set.get(group)
         evicted = None
-        if cached is None:
+        hit = entry is not None
+        if hit:
+            cache.stats.write_hits += 1
+            cache._tick += 1
+            entry.lru_tick = cache._tick
+        else:
             # Write miss: no stall, but fetch the line so sibling
             # counters merge correctly, then retry the update.
+            cache.stats.write_misses += 1
             evicted = self.fill_counter_line(address)
-        new_counter = self.next_counter()
-        if not self.counter_cache.update(address, new_counter):
-            raise CryptoError("counter cache update failed after fill")
+            entry = cache_set.get(group)
+            if entry is None:
+                raise CryptoError("counter cache update failed after fill")
+        new_counter = self._global_counter + 1
+        self._global_counter = new_counter
+        entry.counters[(address // CACHE_LINE_SIZE) % COUNTERS_PER_LINE] = new_counter
+        entry.dirty = True
+        cache._tick += 1
+        entry.lru_tick = cache._tick
         ciphertext = None
         if self.functional and plaintext is not None:
             ciphertext = self.cipher.encrypt(address, new_counter, plaintext)
@@ -122,7 +140,7 @@ class EncryptionEngine:
             address=address,
             counter=new_counter,
             ciphertext=ciphertext,
-            counter_cache_hit=cached is not None,
+            counter_cache_hit=hit,
             evicted_counter_line=evicted,
         )
 

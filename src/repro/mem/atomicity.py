@@ -26,18 +26,19 @@ protocol requires.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from heapq import heappop, heappush
 from typing import TYPE_CHECKING, Optional, Tuple
 
 from ..config import CACHE_LINE_SIZE, SystemConfig
 from ..core.designs import DesignPolicy
-from .events import CounterPersistEvent, DataPersistEvent, PairEvent
-from .writequeue import WriteQueue
+from .events import _COUNTER_PERSIST, _DATA_PERSIST, _FLUSH_EVERY, _PAIR, EventBus
+from .writequeue import _INF, WriteQueue, WriteQueueEntry
 
 if TYPE_CHECKING:
     from .controller import MemoryController
 
 
-@dataclass
+@dataclass(slots=True)
 class WriteTicket:
     """Acceptance of a write-line request.
 
@@ -63,6 +64,12 @@ class UnpairedAtomicity:
     """
 
     kind = "unpaired"
+
+    #: Bytes a *pair's* counter persist moves.  A pair changes at most
+    #: its own 8 B slot relative to the persisted line, so this equals
+    #: ``counter_payload_bytes`` (8 * max(1, changed)) for that case;
+    #: FCA overrides both to full cache lines.
+    pair_counter_bytes = 8
 
     def __init__(self, ctrl: "MemoryController", config: SystemConfig, policy: DesignPolicy) -> None:
         self.ctrl = ctrl
@@ -117,15 +124,16 @@ class UnpairedAtomicity:
             # instantly and for free, together with the data.
             ctrl = self.ctrl
             ctrl.counter_store.write(line, counter)
-            ctrl.journal.record_counter(
-                address=ctrl.address_map.counter_line_address_of(line),
-                counters=(counter,),
-                group_base=line,
-                accept_ns=ticket.accept_ns,
-                ready_ns=ticket.accept_ns,
-                drain_ns=ticket.accept_ns,
-                single_slot=True,
-            )
+            if ctrl.journal.enabled:
+                ctrl.journal.record_counter(
+                    address=ctrl.address_map.counter_line_address_of(line),
+                    counters=(counter,),
+                    group_base=line,
+                    accept_ns=ticket.accept_ns,
+                    ready_ns=ticket.accept_ns,
+                    drain_ns=ticket.accept_ns,
+                    single_slot=True,
+                )
         return ticket
 
     # -- unpaired data writes ------------------------------------------------
@@ -137,58 +145,107 @@ class UnpairedAtomicity:
         request_ns: float,
         encrypted_with: int,
     ) -> WriteTicket:
-        """Unpaired data write: coalesce or enqueue, drain when banks allow."""
+        """Unpaired data write: coalesce or enqueue, drain when banks allow.
+
+        Hot path: the queue probe/accept/ready/drain-time mechanics and
+        the stats emit are inlined — bit-identical to the composed
+        calls (``docs/performance.md``) — because every plain clwb and
+        dirty data eviction funnels through here.
+        """
         ctrl = self.ctrl
-        coalesced = self.data_queue.try_coalesce(line, request_ns, payload, encrypted_with)
-        if coalesced is not None:
+        queue = self.data_queue
+        events = ctrl.events
+        # Coalesce probe (== WriteQueue.try_coalesce without the
+        # counter-values/counter-atomic cases, which cannot arise here).
+        entry = queue._live_by_address.get(line) if queue.coalesce_enabled else None
+        if (
+            entry is not None
+            and entry.slot_release_ns > request_ns
+            and not entry.counter_atomic
+        ):
+            entry.payload = payload
+            entry.encrypted_with = encrypted_with
+            entry.coalesced += 1
+            queue.coalesced += 1
+            drain_ns = entry.drain_ns
             ctrl.device.persist_line(line, payload, encrypted_with)
-            ctrl.journal.amend_data(
-                coalesced.entry_id, payload, encrypted_with, effective_ns=request_ns
-            )
-            ctrl.events.emit(
-                DataPersistEvent(
-                    address=line,
-                    payload_bytes=CACHE_LINE_SIZE,
-                    coalesced=True,
-                    accept_ns=request_ns,
-                    drain_ns=coalesced.drain_ns,
+            if ctrl.journal.enabled:
+                ctrl.journal.amend_data(
+                    entry.entry_id, payload, encrypted_with, effective_ns=request_ns
                 )
-            )
+            if events._generic:
+                EventBus.emit_data_persist(
+                    events, line, CACHE_LINE_SIZE, True, request_ns, drain_ns
+                )
+            else:
+                buffer = events._buffer
+                buffer.append((_DATA_PERSIST, CACHE_LINE_SIZE, True, 0.0))
+                if len(buffer) >= _FLUSH_EVERY:
+                    events.flush()
             return WriteTicket(
                 address=line,
                 accept_ns=request_ns,
-                drain_ns=coalesced.drain_ns,
+                drain_ns=drain_ns,
                 paired=False,
                 coalesced=True,
             )
-        entry = self.data_queue.accept(
-            line, request_ns, payload, is_counter=False, encrypted_with=encrypted_with
+        # Acceptance (== WriteQueue.accept, ready at accept).
+        slots = queue._slots
+        while slots and slots[0] <= request_ns:
+            heappop(slots)
+        if len(slots) < queue.capacity:
+            accept_ns = request_ns
+        else:
+            accept_ns = slots[0]
+            queue.total_accept_wait_ns += accept_ns - request_ns
+        ids = queue._entry_ids
+        entry_id = ids.next_id
+        ids.next_id = entry_id + 1
+        entry = WriteQueueEntry(
+            entry_id, line, payload, False, encrypted_with, None,
+            accept_ns, accept_ns, _INF,
         )
-        self.data_queue.mark_ready(entry, entry.accept_ns)
-        issue, drain = ctrl.drain_write(self.data_queue, "data", line, entry.accept_ns, CACHE_LINE_SIZE)
-        self.data_queue.set_drain_time(entry, drain, slot_release_ns=issue)
+        queue._live_by_address[line] = entry
+        queue.history.append(entry)
+        queue.accepted += 1
+        issue, drain = ctrl.drain_write(queue, "data", line, accept_ns, CACHE_LINE_SIZE)
+        # Drain schedule (== WriteQueue.set_drain_time; its validations
+        # hold statically: drain >= issue >= accept == ready).
+        entry.drain_ns = drain
+        entry.slot_release_ns = issue
+        while slots and slots[0] <= accept_ns:
+            heappop(slots)
+        heappush(slots, issue)
+        if len(slots) > queue.peak_occupancy:
+            queue.peak_occupancy = len(slots)
         ctrl.device.persist_line(line, payload, encrypted_with)
-        ctrl.journal.record_data(
-            entry_id=entry.entry_id,
-            address=line,
-            payload=payload,
-            encrypted_with=encrypted_with,
-            accept_ns=entry.accept_ns,
-            ready_ns=entry.ready_ns,
-            drain_ns=drain,
-        )
-        ctrl.events.emit(
-            DataPersistEvent(
+        if ctrl.journal.enabled:
+            ctrl.journal.record_data(
+                entry_id=entry_id,
                 address=line,
-                payload_bytes=CACHE_LINE_SIZE,
-                coalesced=False,
-                accept_ns=entry.accept_ns,
+                payload=payload,
+                encrypted_with=encrypted_with,
+                accept_ns=accept_ns,
+                ready_ns=accept_ns,
                 drain_ns=drain,
-                accept_wait_ns=entry.accept_ns - request_ns,
             )
-        )
+        if events._generic:
+            EventBus.emit_data_persist(
+                events,
+                line,
+                CACHE_LINE_SIZE,
+                False,
+                accept_ns,
+                drain,
+                accept_wait_ns=accept_ns - request_ns,
+            )
+        else:
+            buffer = events._buffer
+            buffer.append((_DATA_PERSIST, CACHE_LINE_SIZE, False, accept_ns - request_ns))
+            if len(buffer) >= _FLUSH_EVERY:
+                events.flush()
         return WriteTicket(
-            address=line, accept_ns=entry.accept_ns, drain_ns=drain, paired=False, coalesced=False
+            address=line, accept_ns=accept_ns, drain_ns=drain, paired=False, coalesced=False
         )
 
     # -- counter-atomic pairs ------------------------------------------------
@@ -213,23 +270,40 @@ class UnpairedAtomicity:
         still undrained) merge into the queued entry — the merge and
         ready-bit update are a single ADR-protected operation, so the
         amendment takes effect exactly when the new pair becomes ready.
+
+        Hot path for FCA (and SCA annotated writes): the queue and emit
+        mechanics are inlined exactly like :meth:`write_unpaired`.
         """
         ctrl = self.ctrl
+        data_queue = self.data_queue
+        counter_queue = self.counter_queue
+        events = ctrl.events
         group_base = ctrl.address_map.data_group_base(line)
         counter_line = ctrl.address_map.counter_line_address_of(line)
-        counters = self._pair_counter_line_values(line, counter)
+        # == _pair_counter_line_values, reusing the group base computed
+        # above; the persisted-sibling rationale is in the module
+        # docstring.
+        values = list(ctrl.counter_store.read_counter_line(line))
+        values[(line - group_base) // CACHE_LINE_SIZE] = counter
+        counters = tuple(values)
 
         # A new pair to a line whose previous pair is still queued
         # merges into it: the merge plus the ready-bit update is one
         # ADR-protected operation, so both the data amendment and the
         # counter amendment take effect exactly when this pair becomes
         # ready, preserving all-or-nothing behaviour.
-        candidate_data = self.data_queue.peek_coalesce(
-            line, request_ns, allow_counter_atomic=True
-        )
-        candidate_ctr = self.counter_queue.peek_coalesce(
-            counter_line, request_ns, allow_counter_atomic=True
-        )
+        # (Inline peek_coalesce with allow_counter_atomic=True: any
+        # live entry qualifies.)
+        if data_queue.coalesce_enabled:
+            candidate_data = data_queue._live_by_address.get(line)
+            if candidate_data is not None and candidate_data.slot_release_ns <= request_ns:
+                candidate_data = None
+            candidate_ctr = counter_queue._live_by_address.get(counter_line)
+            if candidate_ctr is not None and candidate_ctr.slot_release_ns <= request_ns:
+                candidate_ctr = None
+        else:
+            candidate_data = None
+            candidate_ctr = None
         if (
             candidate_data is not None
             and candidate_data.counter_atomic
@@ -240,43 +314,23 @@ class UnpairedAtomicity:
                 candidate_ctr, None, 0, counter_values=(group_base, counters)
             )
             ready_ns = request_ns + self.pair_ready_latency_ns
-            ctrl.events.emit(
-                DataPersistEvent(
-                    address=line,
-                    payload_bytes=CACHE_LINE_SIZE,
-                    coalesced=True,
-                    accept_ns=ready_ns,
-                    drain_ns=candidate_data.drain_ns,
+            ctrl.events.emit_data_persist(
+                line, CACHE_LINE_SIZE, True, ready_ns, candidate_data.drain_ns
+            )
+            ctrl.events.emit_counter_persist(
+                counter_line, 0, True, True, ready_ns, candidate_ctr.drain_ns
+            )
+            if ctrl.journal.enabled:
+                ctrl.journal.amend_data(
+                    candidate_data.entry_id, payload, counter, effective_ns=ready_ns
                 )
-            )
-            ctrl.events.emit(
-                CounterPersistEvent(
-                    address=counter_line,
-                    payload_bytes=0,
-                    coalesced=True,
-                    paired=True,
-                    accept_ns=ready_ns,
-                    drain_ns=candidate_ctr.drain_ns,
+                ctrl.journal.amend_counter(
+                    candidate_ctr.entry_id, group_base, counters, effective_ns=ready_ns
                 )
-            )
-            ctrl.journal.amend_data(
-                candidate_data.entry_id, payload, counter, effective_ns=ready_ns
-            )
-            ctrl.journal.amend_counter(
-                candidate_ctr.entry_id, group_base, counters, effective_ns=ready_ns
-            )
             ctrl.device.persist_line(line, payload, counter)
             ctrl.counter_store.write_counter_line(group_base, counters)
             settled_ns = ctrl.integrity.note_counter_persist(group_base, counters, ready_ns)
-            ctrl.events.emit(
-                PairEvent(
-                    address=line,
-                    settled_ns=settled_ns,
-                    accept_wait_ns=0.0,
-                    lag_forced=lag_forced,
-                    coalesced=True,
-                )
-            )
+            ctrl.events.emit_pair(line, settled_ns, 0.0, lag_forced, True)
             return WriteTicket(
                 address=line,
                 accept_ns=settled_ns,
@@ -285,121 +339,157 @@ class UnpairedAtomicity:
                 coalesced=True,
             )
 
-        data_entry = self.data_queue.accept(
-            line,
-            request_ns,
-            payload,
-            is_counter=False,
-            encrypted_with=counter,
-            counter_atomic=True,
+        # Data acceptance (== WriteQueue.accept with counter_atomic=True).
+        data_slots = data_queue._slots
+        while data_slots and data_slots[0] <= request_ns:
+            heappop(data_slots)
+        if len(data_slots) < data_queue.capacity:
+            pair_time = request_ns
+        else:
+            pair_time = data_slots[0]
+            data_queue.total_accept_wait_ns += pair_time - request_ns
+        ids = data_queue._entry_ids
+        data_entry_id = ids.next_id
+        ids.next_id = data_entry_id + 1
+        data_entry = WriteQueueEntry(
+            data_entry_id, line, payload, False, counter, None,
+            pair_time, _INF, _INF, _INF, True,
         )
-        pair_time = data_entry.accept_ns
+        data_queue._live_by_address[line] = data_entry
+        data_queue.history.append(data_entry)
+        data_queue.accepted += 1
 
-        merged = self.counter_queue.try_coalesce(
-            counter_line,
-            pair_time,
-            None,
-            0,
-            counter_values=(group_base, counters),
-            allow_counter_atomic=True,
+        # Counter side: merge into a live queued counter entry, else
+        # accept a fresh one (== try_coalesce / accept + mark_ready +
+        # set_drain_time, inlined).
+        merged = (
+            counter_queue._live_by_address.get(counter_line)
+            if counter_queue.coalesce_enabled
+            else None
         )
+        if merged is not None and merged.slot_release_ns <= pair_time:
+            merged = None
         if merged is not None:
+            merged.payload = None
+            merged.encrypted_with = 0
+            merged.counter_values = (group_base, counters)
+            merged.coalesced += 1
+            counter_queue.coalesced += 1
             ready_ns = max(pair_time, merged.accept_ns) + self.pair_ready_latency_ns
             counter_drain = merged.drain_ns
             counter_entry_id = merged.entry_id
-            ctrl.events.emit(
-                CounterPersistEvent(
-                    address=counter_line,
-                    payload_bytes=0,
-                    coalesced=True,
-                    paired=True,
-                    accept_ns=ready_ns,
-                    drain_ns=counter_drain,
+            if events._generic:
+                EventBus.emit_counter_persist(
+                    events, counter_line, 0, True, True, ready_ns, counter_drain
                 )
-            )
-            ctrl.journal.amend_counter(
-                merged.entry_id, group_base, counters, effective_ns=ready_ns
-            )
+            else:
+                buffer = events._buffer
+                buffer.append((_COUNTER_PERSIST, 0, True))
+                if len(buffer) >= _FLUSH_EVERY:
+                    events.flush()
+            if ctrl.journal.enabled:
+                ctrl.journal.amend_counter(
+                    merged.entry_id, group_base, counters, effective_ns=ready_ns
+                )
         else:
-            counter_entry = self.counter_queue.accept(
-                counter_line,
-                request_ns,
-                None,
-                is_counter=True,
-                counter_values=(group_base, counters),
-                counter_atomic=True,
+            counter_slots = counter_queue._slots
+            while counter_slots and counter_slots[0] <= request_ns:
+                heappop(counter_slots)
+            if len(counter_slots) < counter_queue.capacity:
+                counter_accept = request_ns
+            else:
+                counter_accept = counter_slots[0]
+                counter_queue.total_accept_wait_ns += counter_accept - request_ns
+            ids = counter_queue._entry_ids
+            counter_entry_id = ids.next_id
+            ids.next_id = counter_entry_id + 1
+            ready_ns = max(pair_time, counter_accept) + self.pair_ready_latency_ns
+            counter_entry = WriteQueueEntry(
+                counter_entry_id, counter_line, None, True, 0,
+                (group_base, counters), counter_accept, ready_ns, _INF, _INF,
+                True, data_entry_id,
             )
-            ready_ns = (
-                max(pair_time, counter_entry.accept_ns) + self.pair_ready_latency_ns
-            )
-            self.counter_queue.mark_ready(counter_entry, ready_ns)
-            counter_entry.partner_id = data_entry.entry_id
-            counter_bytes = self.counter_payload_bytes(group_base, counters)
+            counter_queue._live_by_address[counter_line] = counter_entry
+            counter_queue.history.append(counter_entry)
+            counter_queue.accepted += 1
+            counter_bytes = self.pair_counter_bytes
             counter_issue, counter_drain = ctrl.drain_write(
-                self.counter_queue, "counter", counter_line, ready_ns, counter_bytes
+                counter_queue, "counter", counter_line, ready_ns, counter_bytes
             )
-            self.counter_queue.set_drain_time(
-                counter_entry, counter_drain, slot_release_ns=counter_issue
-            )
-            counter_entry_id = counter_entry.entry_id
-            ctrl.events.emit(
-                CounterPersistEvent(
-                    address=counter_line,
-                    payload_bytes=counter_bytes,
-                    coalesced=False,
-                    paired=True,
-                    accept_ns=counter_entry.accept_ns,
-                    drain_ns=counter_drain,
+            counter_entry.drain_ns = counter_drain
+            counter_entry.slot_release_ns = counter_issue
+            while counter_slots and counter_slots[0] <= counter_accept:
+                heappop(counter_slots)
+            heappush(counter_slots, counter_issue)
+            if len(counter_slots) > counter_queue.peak_occupancy:
+                counter_queue.peak_occupancy = len(counter_slots)
+            if events._generic:
+                EventBus.emit_counter_persist(
+                    events, counter_line, counter_bytes, False, True,
+                    counter_accept, counter_drain,
                 )
-            )
-            ctrl.journal.record_counter(
-                address=counter_line,
-                counters=counters,
-                group_base=group_base,
-                accept_ns=counter_entry.accept_ns,
-                ready_ns=ready_ns,
-                drain_ns=counter_drain,
-                entry_id=counter_entry.entry_id,
-            )
+            else:
+                buffer = events._buffer
+                buffer.append((_COUNTER_PERSIST, counter_bytes, False))
+                if len(buffer) >= _FLUSH_EVERY:
+                    events.flush()
+            if ctrl.journal.enabled:
+                ctrl.journal.record_counter(
+                    address=counter_line,
+                    counters=counters,
+                    group_base=group_base,
+                    accept_ns=counter_accept,
+                    ready_ns=ready_ns,
+                    drain_ns=counter_drain,
+                    entry_id=counter_entry_id,
+                )
 
-        self.data_queue.mark_ready(data_entry, ready_ns)
+        data_entry.ready_ns = ready_ns
         data_entry.partner_id = counter_entry_id
         data_issue, data_drain = ctrl.drain_write(
-            self.data_queue, "data", line, ready_ns, CACHE_LINE_SIZE
+            data_queue, "data", line, ready_ns, CACHE_LINE_SIZE
         )
-        self.data_queue.set_drain_time(data_entry, data_drain, slot_release_ns=data_issue)
-        ctrl.events.emit(
-            DataPersistEvent(
-                address=line,
-                payload_bytes=CACHE_LINE_SIZE,
-                coalesced=False,
-                accept_ns=data_entry.accept_ns,
-                drain_ns=data_drain,
+        data_entry.drain_ns = data_drain
+        data_entry.slot_release_ns = data_issue
+        while data_slots and data_slots[0] <= pair_time:
+            heappop(data_slots)
+        heappush(data_slots, data_issue)
+        if len(data_slots) > data_queue.peak_occupancy:
+            data_queue.peak_occupancy = len(data_slots)
+        if events._generic:
+            EventBus.emit_data_persist(
+                events, line, CACHE_LINE_SIZE, False, pair_time, data_drain
             )
-        )
+        else:
+            buffer = events._buffer
+            buffer.append((_DATA_PERSIST, CACHE_LINE_SIZE, False, 0.0))
+            if len(buffer) >= _FLUSH_EVERY:
+                events.flush()
 
         ctrl.device.persist_line(line, payload, counter)
         ctrl.counter_store.write_counter_line(group_base, counters)
         settled_ns = ctrl.integrity.note_counter_persist(group_base, counters, ready_ns)
-        ctrl.journal.record_data(
-            entry_id=data_entry.entry_id,
-            address=line,
-            payload=payload,
-            encrypted_with=counter,
-            accept_ns=data_entry.accept_ns,
-            ready_ns=ready_ns,
-            drain_ns=data_drain,
-            partner_id=counter_entry_id,
-        )
-        ctrl.events.emit(
-            PairEvent(
+        if ctrl.journal.enabled:
+            ctrl.journal.record_data(
+                entry_id=data_entry_id,
                 address=line,
-                settled_ns=settled_ns,
-                accept_wait_ns=settled_ns - request_ns,
-                lag_forced=lag_forced,
-                coalesced=merged is not None,
+                payload=payload,
+                encrypted_with=counter,
+                accept_ns=pair_time,
+                ready_ns=ready_ns,
+                drain_ns=data_drain,
+                partner_id=counter_entry_id,
             )
-        )
+        if events._generic:
+            EventBus.emit_pair(
+                events, line, settled_ns, settled_ns - request_ns, lag_forced,
+                merged is not None,
+            )
+        else:
+            buffer = events._buffer
+            buffer.append((_PAIR, settled_ns - request_ns, lag_forced))
+            if len(buffer) >= _FLUSH_EVERY:
+                events.flush()
         return WriteTicket(
             address=line,
             accept_ns=settled_ns,
@@ -423,21 +513,15 @@ class UnpairedAtomicity:
             counter_line, request_ns, None, 0, counter_values=(group_base, counters)
         )
         if coalesced is not None:
-            ctrl.events.emit(
-                CounterPersistEvent(
-                    address=counter_line,
-                    payload_bytes=0,
-                    coalesced=True,
-                    paired=False,
-                    accept_ns=request_ns,
-                    drain_ns=coalesced.drain_ns,
-                )
+            ctrl.events.emit_counter_persist(
+                counter_line, 0, True, False, request_ns, coalesced.drain_ns
             )
             ctrl.counter_store.write_counter_line(group_base, counters)
             settled_ns = ctrl.integrity.note_counter_persist(group_base, counters, request_ns)
-            ctrl.journal.amend_counter(
-                coalesced.entry_id, group_base, counters, effective_ns=request_ns
-            )
+            if ctrl.journal.enabled:
+                ctrl.journal.amend_counter(
+                    coalesced.entry_id, group_base, counters, effective_ns=request_ns
+                )
             return WriteTicket(
                 address=counter_line,
                 accept_ns=settled_ns,
@@ -460,24 +544,18 @@ class UnpairedAtomicity:
         self.counter_queue.set_drain_time(entry, drain, slot_release_ns=issue)
         ctrl.counter_store.write_counter_line(group_base, counters)
         settled_ns = ctrl.integrity.note_counter_persist(group_base, counters, entry.accept_ns)
-        ctrl.journal.record_counter(
-            address=counter_line,
-            counters=counters,
-            group_base=group_base,
-            accept_ns=entry.accept_ns,
-            ready_ns=entry.ready_ns,
-            drain_ns=drain,
-            entry_id=entry.entry_id,
-        )
-        ctrl.events.emit(
-            CounterPersistEvent(
+        if ctrl.journal.enabled:
+            ctrl.journal.record_counter(
                 address=counter_line,
-                payload_bytes=counter_bytes,
-                coalesced=False,
-                paired=False,
+                counters=counters,
+                group_base=group_base,
                 accept_ns=entry.accept_ns,
+                ready_ns=entry.ready_ns,
                 drain_ns=drain,
+                entry_id=entry.entry_id,
             )
+        ctrl.events.emit_counter_persist(
+            counter_line, counter_bytes, False, False, entry.accept_ns, drain
         )
         return WriteTicket(
             address=counter_line,
@@ -531,6 +609,8 @@ class FullCounterAtomicity(UnpairedAtomicity):
     """FCA: every write pairs; counter writebacks are full lines."""
 
     kind = "fca"
+
+    pair_counter_bytes = CACHE_LINE_SIZE
 
     def write_is_paired(self, counter_atomic: bool) -> bool:
         return True

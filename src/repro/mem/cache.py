@@ -14,8 +14,13 @@ from typing import Dict, List, Optional, Tuple
 
 from ..config import CACHE_LINE_SIZE, CacheConfig
 from ..errors import AddressError
-from ..utils.bitops import align_down
 from .cacheline import CacheLine
+
+#: Line addressing as plain mask/shift arithmetic: the hot paths run
+#: once per cache access, so the generic ``align_down`` helper call is
+#: replaced by constants derived from the (power-of-two) line size.
+_LINE_MASK = ~(CACHE_LINE_SIZE - 1)
+_LINE_SHIFT = CACHE_LINE_SIZE.bit_length() - 1
 
 
 @dataclass
@@ -41,7 +46,7 @@ class CacheStats:
         return (self.read_misses + self.write_misses) / self.accesses
 
 
-@dataclass
+@dataclass(slots=True)
 class EvictedLine:
     """A victim pushed out of a cache level."""
 
@@ -60,6 +65,7 @@ class Cache:
         self.name = name
         self.num_sets = config.num_sets
         self.ways = config.ways
+        self._set_mask = self.num_sets - 1  # num_sets is a power of two
         self._sets: List[Dict[int, CacheLine]] = [dict() for _ in range(self.num_sets)]
         self._tick = 0
         self.stats = CacheStats()
@@ -67,16 +73,16 @@ class Cache:
     # -- addressing ------------------------------------------------------
 
     def _set_index(self, line_address: int) -> int:
-        return (line_address // CACHE_LINE_SIZE) % self.num_sets
+        return (line_address >> _LINE_SHIFT) & self._set_mask
 
     @staticmethod
     def line_address(address: int) -> int:
-        return align_down(address, CACHE_LINE_SIZE)
+        return address & _LINE_MASK
 
     # -- internals -------------------------------------------------------
 
     def _lookup(self, line_address: int) -> Optional[CacheLine]:
-        return self._sets[self._set_index(line_address)].get(line_address)
+        return self._sets[(line_address >> _LINE_SHIFT) & self._set_mask].get(line_address)
 
     def _touch(self, line: CacheLine) -> None:
         self._tick += 1
@@ -85,11 +91,16 @@ class Cache:
     # -- queries -----------------------------------------------------------
 
     def contains(self, address: int) -> bool:
-        return self._lookup(self.line_address(address)) is not None
+        line_address = address & _LINE_MASK
+        return (
+            self._sets[(line_address >> _LINE_SHIFT) & self._set_mask].get(line_address)
+            is not None
+        )
 
     def peek(self, address: int) -> Optional[CacheLine]:
         """Inspect a line without touching LRU or statistics."""
-        return self._lookup(self.line_address(address))
+        line_address = address & _LINE_MASK
+        return self._sets[(line_address >> _LINE_SHIFT) & self._set_mask].get(line_address)
 
     # -- read path -----------------------------------------------------------
 
@@ -99,13 +110,14 @@ class Cache:
         On a hit, returns ``(data, line)`` where data is None in
         timing-only mode.
         """
-        line_address = self.line_address(address)
-        line = self._lookup(line_address)
+        line_address = address & _LINE_MASK
+        line = self._sets[(line_address >> _LINE_SHIFT) & self._set_mask].get(line_address)
         if line is None:
             self.stats.read_misses += 1
             return None
         self.stats.read_hits += 1
-        self._touch(line)
+        self._tick += 1
+        line.lru_tick = self._tick
         data = line.read_bytes(address - line_address, length)
         return (data, line)
 
@@ -119,13 +131,14 @@ class Cache:
         ``data`` is None in timing-only mode, in which case ``length``
         still drives the bounds check.
         """
-        line_address = self.line_address(address)
-        line = self._lookup(line_address)
+        line_address = address & _LINE_MASK
+        line = self._sets[(line_address >> _LINE_SHIFT) & self._set_mask].get(line_address)
         if line is None:
             self.stats.write_misses += 1
             return False
         self.stats.write_hits += 1
-        self._touch(line)
+        self._tick += 1
+        line.lru_tick = self._tick
         if data is not None:
             line.write_bytes(address - line_address, data)
         elif address - line_address + length > CACHE_LINE_SIZE:
@@ -146,11 +159,13 @@ class Cache:
     ) -> Optional[EvictedLine]:
         """Install a line, evicting the LRU way if the set is full.
 
-        Returns the victim (clean or dirty) so the caller can propagate
-        dirty data downward; returns None when no eviction happened.
+        Returns the victim only when it was dirty, so the caller can
+        propagate its data downward; clean victims are dropped silently
+        (the eviction still shows up in the stats) and no-eviction fills
+        return None.
         """
-        line_address = self.line_address(address)
-        cache_set = self._sets[self._set_index(line_address)]
+        line_address = address & _LINE_MASK
+        cache_set = self._sets[(line_address >> _LINE_SHIFT) & self._set_mask]
         existing = cache_set.get(line_address)
         if existing is not None:
             # Refill of a resident line: merge payload, keep metadata.
@@ -158,21 +173,34 @@ class Cache:
                 existing.payload[:] = payload
             existing.dirty = existing.dirty or dirty
             existing.counter_atomic = existing.counter_atomic or counter_atomic
-            self._touch(existing)
+            self._tick += 1
+            existing.lru_tick = self._tick
             return None
         victim: Optional[EvictedLine] = None
         if len(cache_set) >= self.ways:
-            victim_address = min(cache_set, key=lambda a: cache_set[a].lru_tick)
-            victim_line = cache_set.pop(victim_address)
+            # Manual first-minimal scan: same victim as
+            # min(cache_set, key=...) but without 'ways' lambda calls.
+            values = iter(cache_set.values())
+            victim_line = next(values)
+            victim_tick = victim_line.lru_tick
+            for candidate in values:
+                candidate_tick = candidate.lru_tick
+                if candidate_tick < victim_tick:
+                    victim_line = candidate
+                    victim_tick = candidate_tick
+            del cache_set[victim_line.tag]
             self.stats.evictions += 1
             if victim_line.dirty:
                 self.stats.dirty_evictions += 1
-            victim = EvictedLine(
-                address=victim_address,
-                payload=victim_line.snapshot_payload(),
-                dirty=victim_line.dirty,
-                counter_atomic=victim_line.counter_atomic,
-            )
+                victim_payload = victim_line.payload
+                victim = EvictedLine(
+                    address=victim_line.tag,
+                    payload=(
+                        None if victim_payload is None else bytes(victim_payload)
+                    ),
+                    dirty=True,
+                    counter_atomic=victim_line.counter_atomic,
+                )
         self._tick += 1
         stored = (
             bytearray(payload)
@@ -193,8 +221,8 @@ class Cache:
         CounterAtomic flags are cleared — the update is now owned by
         the memory controller.
         """
-        line_address = self.line_address(address)
-        line = self._lookup(line_address)
+        line_address = address & _LINE_MASK
+        line = self._sets[(line_address >> _LINE_SHIFT) & self._set_mask].get(line_address)
         if line is None or not line.dirty:
             return None
         line.dirty = False

@@ -34,28 +34,28 @@ import dataclasses
 import heapq
 from typing import List, Optional, Tuple
 
-from ..config import SystemConfig
+from ..config import CACHE_LINE_SIZE, SystemConfig
 from ..core.designs import DesignPolicy
 from ..crypto.counter_cache import CounterCacheStats
 from ..crypto.counters import CounterStore
 from ..crypto.engine import EncryptionEngine
+from ..errors import AddressError
 from ..integrity.cache import TreeNodeCache
 from ..integrity.tree import IntegrityTreeEngine
 from ..nvm.address import AddressMap
-from ..nvm.device import NVMDevice
+from ..nvm.device import NVMDevice, _ZERO_PERSISTED
 from ..nvm.timing import BankTimingModel, BusModel
 from ..persist.journal import PersistJournal
 from .atomicity import UnpairedAtomicity, WriteTicket, build_atomicity
 from .events import (
-    CcwbEvent,
-    CcwbFlushEvent,
+    _FLUSH_EVERY,
+    _READ,
+    _WRITE_REQUEST_RECORD,
+    BatchingEventBus,
     ControllerStats,
-    DrainEvent,
     EventBus,
     JsonlTraceSubscriber,
-    ReadEvent,
     StatsSubscriber,
-    WriteRequestEvent,
 )
 from .integrity_policy import NoIntegrity, build_integrity
 from .layout import COLOCATED_PAYLOAD, PlainLayout, ReadResult, build_layout
@@ -68,6 +68,9 @@ __all__ = [
     "ReadResult",
     "WriteTicket",
 ]
+
+_LINE_MASK = ~(CACHE_LINE_SIZE - 1)
+_LINE_SHIFT = 6
 
 
 class MemoryController:
@@ -88,6 +91,11 @@ class MemoryController:
         self.device = NVMDevice(self.address_map)
         self.banks = BankTimingModel(nvm_timing)
         self.bus = BusModel(nvm_timing)
+        # Hoisted constants for the fused read/drain hot paths below
+        # (num_banks is validated power-of-two; see AddressMap).
+        self._num_banks = nvm_timing.num_banks
+        self._bank_mask = nvm_timing.num_banks - 1
+        self._memory_size = config.memory_size_bytes
         self.counter_store = CounterStore(
             counter_region_base=self.address_map.counter_region_base,
             memory_size_bytes=config.memory_size_bytes,
@@ -105,13 +113,18 @@ class MemoryController:
         # makes entry ids reproducible across checkpoint/restore.
         self.entry_ids = EntryIdAllocator()
         # The event bus: stats derive from the stream; an optional JSONL
-        # trace subscriber gives campaigns an observability hook.
-        self.events = EventBus()
+        # trace subscriber gives campaigns an observability hook.  The
+        # batching bus folds stats over compact record vectors when no
+        # generic subscriber is attached (``docs/performance.md``).
+        self.events = BatchingEventBus()
         self._stats = StatsSubscriber()
         self.events.subscribe(self._stats)
         self._trace: Optional[JsonlTraceSubscriber] = None
         if config.controller.event_trace_path:
-            self._trace = JsonlTraceSubscriber(config.controller.event_trace_path)
+            self._trace = JsonlTraceSubscriber(
+                config.controller.event_trace_path,
+                flush_every=config.controller.event_trace_flush_every,
+            )
             self.events.subscribe(self._trace)
         self._fifo_drain = config.controller.drain_policy == "fifo"
         self._last_drain = {"data": 0.0, "counter": 0.0, "tree": 0.0}
@@ -125,6 +138,9 @@ class MemoryController:
         self.read_queue_peak = 0
         self.total_read_queue_wait_ns = 0.0
         self.journal = PersistJournal()
+        if not config.controller.crash_bookkeeping:
+            self.journal.enabled = False
+            self.device.crash_bookkeeping = False
         self._functional = config.functional
         # The three composed strategy layers (see the module docstring).
         self.atomicity: UnpairedAtomicity = build_atomicity(self, config, policy)
@@ -137,6 +153,7 @@ class MemoryController:
 
     @property
     def stats(self) -> ControllerStats:
+        self.events.flush()
         return self._stats.stats
 
     @property
@@ -179,26 +196,80 @@ class MemoryController:
             self.read_queue_peak = len(self._read_slots)
 
     def read_line(self, address: int, request_ns: float) -> ReadResult:
-        """Fetch and (if encrypted) decrypt one data line."""
-        request_ns = self._acquire_read_slot(request_ns)
-        line = self.address_map.line_base(address)
+        """Fetch and (if encrypted) decrypt one data line.
+
+        Hot path: the slot scan, bank/bus scheduling, device fetch and
+        stats emit are inlined — bit-identical to the composed calls
+        (``docs/performance.md``) — because every simulated miss and
+        counter fill funnels through here.
+        """
+        # Read-queue slot (== _acquire_read_slot).
+        slots = self._read_slots
+        while slots and slots[0] <= request_ns:
+            heapq.heappop(slots)
+        if len(slots) >= self._read_queue_capacity:
+            start = heapq.heappop(slots)
+            self.total_read_queue_wait_ns += start - request_ns
+            request_ns = start
+        line = address & _LINE_MASK
         payload_bytes = self.layout.read_payload_bytes
-        bank = self.address_map.bank_of(line)
-        row = self.address_map.row_of(line)
-        access = self.banks.schedule_read(bank, request_ns, row=row)
-        data_arrival = self.bus.schedule_transfer(access.complete_ns, payload_bytes)
-        self._release_read_slot(data_arrival)
-        stored = self.device.read_line(line)
+        line_index = line >> _LINE_SHIFT
+        bank = line_index & self._bank_mask
+        row = (line_index // self._num_banks) // 64
+        # Bank array read (== BankTimingModel.schedule_read).
+        banks = self.banks
+        read_free = banks._read_free
+        free = read_free[bank]
+        start = request_ns if request_ns >= free else free
+        banks.total_read_wait_ns += start - request_ns
+        open_row = banks._open_row
+        if open_row[bank] == row:
+            complete = start + banks._row_hit_ns
+            banks.row_hits += 1
+        else:
+            complete = start + banks._read_access_ns
+            open_row[bank] = row
+        read_free[bank] = complete
+        write_free = banks._write_free
+        if write_free[bank] < complete:
+            write_free[bank] = complete
+        banks.reads += 1
+        # Bus burst (== BusModel.schedule_transfer).
+        bus = self.bus
+        bus_free = bus._free_ns
+        bus_start = complete if complete >= bus_free else bus_free
+        duration = bus._burst_cache.get(payload_bytes)
+        if duration is None:
+            duration = bus.timing.burst_ns(payload_bytes)
+            bus._burst_cache[payload_bytes] = duration
+        data_arrival = bus_start + duration
+        bus._free_ns = data_arrival
+        bus.transfers += 1
+        bus.bytes_moved += payload_bytes
+        bus.busy_ns += duration
+        # Slot release (== _release_read_slot).
+        heapq.heappush(slots, data_arrival)
+        if len(slots) > self.read_queue_peak:
+            self.read_queue_peak = len(slots)
+        # Device fetch (== NVMDevice.read_line).
+        device = self.device
+        if line < 0 or line >= self._memory_size:
+            raise AddressError("address 0x%x outside the device" % line)
+        device.line_reads += 1
+        stored = device._lines.get(line, _ZERO_PERSISTED)
         result = self.layout.complete_read(line, request_ns, data_arrival, stored.payload)
-        self.events.emit(
-            ReadEvent(
-                address=line,
-                request_ns=request_ns,
-                complete_ns=result.complete_ns,
-                payload_bytes=payload_bytes,
-                counter_cache_hit=result.counter_cache_hit,
+        # Stats emit (== BatchingEventBus.emit_read).
+        events = self.events
+        if events._generic:
+            EventBus.emit_read(
+                events, line, request_ns, result.complete_ns, payload_bytes,
+                result.counter_cache_hit,
             )
-        )
+        else:
+            buffer = events._buffer
+            buffer.append((_READ, request_ns, result.complete_ns, payload_bytes))
+            if len(buffer) >= _FLUSH_EVERY:
+                events.flush()
         return result
 
     # ------------------------------------------------------------------
@@ -213,12 +284,16 @@ class MemoryController:
         counter_atomic: bool = False,
     ) -> WriteTicket:
         """Accept one data-line writeback (clwb or cache eviction)."""
-        line = self.address_map.line_base(address)
-        self.events.emit(
-            WriteRequestEvent(
-                address=line, request_ns=request_ns, counter_atomic=counter_atomic
-            )
-        )
+        line = address & _LINE_MASK
+        # Stats emit (== BatchingEventBus.emit_write_request).
+        events = self.events
+        if events._generic:
+            EventBus.emit_write_request(events, line, request_ns, counter_atomic)
+        else:
+            buffer = events._buffer
+            buffer.append(_WRITE_REQUEST_RECORD)
+            if len(buffer) >= _FLUSH_EVERY:
+                events.flush()
         return self.layout.write_line(line, payload, request_ns, counter_atomic)
 
     def drain_write(
@@ -243,22 +318,44 @@ class MemoryController:
             start += self._counter_hold_ns
         if self._fifo_drain:
             # Strict FIFO drain: head-of-line blocking (ablation).
-            start = max(start, self._last_drain[role])
-        bank = self.address_map.bank_of(address)
-        row = self.address_map.row_of(address)
-        bus_done = self.bus.schedule_transfer(start, payload_bytes)
-        access = self.banks.schedule_write(bank, bus_done, row=row)
+            last = self._last_drain[role]
+            if start < last:
+                start = last
+        bank = (address >> _LINE_SHIFT) & self._bank_mask
+        # Bus burst (== BusModel.schedule_transfer).
+        bus = self.bus
+        bus_free = bus._free_ns
+        bus_start = start if start >= bus_free else bus_free
+        duration = bus._burst_cache.get(payload_bytes)
+        if duration is None:
+            duration = bus.timing.burst_ns(payload_bytes)
+            bus._burst_cache[payload_bytes] = duration
+        bus_done = bus_start + duration
+        bus._free_ns = bus_done
+        bus.transfers += 1
+        bus.bytes_moved += payload_bytes
+        bus.busy_ns += duration
+        # Bank array write (== BankTimingModel.schedule_write).
+        banks = self.banks
+        write_free = banks._write_free
+        issue = bus_done
+        free = write_free[bank]
+        if free > issue:
+            issue = free
+        free = banks._read_free[bank]
+        if free > issue:
+            issue = free
+        banks.total_write_wait_ns += issue - bus_done
+        complete = issue + banks._write_access_ns
+        write_free[bank] = complete + banks._t_wtr_ns
+        banks._open_row[bank] = None
+        banks.writes += 1
         if self._fifo_drain:
-            self._last_drain[role] = access.complete_ns
-        self.events.emit(
-            DrainEvent(
-                role=role,
-                address=address,
-                issue_ns=access.start_ns,
-                complete_ns=access.complete_ns,
-            )
-        )
-        return access.start_ns, access.complete_ns
+            self._last_drain[role] = complete
+        events = self.events
+        if events._generic:
+            EventBus.emit_drain(events, role, address, issue, complete)
+        return issue, complete
 
     # ------------------------------------------------------------------
     # counter_cache_writeback() (Section 4.3 / 5.2.2)
@@ -271,13 +368,13 @@ class MemoryController:
         ccwb support or the line is clean (a no-op, per the paper).
         The flushed entry's ready bit is always set — it is not paired.
         """
-        self.events.emit(CcwbEvent(address=address, request_ns=request_ns))
+        self.events.emit_ccwb(address, request_ns)
         if self.engine is None or not self.policy.ccwb_enabled:
             return None
         flushed = self.engine.counter_cache.writeback_line(address)
         if flushed is None:
             return None
-        self.events.emit(CcwbFlushEvent(address=address, request_ns=request_ns))
+        self.events.emit_ccwb_flush(address, request_ns)
         ticket = self.atomicity.writeback_counter_line(flushed, request_ns)
         self.integrity.on_ccwb(request_ns)
         return ticket
@@ -329,6 +426,7 @@ class MemoryController:
         }
 
     def set_state(self, state: dict) -> None:
+        self.events.flush()
         self.device.set_state(state["device"])
         self.banks.set_state(state["banks"])
         self.bus.set_state(state["bus"])

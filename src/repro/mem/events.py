@@ -203,6 +203,35 @@ class DrainEvent(MemoryEvent):
 #: A bus subscriber: called once per event, in emission order.
 Subscriber = Callable[[MemoryEvent], None]
 
+#: Integer codes of the vector-emit records buffered by
+#: :class:`BatchingEventBus`.  Each buffered record is a plain tuple
+#: ``(code, <stats fields>)`` carrying only what the stats fold needs.
+_READ = 0
+_DATA_PERSIST = 1
+_COUNTER_PERSIST = 2
+_PAIR = 3
+_WRITE_REQUEST = 4
+_COUNTER_FETCH = 5
+_CCWB = 6
+_CCWB_FLUSH = 7
+_CCWB_TREE_FLUSH = 8
+_TREE_NODE = 9
+_TREE_VERIFY = 10
+_TREE_FILL = 11
+_ROOT_UPDATE = 12
+
+#: Field-free records are shared constants so the hot path allocates
+#: nothing for them.
+_WRITE_REQUEST_RECORD = (_WRITE_REQUEST,)
+_CCWB_RECORD = (_CCWB,)
+_CCWB_FLUSH_RECORD = (_CCWB_FLUSH,)
+_TREE_VERIFY_RECORD = (_TREE_VERIFY,)
+_ROOT_UPDATE_RECORD = (_ROOT_UPDATE,)
+
+#: Buffered records folded per flush (amortizes the Python-call and
+#: attribute-store cost over the batch).
+_FLUSH_EVERY = 512
+
 
 class EventBus:
     """Synchronous fan-out of :class:`MemoryEvent` to subscribers.
@@ -211,6 +240,11 @@ class EventBus:
     events in exactly the order the simulation produced them, which is
     what lets :class:`StatsSubscriber` reproduce the legacy inline
     float-accumulation order bit for bit.
+
+    The ``emit_<kind>`` methods are the vector-emit surface shared with
+    :class:`BatchingEventBus`: on this bus they simply materialize the
+    dataclass and dispatch it, so emitters can be written once against
+    the batched API and stay correct on either bus.
     """
 
     def __init__(self) -> None:
@@ -222,6 +256,103 @@ class EventBus:
     def emit(self, event: MemoryEvent) -> None:
         for subscriber in self._subscribers:
             subscriber(event)
+
+    def flush(self) -> None:
+        """Drain any buffered records (no-op on the synchronous bus)."""
+
+    # -- vector-emit surface (materializing fallbacks) -------------------
+
+    def emit_read(self, address, request_ns, complete_ns, payload_bytes, counter_cache_hit) -> None:
+        self.emit(
+            ReadEvent(
+                address=address,
+                request_ns=request_ns,
+                complete_ns=complete_ns,
+                payload_bytes=payload_bytes,
+                counter_cache_hit=counter_cache_hit,
+            )
+        )
+
+    def emit_counter_fetch(self, address, request_ns, payload_bytes) -> None:
+        self.emit(
+            CounterFetchEvent(
+                address=address, request_ns=request_ns, payload_bytes=payload_bytes
+            )
+        )
+
+    def emit_write_request(self, address, request_ns, counter_atomic) -> None:
+        self.emit(
+            WriteRequestEvent(
+                address=address, request_ns=request_ns, counter_atomic=counter_atomic
+            )
+        )
+
+    def emit_data_persist(
+        self, address, payload_bytes, coalesced, accept_ns, drain_ns, accept_wait_ns=0.0
+    ) -> None:
+        self.emit(
+            DataPersistEvent(
+                address=address,
+                payload_bytes=payload_bytes,
+                coalesced=coalesced,
+                accept_ns=accept_ns,
+                drain_ns=drain_ns,
+                accept_wait_ns=accept_wait_ns,
+            )
+        )
+
+    def emit_counter_persist(
+        self, address, payload_bytes, coalesced, paired, accept_ns, drain_ns
+    ) -> None:
+        self.emit(
+            CounterPersistEvent(
+                address=address,
+                payload_bytes=payload_bytes,
+                coalesced=coalesced,
+                paired=paired,
+                accept_ns=accept_ns,
+                drain_ns=drain_ns,
+            )
+        )
+
+    def emit_pair(self, address, settled_ns, accept_wait_ns, lag_forced, coalesced) -> None:
+        self.emit(
+            PairEvent(
+                address=address,
+                settled_ns=settled_ns,
+                accept_wait_ns=accept_wait_ns,
+                lag_forced=lag_forced,
+                coalesced=coalesced,
+            )
+        )
+
+    def emit_ccwb(self, address, request_ns) -> None:
+        self.emit(CcwbEvent(address=address, request_ns=request_ns))
+
+    def emit_ccwb_flush(self, address, request_ns) -> None:
+        self.emit(CcwbFlushEvent(address=address, request_ns=request_ns))
+
+    def emit_ccwb_tree_flush(self, request_ns, nodes) -> None:
+        self.emit(CcwbTreeFlushEvent(request_ns=request_ns, nodes=nodes))
+
+    def emit_tree_node(self, address, coalesced, drain_ns) -> None:
+        self.emit(TreeNodeEvent(address=address, coalesced=coalesced, drain_ns=drain_ns))
+
+    def emit_tree_verify(self, group_base, request_ns) -> None:
+        self.emit(TreeVerifyEvent(group_base=group_base, request_ns=request_ns))
+
+    def emit_tree_fill(self, address, payload_bytes) -> None:
+        self.emit(TreeFillEvent(address=address, payload_bytes=payload_bytes))
+
+    def emit_root_update(self, group_base, effective_ns) -> None:
+        self.emit(RootUpdateEvent(group_base=group_base, effective_ns=effective_ns))
+
+    def emit_drain(self, role, address, issue_ns, complete_ns) -> None:
+        self.emit(
+            DrainEvent(
+                role=role, address=address, issue_ns=issue_ns, complete_ns=complete_ns
+            )
+        )
 
 
 @dataclass
@@ -318,17 +449,318 @@ class StatsSubscriber:
             stats.root_updates += 1
         # DrainEvent carries no statistics — trace-only.
 
+    def fold_vector(self, records: List[tuple]) -> None:
+        """Fold a batch of vector-emit records into the stats.
+
+        The per-kind increments are exactly those of :meth:`__call__`,
+        applied in buffer (= emission) order; each accumulator is kept
+        in a local for the duration of the batch and written back once,
+        which is where the batched bus's speedup comes from.  Because
+        every accumulator picks up its contributions in the same order
+        as the synchronous dispatch, float sums stay bit-identical.
+        """
+        stats = self.stats
+        reads = stats.reads
+        data_writes = stats.data_writes
+        counter_writes = stats.counter_writes
+        paired_writes = stats.paired_writes
+        coalesced_data = stats.coalesced_data_writes
+        coalesced_counter = stats.coalesced_counter_writes
+        ccwb_calls = stats.ccwb_calls
+        ccwb_lines = stats.ccwb_lines_flushed
+        bytes_read = stats.bytes_read
+        bytes_written = stats.bytes_written
+        counter_fills = stats.counter_fill_reads
+        read_latency = stats.total_read_latency_ns
+        accept_wait = stats.total_write_accept_wait_ns
+        tree_nodes = stats.tree_node_writes
+        coalesced_tree = stats.coalesced_tree_writes
+        tree_verifies = stats.tree_verifications
+        tree_fills = stats.tree_node_fills
+        root_updates = stats.root_updates
+        tree_flushes = stats.ccwb_tree_flushes
+        lag_forced = stats.lag_forced_pairs
+        for record in records:
+            code = record[0]
+            if code == _READ:
+                # (code, request_ns, complete_ns, payload_bytes)
+                reads += 1
+                bytes_read += record[3]
+                read_latency += record[2] - record[1]
+            elif code == _DATA_PERSIST:
+                # (code, payload_bytes, coalesced, accept_wait_ns)
+                if record[2]:
+                    coalesced_data += 1
+                else:
+                    bytes_written += record[1]
+                accept_wait += record[3]
+            elif code == _WRITE_REQUEST:
+                data_writes += 1
+            elif code == _COUNTER_PERSIST:
+                # (code, payload_bytes, coalesced)
+                if record[2]:
+                    coalesced_counter += 1
+                else:
+                    counter_writes += 1
+                    bytes_written += record[1]
+            elif code == _PAIR:
+                # (code, accept_wait_ns, lag_forced)
+                paired_writes += 1
+                accept_wait += record[1]
+                if record[2]:
+                    lag_forced += 1
+            elif code == _CCWB:
+                ccwb_calls += 1
+            elif code == _CCWB_FLUSH:
+                ccwb_lines += 1
+            elif code == _COUNTER_FETCH:
+                # (code, payload_bytes)
+                counter_fills += 1
+                bytes_read += record[1]
+            elif code == _TREE_NODE:
+                # (code, coalesced)
+                if record[1]:
+                    coalesced_tree += 1
+                else:
+                    tree_nodes += 1
+                    bytes_written += CACHE_LINE_SIZE
+            elif code == _TREE_VERIFY:
+                tree_verifies += 1
+            elif code == _TREE_FILL:
+                # (code, payload_bytes)
+                tree_fills += 1
+                bytes_read += record[1]
+            elif code == _ROOT_UPDATE:
+                root_updates += 1
+            elif code == _CCWB_TREE_FLUSH:
+                # (code, nodes)
+                tree_flushes += record[1]
+        stats.reads = reads
+        stats.data_writes = data_writes
+        stats.counter_writes = counter_writes
+        stats.paired_writes = paired_writes
+        stats.coalesced_data_writes = coalesced_data
+        stats.coalesced_counter_writes = coalesced_counter
+        stats.ccwb_calls = ccwb_calls
+        stats.ccwb_lines_flushed = ccwb_lines
+        stats.bytes_read = bytes_read
+        stats.bytes_written = bytes_written
+        stats.counter_fill_reads = counter_fills
+        stats.total_read_latency_ns = read_latency
+        stats.total_write_accept_wait_ns = accept_wait
+        stats.tree_node_writes = tree_nodes
+        stats.coalesced_tree_writes = coalesced_tree
+        stats.tree_verifications = tree_verifies
+        stats.tree_node_fills = tree_fills
+        stats.root_updates = root_updates
+        stats.ccwb_tree_flushes = tree_flushes
+        stats.lag_forced_pairs = lag_forced
+
+
+class BatchingEventBus(EventBus):
+    """Amortized event dispatch: stats fold over buffered record vectors.
+
+    When only :class:`StatsSubscriber`\\ s are attached (the common
+    case — every simulation), each ``emit_<kind>`` call appends one
+    compact tuple to a buffer instead of allocating a frozen dataclass
+    and walking the subscriber list; the buffer is folded in batches by
+    :meth:`StatsSubscriber.fold_vector`.  Buffer order is emission
+    order and the fold applies the exact per-kind increments of the
+    synchronous dispatch, so derived statistics — including the
+    order-sensitive float accumulators — are bit-identical.
+
+    As soon as a generic subscriber (e.g. the JSONL tracer) is
+    attached, every ``emit_<kind>`` materializes its event and
+    dispatches synchronously — generic subscribers see the full stream
+    in order, exactly as on the plain :class:`EventBus`.  Drain events
+    carry no statistics, so with no generic subscriber attached they
+    are skipped entirely.
+
+    ``flush()`` is called by the controller whenever derived stats are
+    read (the ``stats`` property, checkpoints), keeping the buffer
+    invisible to every observer.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._stats: List[StatsSubscriber] = []
+        self._generic: List[Subscriber] = []
+        self._buffer: List[tuple] = []
+
+    def subscribe(self, subscriber: Subscriber) -> None:
+        self.flush()
+        self._subscribers.append(subscriber)
+        if isinstance(subscriber, StatsSubscriber):
+            self._stats.append(subscriber)
+        else:
+            self._generic.append(subscriber)
+
+    def emit(self, event: MemoryEvent) -> None:
+        """Generic emit: flush the buffer first to preserve order."""
+        if self._buffer:
+            self.flush()
+        for subscriber in self._subscribers:
+            subscriber(event)
+
+    def flush(self) -> None:
+        buffer = self._buffer
+        if buffer:
+            self._buffer = []
+            for subscriber in self._stats:
+                subscriber.fold_vector(buffer)
+
+    # -- vector-emit fast paths ------------------------------------------
+
+    def emit_read(self, address, request_ns, complete_ns, payload_bytes, counter_cache_hit) -> None:
+        if self._generic:
+            EventBus.emit_read(
+                self, address, request_ns, complete_ns, payload_bytes, counter_cache_hit
+            )
+            return
+        buffer = self._buffer
+        buffer.append((_READ, request_ns, complete_ns, payload_bytes))
+        if len(buffer) >= _FLUSH_EVERY:
+            self.flush()
+
+    def emit_counter_fetch(self, address, request_ns, payload_bytes) -> None:
+        if self._generic:
+            EventBus.emit_counter_fetch(self, address, request_ns, payload_bytes)
+            return
+        buffer = self._buffer
+        buffer.append((_COUNTER_FETCH, payload_bytes))
+        if len(buffer) >= _FLUSH_EVERY:
+            self.flush()
+
+    def emit_write_request(self, address, request_ns, counter_atomic) -> None:
+        if self._generic:
+            EventBus.emit_write_request(self, address, request_ns, counter_atomic)
+            return
+        buffer = self._buffer
+        buffer.append(_WRITE_REQUEST_RECORD)
+        if len(buffer) >= _FLUSH_EVERY:
+            self.flush()
+
+    def emit_data_persist(
+        self, address, payload_bytes, coalesced, accept_ns, drain_ns, accept_wait_ns=0.0
+    ) -> None:
+        if self._generic:
+            EventBus.emit_data_persist(
+                self, address, payload_bytes, coalesced, accept_ns, drain_ns, accept_wait_ns
+            )
+            return
+        buffer = self._buffer
+        buffer.append((_DATA_PERSIST, payload_bytes, coalesced, accept_wait_ns))
+        if len(buffer) >= _FLUSH_EVERY:
+            self.flush()
+
+    def emit_counter_persist(
+        self, address, payload_bytes, coalesced, paired, accept_ns, drain_ns
+    ) -> None:
+        if self._generic:
+            EventBus.emit_counter_persist(
+                self, address, payload_bytes, coalesced, paired, accept_ns, drain_ns
+            )
+            return
+        buffer = self._buffer
+        buffer.append((_COUNTER_PERSIST, payload_bytes, coalesced))
+        if len(buffer) >= _FLUSH_EVERY:
+            self.flush()
+
+    def emit_pair(self, address, settled_ns, accept_wait_ns, lag_forced, coalesced) -> None:
+        if self._generic:
+            EventBus.emit_pair(self, address, settled_ns, accept_wait_ns, lag_forced, coalesced)
+            return
+        buffer = self._buffer
+        buffer.append((_PAIR, accept_wait_ns, lag_forced))
+        if len(buffer) >= _FLUSH_EVERY:
+            self.flush()
+
+    def emit_ccwb(self, address, request_ns) -> None:
+        if self._generic:
+            EventBus.emit_ccwb(self, address, request_ns)
+            return
+        buffer = self._buffer
+        buffer.append(_CCWB_RECORD)
+        if len(buffer) >= _FLUSH_EVERY:
+            self.flush()
+
+    def emit_ccwb_flush(self, address, request_ns) -> None:
+        if self._generic:
+            EventBus.emit_ccwb_flush(self, address, request_ns)
+            return
+        buffer = self._buffer
+        buffer.append(_CCWB_FLUSH_RECORD)
+        if len(buffer) >= _FLUSH_EVERY:
+            self.flush()
+
+    def emit_ccwb_tree_flush(self, request_ns, nodes) -> None:
+        if self._generic:
+            EventBus.emit_ccwb_tree_flush(self, request_ns, nodes)
+            return
+        buffer = self._buffer
+        buffer.append((_CCWB_TREE_FLUSH, nodes))
+        if len(buffer) >= _FLUSH_EVERY:
+            self.flush()
+
+    def emit_tree_node(self, address, coalesced, drain_ns) -> None:
+        if self._generic:
+            EventBus.emit_tree_node(self, address, coalesced, drain_ns)
+            return
+        buffer = self._buffer
+        buffer.append((_TREE_NODE, coalesced))
+        if len(buffer) >= _FLUSH_EVERY:
+            self.flush()
+
+    def emit_tree_verify(self, group_base, request_ns) -> None:
+        if self._generic:
+            EventBus.emit_tree_verify(self, group_base, request_ns)
+            return
+        buffer = self._buffer
+        buffer.append(_TREE_VERIFY_RECORD)
+        if len(buffer) >= _FLUSH_EVERY:
+            self.flush()
+
+    def emit_tree_fill(self, address, payload_bytes) -> None:
+        if self._generic:
+            EventBus.emit_tree_fill(self, address, payload_bytes)
+            return
+        buffer = self._buffer
+        buffer.append((_TREE_FILL, payload_bytes))
+        if len(buffer) >= _FLUSH_EVERY:
+            self.flush()
+
+    def emit_root_update(self, group_base, effective_ns) -> None:
+        if self._generic:
+            EventBus.emit_root_update(self, group_base, effective_ns)
+            return
+        buffer = self._buffer
+        buffer.append(_ROOT_UPDATE_RECORD)
+        if len(buffer) >= _FLUSH_EVERY:
+            self.flush()
+
+    def emit_drain(self, role, address, issue_ns, complete_ns) -> None:
+        # Drain events are pure observability: without a generic
+        # subscriber there is nothing to record.
+        if self._generic:
+            EventBus.emit_drain(self, role, address, issue_ns, complete_ns)
+
 
 class JsonlTraceSubscriber:
     """Appends every event as one JSON line (the observability hook).
 
     The file handle opens lazily on the first event and stays open for
-    the controller's lifetime; lines are flushed per event so a crashed
-    or killed run keeps its trace prefix.
+    the controller's lifetime.  ``flush_every`` controls the crash
+    durability of the trace: the default of 1 flushes per event, so a
+    crashed or killed run keeps its full trace prefix; larger values
+    amortize the flush over batches at the cost of losing up to that
+    many trailing lines on a crash
+    (``config.controller.event_trace_flush_every``).
     """
 
-    def __init__(self, path: str) -> None:
+    def __init__(self, path: str, flush_every: int = 1) -> None:
         self.path = path
+        self.flush_every = max(1, int(flush_every))
+        self._since_flush = 0
         self._stream = None
 
     def __call__(self, event: MemoryEvent) -> None:
@@ -338,9 +770,13 @@ class JsonlTraceSubscriber:
         record.update(dataclasses.asdict(event))
         self._stream.write(json.dumps(record, sort_keys=True))
         self._stream.write("\n")
-        self._stream.flush()
+        self._since_flush += 1
+        if self._since_flush >= self.flush_every:
+            self._stream.flush()
+            self._since_flush = 0
 
     def close(self) -> None:
         if self._stream is not None:
             self._stream.close()
             self._stream = None
+            self._since_flush = 0

@@ -22,8 +22,11 @@ from ..errors import AddressError, SimulationError
 from .cache import Cache, EvictedLine
 from .controller import MemoryController
 
+_LINE_MASK = ~(CACHE_LINE_SIZE - 1)
+_LINE_SHIFT = CACHE_LINE_SIZE.bit_length() - 1
 
-@dataclass
+
+@dataclass(slots=True)
 class HierarchyAccess:
     """Outcome of one load/store as seen by the issuing core."""
 
@@ -51,28 +54,34 @@ class CacheHierarchy:
         ]
         self.l2 = Cache(config.l2, functional=functional, name="l2")
         self._functional = functional
+        # Hit latencies hoisted out of the per-access config walk.
+        self._l1_hit_ns = config.l1.hit_latency_ns
+        self._l2_hit_ns = config.l2.hit_latency_ns
 
     # ------------------------------------------------------------------
     # Internal fill machinery
     # ------------------------------------------------------------------
 
-    def _handle_l2_victim(self, victim: Optional[EvictedLine], now_ns: float) -> List[float]:
-        accepts: List[float] = []
-        if victim is not None and victim.dirty:
-            ticket = self.controller.write_line(
-                victim.address,
-                victim.payload,
-                now_ns,
-                counter_atomic=victim.counter_atomic,
-            )
-            accepts.append(ticket.accept_ns)
-        return accepts
+    def _handle_l2_victim(
+        self, victim: Optional[EvictedLine], now_ns: float
+    ) -> Optional[float]:
+        """A dirty L2 victim becomes a controller write; returns its accept."""
+        if victim is None:
+            return None
+        ticket = self.controller.write_line(
+            victim.address,
+            victim.payload,
+            now_ns,
+            counter_atomic=victim.counter_atomic,
+        )
+        return ticket.accept_ns
 
-    def _handle_l1_victim(self, victim: Optional[EvictedLine], now_ns: float) -> List[float]:
-        """L1 victims merge into L2; L2's own victim may go to memory."""
-        accepts: List[float] = []
-        if victim is None or not victim.dirty:
-            return accepts
+    def _handle_l1_victim(
+        self, victim: Optional[EvictedLine], now_ns: float
+    ) -> Optional[float]:
+        """Dirty L1 victims merge into L2; L2's own victim may go to memory."""
+        if victim is None:
+            return None
         if self.l2.contains(victim.address):
             self.l2.write(
                 victim.address,
@@ -80,53 +89,138 @@ class CacheHierarchy:
                 CACHE_LINE_SIZE,
                 counter_atomic=victim.counter_atomic,
             )
-        else:
-            l2_victim = self.l2.fill(
-                victim.address,
-                victim.payload,
-                dirty=True,
-                counter_atomic=victim.counter_atomic,
-            )
-            accepts.extend(self._handle_l2_victim(l2_victim, now_ns))
-        return accepts
+            return None
+        l2_victim = self.l2.fill(
+            victim.address,
+            victim.payload,
+            dirty=True,
+            counter_atomic=victim.counter_atomic,
+        )
+        return self._handle_l2_victim(l2_victim, now_ns)
 
     def _fill_from_memory(
         self, core: int, line_address: int, now_ns: float
-    ) -> Tuple[float, Optional[bytes], List[float]]:
+    ) -> Tuple[float, Tuple[float, ...]]:
         """Miss everywhere: read from the controller, fill L2 then L1."""
         result = self.controller.read_line(line_address, now_ns)
         complete = result.complete_ns
-        accepts: List[float] = []
-        l2_victim = self.l2.fill(line_address, result.plaintext)
-        accepts.extend(self._handle_l2_victim(l2_victim, complete))
-        l1_victim = self.l1s[core].fill(line_address, result.plaintext)
-        accepts.extend(self._handle_l1_victim(l1_victim, complete))
-        return complete, result.plaintext, accepts
+        plaintext = result.plaintext
+        l2_accept = self._handle_l2_victim(self.l2.fill(line_address, plaintext), complete)
+        l1_accept = self._handle_l1_victim(
+            self.l1s[core].fill(line_address, plaintext), complete
+        )
+        if l2_accept is None:
+            accepts = () if l1_accept is None else (l1_accept,)
+        else:
+            accepts = (l2_accept,) if l1_accept is None else (l2_accept, l1_accept)
+        return complete, accepts
+
+    def _miss_in_l1(
+        self, core: int, line_address: int, now_ns: float
+    ) -> Tuple[float, str, Tuple[float, ...]]:
+        """L1 lookup already missed: consult the shared L2, then memory."""
+        hit = self.l2.read(line_address, CACHE_LINE_SIZE)
+        now_ns += self._l1_hit_ns  # L1 lookup that missed
+        if hit is not None:
+            complete = now_ns + self._l2_hit_ns
+            accept = self._handle_l1_victim(
+                self.l1s[core].fill(line_address, hit[0]), complete
+            )
+            return complete, "l2", () if accept is None else (accept,)
+        complete = now_ns + self._l2_hit_ns  # L2 lookup that missed
+        fill_time, accepts = self._fill_from_memory(core, line_address, complete)
+        return fill_time, "memory", accepts
 
     def _ensure_in_l1(
         self, core: int, address: int, now_ns: float
-    ) -> Tuple[float, str, List[float]]:
+    ) -> Tuple[float, str, Tuple[float, ...]]:
         """Bring the line into this core's L1; returns (time, source, accepts)."""
-        line_address = Cache.line_address(address)
-        l1 = self.l1s[core]
-        if l1.contains(line_address):
-            return now_ns + self.config.l1.hit_latency_ns, "l1", []
-        # L1 miss: consult the shared L2.
-        hit = self.l2.read(line_address, CACHE_LINE_SIZE)
-        now_ns += self.config.l1.hit_latency_ns  # L1 lookup that missed
-        if hit is not None:
-            data, l2_line = hit
-            complete = now_ns + self.config.l2.hit_latency_ns
-            l1_victim = l1.fill(line_address, data)
-            accepts = self._handle_l1_victim(l1_victim, complete)
-            return complete, "l2", accepts
-        complete = now_ns + self.config.l2.hit_latency_ns  # L2 lookup that missed
-        fill_time, _, accepts = self._fill_from_memory(core, line_address, complete)
-        return fill_time, "memory", accepts
+        line_address = address & _LINE_MASK
+        if self.l1s[core].contains(line_address):
+            return now_ns + self._l1_hit_ns, "l1", ()
+        return self._miss_in_l1(core, line_address, now_ns)
 
     # ------------------------------------------------------------------
     # Public operations
     # ------------------------------------------------------------------
+
+    def load_complete(self, core: int, address: int, length: int, now_ns: float) -> float:
+        """Timing fast path: ``load(...).complete_ns`` without the wrapper.
+
+        This performs exactly the stat increments and LRU touches of the
+        full path and skips the :class:`HierarchyAccess` allocation; the
+        machine's inner loop discards the loaded bytes anyway.  On a
+        miss it runs the shared fill machinery and then replays the
+        guaranteed L1 hit inline.  A span that the full path would
+        reject falls back to :meth:`load`, so errors stay identical.
+        """
+        line_address = address & _LINE_MASK
+        if 0 < length <= CACHE_LINE_SIZE and address - line_address + length <= CACHE_LINE_SIZE:
+            l1 = self.l1s[core]
+            cache_set = l1._sets[(line_address >> _LINE_SHIFT) & l1._set_mask]
+            line = cache_set.get(line_address)
+            if line is None:
+                # Miss: the shared fill machinery, then the L1 re-read
+                # that load() performs (bytes are discarded; the byte
+                # copy has no observable effect either way).
+                complete = self._miss_in_l1(core, line_address, now_ns)[0]
+                line = cache_set.get(line_address)
+                if line is None:
+                    raise SimulationError("line vanished from L1 after fill")
+                l1.stats.read_hits += 1
+                l1._tick += 1
+                line.lru_tick = l1._tick
+                return complete
+            l1.stats.read_hits += 1
+            l1._tick += 1
+            line.lru_tick = l1._tick
+            return now_ns + self._l1_hit_ns
+        return self.load(core, address, length, now_ns).complete_ns
+
+    def store_complete(
+        self,
+        core: int,
+        address: int,
+        data: Optional[bytes],
+        length: int,
+        now_ns: float,
+        counter_atomic: bool = False,
+    ) -> float:
+        """Timing fast path: ``store(...).complete_ns`` without the wrapper.
+
+        Stores replicate the full path's effects exactly — one
+        ``write_hits`` bump, an LRU touch, the byte write (functional
+        mode), the dirty and CounterAtomic flags — and skip the
+        :class:`HierarchyAccess` allocation.  Misses run the shared
+        fill machinery first (write-allocate); rejectable spans fall
+        back to :meth:`store`.
+        """
+        if data is not None:
+            length = len(data)
+        line_address = address & _LINE_MASK
+        if 0 < length <= CACHE_LINE_SIZE and address - line_address + length <= CACHE_LINE_SIZE:
+            l1 = self.l1s[core]
+            cache_set = l1._sets[(line_address >> _LINE_SHIFT) & l1._set_mask]
+            line = cache_set.get(line_address)
+            if line is None:
+                complete = self._miss_in_l1(core, line_address, now_ns)[0]
+                line = cache_set.get(line_address)
+                if line is None:
+                    raise SimulationError("store missed L1 after fill")
+            else:
+                complete = now_ns + self._l1_hit_ns
+            l1.stats.write_hits += 1
+            l1._tick += 1
+            line.lru_tick = l1._tick
+            if data is not None:
+                line.write_bytes(address - line_address, data)
+            line.dirty = True
+            if counter_atomic:
+                line.counter_atomic = True
+            return complete
+        return self.store(
+            core, address, data, length, now_ns, counter_atomic=counter_atomic
+        ).complete_ns
 
     def load(self, core: int, address: int, length: int, now_ns: float) -> HierarchyAccess:
         """Load ``length`` bytes (must not cross a line boundary)."""
@@ -138,7 +232,10 @@ class CacheHierarchy:
             raise SimulationError("line vanished from L1 after fill")
         data = hit[0]
         return HierarchyAccess(
-            complete_ns=complete, data=data, served_by=served_by, writeback_accepts=accepts
+            complete_ns=complete,
+            data=data,
+            served_by=served_by,
+            writeback_accepts=list(accepts),
         )
 
     def store(
@@ -158,7 +255,10 @@ class CacheHierarchy:
         if not self.l1s[core].write(address, data, length, counter_atomic=counter_atomic):
             raise SimulationError("store missed L1 after fill")
         return HierarchyAccess(
-            complete_ns=complete, data=None, served_by=served_by, writeback_accepts=accepts
+            complete_ns=complete,
+            data=None,
+            served_by=served_by,
+            writeback_accepts=list(accepts),
         )
 
     def clwb(self, core: int, address: int, now_ns: float) -> Optional[float]:
@@ -169,25 +269,41 @@ class CacheHierarchy:
         core's next sfence must wait for, or None if the line was clean
         or absent (a no-op clwb).
         """
-        line_address = Cache.line_address(address)
-        flushed = self.l1s[core].clean_line(line_address)
-        if flushed is not None:
-            # Keep L2's copy (if any) coherent with the flushed data.
-            if self.l2.contains(line_address):
-                self.l2.write(line_address, flushed.payload, CACHE_LINE_SIZE)
-                l2_line = self.l2.peek(line_address)
-                if l2_line is not None:
-                    l2_line.dirty = False
+        line_address = address & _LINE_MASK
+        l1 = self.l1s[core]
+        line = l1._sets[(line_address >> _LINE_SHIFT) & l1._set_mask].get(line_address)
+        if line is not None and line.dirty:
+            # == l1.clean_line, without the EvictedLine allocation.
+            line.dirty = False
+            counter_atomic = line.counter_atomic
+            line.counter_atomic = False
+            l1.stats.writebacks_cleaned += 1
+            payload = line.snapshot_payload()
+            # Keep L2's copy (if any) coherent with the flushed data:
+            # one lookup replaces contains + write + peek; the write-hit
+            # stat, LRU touch and byte merge match l2.write, and the
+            # net dirty state is False exactly as before.
+            l2 = self.l2
+            l2_line = l2._sets[(line_address >> _LINE_SHIFT) & l2._set_mask].get(line_address)
+            if l2_line is not None:
+                l2.stats.write_hits += 1
+                l2._tick += 1
+                l2_line.lru_tick = l2._tick
+                if payload is not None:
+                    l2_line.write_bytes(0, payload)
+                l2_line.dirty = False
         else:
             flushed = self.l2.clean_line(line_address)
-        if flushed is None:
-            return None
-        issue = now_ns + self.config.l1.hit_latency_ns
+            if flushed is None:
+                return None
+            payload = flushed.payload
+            counter_atomic = flushed.counter_atomic
+        issue = now_ns + self._l1_hit_ns
         ticket = self.controller.write_line(
-            flushed.address,
-            flushed.payload,
+            line_address,
+            payload,
             issue,
-            counter_atomic=flushed.counter_atomic,
+            counter_atomic=counter_atomic,
         )
         return ticket.accept_ns
 

@@ -30,13 +30,6 @@ from ..core.designs import DesignPolicy
 from ..errors import SimulationError
 from ..integrity.cache import TreeNodeCache
 from ..integrity.tree import IntegrityTreeEngine, TreeNode
-from .events import (
-    CcwbTreeFlushEvent,
-    RootUpdateEvent,
-    TreeFillEvent,
-    TreeNodeEvent,
-    TreeVerifyEvent,
-)
 from .writequeue import WriteQueue
 
 if TYPE_CHECKING:
@@ -116,9 +109,7 @@ class TreePersistence(NoIntegrity):
         address = self.tree.node_address(node)
         coalesced = self.tree_queue.try_coalesce(address, request_ns, None, 0)
         if coalesced is not None:
-            ctrl.events.emit(
-                TreeNodeEvent(address=address, coalesced=True, drain_ns=coalesced.drain_ns)
-            )
+            ctrl.events.emit_tree_node(address, True, coalesced.drain_ns)
             return max(request_ns, coalesced.drain_ns)
         entry = self.tree_queue.accept(address, request_ns, None, is_counter=False)
         self.tree_queue.mark_ready(entry, entry.accept_ns)
@@ -126,7 +117,7 @@ class TreePersistence(NoIntegrity):
             self.tree_queue, "tree", address, entry.accept_ns, CACHE_LINE_SIZE
         )
         self.tree_queue.set_drain_time(entry, drain, slot_release_ns=issue)
-        ctrl.events.emit(TreeNodeEvent(address=address, coalesced=False, drain_ns=drain))
+        ctrl.events.emit_tree_node(address, False, drain)
         return drain
 
     def verify_counter_fetch(self, data_address: int, request_ns: float) -> float:
@@ -147,7 +138,7 @@ class TreePersistence(NoIntegrity):
             raise SimulationError(
                 "integrity-tree mismatch for counter line of group 0x%x" % group_base
             )
-        ctrl.events.emit(TreeVerifyEvent(group_base=group_base, request_ns=request_ns))
+        ctrl.events.emit_tree_verify(group_base, request_ns)
         arrival = request_ns
         index = self.tree.leaf_index(group_base)
         for level in range(self.tree.levels):
@@ -160,7 +151,7 @@ class TreePersistence(NoIntegrity):
             access = ctrl.banks.schedule_read(bank, request_ns, row=row)
             node_arrival = ctrl.bus.schedule_transfer(access.complete_ns, CACHE_LINE_SIZE)
             arrival = max(arrival, node_arrival)
-            ctrl.events.emit(TreeFillEvent(address=address, payload_bytes=CACHE_LINE_SIZE))
+            ctrl.events.emit_tree_fill(address, CACHE_LINE_SIZE)
             evicted = self.tree_cache.insert(node, dirty=False)
             if evicted is not None:
                 self.persist_tree_node(evicted, request_ns)
@@ -202,9 +193,7 @@ class EagerTreePersistence(TreePersistence):
     ) -> float:
         assert self.tree is not None and self.tree_cache is not None
         path = self.tree.update_group(group_base, counters)
-        self.ctrl.events.emit(
-            RootUpdateEvent(group_base=group_base, effective_ns=effective_ns)
-        )
+        self.ctrl.events.emit_root_update(group_base, effective_ns)
         settled_ns = effective_ns
         for node in path:
             evicted = self.tree_cache.insert(node, dirty=False)
@@ -231,9 +220,7 @@ class LazyTreePersistence(TreePersistence):
     ) -> float:
         assert self.tree is not None and self.tree_cache is not None
         path = self.tree.update_group(group_base, counters)
-        self.ctrl.events.emit(
-            RootUpdateEvent(group_base=group_base, effective_ns=effective_ns)
-        )
+        self.ctrl.events.emit_root_update(group_base, effective_ns)
         for node in path:
             evicted = self.tree_cache.insert(node, dirty=True)
             if evicted is not None:
@@ -248,9 +235,7 @@ class LazyTreePersistence(TreePersistence):
         dirty = self.tree_cache.flush_dirty()
         for node in dirty:
             self.persist_tree_node(node, request_ns)
-        self.ctrl.events.emit(
-            CcwbTreeFlushEvent(request_ns=request_ns, nodes=len(dirty))
-        )
+        self.ctrl.events.emit_ccwb_tree_flush(request_ns, len(dirty))
 
 
 def build_integrity(

@@ -21,12 +21,14 @@ in the controller; a layout turns the arrived bytes into a
 from __future__ import annotations
 
 from dataclasses import dataclass
+from heapq import heappop, heappush
 from typing import TYPE_CHECKING, Optional
 
 from ..config import CACHE_LINE_SIZE, SystemConfig
 from ..core.designs import DesignPolicy
 from .atomicity import WriteTicket
-from .events import CounterFetchEvent, DataPersistEvent
+from .events import _DATA_PERSIST, _FLUSH_EVERY, EventBus
+from .writequeue import _INF, WriteQueueEntry
 
 if TYPE_CHECKING:
     from .controller import MemoryController
@@ -35,7 +37,7 @@ if TYPE_CHECKING:
 COLOCATED_PAYLOAD = CACHE_LINE_SIZE + 8
 
 
-@dataclass
+@dataclass(slots=True)
 class ReadResult:
     """Completion of a read-line request."""
 
@@ -144,77 +146,118 @@ class ColocatedLayout(PlainLayout):
         payload = encryption.ciphertext
         counter = encryption.counter
         queue = ctrl.atomicity.data_queue
+        events = ctrl.events
         counter_line = ctrl.address_map.counter_line_address_of(line)
-        coalesced = queue.try_coalesce(line, request_ns, payload, counter)
-        if coalesced is not None:
+        # Hot path: queue probe/accept/drain-time and the stats emit are
+        # inlined, bit-identical to the composed calls (see
+        # docs/performance.md); colocated entries are never
+        # counter-atomic, but keep the probe's filter for exactness.
+        entry = queue._live_by_address.get(line) if queue.coalesce_enabled else None
+        if (
+            entry is not None
+            and entry.slot_release_ns > request_ns
+            and not entry.counter_atomic
+        ):
+            entry.payload = payload
+            entry.encrypted_with = counter
+            entry.coalesced += 1
+            queue.coalesced += 1
+            drain_ns = entry.drain_ns
             ctrl.device.persist_line(line, payload, counter)
             ctrl.counter_store.write(line, counter)
-            ctrl.journal.amend_data(
-                coalesced.entry_id, payload, counter, effective_ns=request_ns
+            if ctrl.journal.enabled:
+                ctrl.journal.amend_data(
+                    entry.entry_id, payload, counter, effective_ns=request_ns
+                )
+                ctrl.journal.record_counter(
+                    address=counter_line,
+                    counters=(counter,),
+                    group_base=line,
+                    accept_ns=request_ns,
+                    ready_ns=request_ns,
+                    drain_ns=drain_ns,
+                    single_slot=True,
+                )
+            if events._generic:
+                EventBus.emit_data_persist(
+                    events, line, COLOCATED_PAYLOAD, True, request_ns, drain_ns
+                )
+            else:
+                buffer = events._buffer
+                buffer.append((_DATA_PERSIST, COLOCATED_PAYLOAD, True, 0.0))
+                if len(buffer) >= _FLUSH_EVERY:
+                    events.flush()
+            return WriteTicket(
+                address=line,
+                accept_ns=request_ns,
+                drain_ns=drain_ns,
+                paired=False,
+                coalesced=True,
+            )
+        slots = queue._slots
+        while slots and slots[0] <= request_ns:
+            heappop(slots)
+        if len(slots) < queue.capacity:
+            accept_ns = request_ns
+        else:
+            accept_ns = slots[0]
+            queue.total_accept_wait_ns += accept_ns - request_ns
+        ids = queue._entry_ids
+        entry_id = ids.next_id
+        ids.next_id = entry_id + 1
+        entry = WriteQueueEntry(
+            entry_id, line, payload, False, counter, None,
+            accept_ns, accept_ns, _INF,
+        )
+        queue._live_by_address[line] = entry
+        queue.history.append(entry)
+        queue.accepted += 1
+        issue, drain = ctrl.drain_write(queue, "data", line, accept_ns, COLOCATED_PAYLOAD)
+        entry.drain_ns = drain
+        entry.slot_release_ns = issue
+        while slots and slots[0] <= accept_ns:
+            heappop(slots)
+        heappush(slots, issue)
+        if len(slots) > queue.peak_occupancy:
+            queue.peak_occupancy = len(slots)
+        ctrl.device.persist_line(line, payload, counter)
+        ctrl.counter_store.write(line, counter)
+        if ctrl.journal.enabled:
+            ctrl.journal.record_data(
+                entry_id=entry_id,
+                address=line,
+                payload=payload,
+                encrypted_with=counter,
+                accept_ns=accept_ns,
+                ready_ns=accept_ns,
+                drain_ns=drain,
             )
             ctrl.journal.record_counter(
                 address=counter_line,
                 counters=(counter,),
                 group_base=line,
-                accept_ns=request_ns,
-                ready_ns=request_ns,
-                drain_ns=coalesced.drain_ns,
+                accept_ns=accept_ns,
+                ready_ns=accept_ns,
+                drain_ns=drain,
                 single_slot=True,
             )
-            ctrl.events.emit(
-                DataPersistEvent(
-                    address=line,
-                    payload_bytes=COLOCATED_PAYLOAD,
-                    coalesced=True,
-                    accept_ns=request_ns,
-                    drain_ns=coalesced.drain_ns,
-                )
+        if events._generic:
+            EventBus.emit_data_persist(
+                events,
+                line,
+                COLOCATED_PAYLOAD,
+                False,
+                accept_ns,
+                drain,
+                accept_wait_ns=accept_ns - request_ns,
             )
-            return WriteTicket(
-                address=line,
-                accept_ns=request_ns,
-                drain_ns=coalesced.drain_ns,
-                paired=False,
-                coalesced=True,
-            )
-        entry = queue.accept(
-            line, request_ns, payload, is_counter=False, encrypted_with=counter
-        )
-        queue.mark_ready(entry, entry.accept_ns)
-        issue, drain = ctrl.drain_write(queue, "data", line, entry.accept_ns, COLOCATED_PAYLOAD)
-        queue.set_drain_time(entry, drain, slot_release_ns=issue)
-        ctrl.device.persist_line(line, payload, counter)
-        ctrl.counter_store.write(line, counter)
-        ctrl.journal.record_data(
-            entry_id=entry.entry_id,
-            address=line,
-            payload=payload,
-            encrypted_with=counter,
-            accept_ns=entry.accept_ns,
-            ready_ns=entry.ready_ns,
-            drain_ns=drain,
-        )
-        ctrl.journal.record_counter(
-            address=counter_line,
-            counters=(counter,),
-            group_base=line,
-            accept_ns=entry.accept_ns,
-            ready_ns=entry.ready_ns,
-            drain_ns=drain,
-            single_slot=True,
-        )
-        ctrl.events.emit(
-            DataPersistEvent(
-                address=line,
-                payload_bytes=COLOCATED_PAYLOAD,
-                coalesced=False,
-                accept_ns=entry.accept_ns,
-                drain_ns=drain,
-                accept_wait_ns=entry.accept_ns - request_ns,
-            )
-        )
+        else:
+            buffer = events._buffer
+            buffer.append((_DATA_PERSIST, COLOCATED_PAYLOAD, False, accept_ns - request_ns))
+            if len(buffer) >= _FLUSH_EVERY:
+                events.flush()
         return WriteTicket(
-            address=line, accept_ns=entry.accept_ns, drain_ns=drain, paired=False, coalesced=False
+            address=line, accept_ns=accept_ns, drain_ns=drain, paired=False, coalesced=False
         )
 
 
@@ -265,11 +308,7 @@ class SplitCounterLayout(PlainLayout):
         row = ctrl.address_map.row_of(counter_line)
         access = ctrl.banks.schedule_read(bank, request_ns, row=row)
         arrival = ctrl.bus.schedule_transfer(access.complete_ns, CACHE_LINE_SIZE)
-        ctrl.events.emit(
-            CounterFetchEvent(
-                address=counter_line, request_ns=request_ns, payload_bytes=CACHE_LINE_SIZE
-            )
-        )
+        ctrl.events.emit_counter_fetch(counter_line, request_ns, CACHE_LINE_SIZE)
         if ctrl.integrity.tree is not None:
             # The fetched counters cannot be trusted (used for OTPs)
             # until their tree path authenticates.

@@ -24,6 +24,8 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from ..errors import QueueFullError, SimulationError
 
+_INF = float("inf")
+
 
 class EntryIdAllocator:
     """Monotonic entry-id source shared by a controller's queues.
@@ -51,7 +53,7 @@ class EntryIdAllocator:
 _default_entry_ids = EntryIdAllocator()
 
 
-@dataclass
+@dataclass(slots=True)
 class WriteQueueEntry:
     """One queued writeback (data line or counter line)."""
 
@@ -221,8 +223,8 @@ class WriteQueue:
         scheduled.
         """
         # Inlined acceptance_time(): accept() runs once per simulated
-        # writeback, so the slot scan is done in-place with bound locals
-        # rather than through two method calls.
+        # writeback, so the slot scan and id allocation are done
+        # in-place with bound locals rather than through method calls.
         slots = self._slots
         heappop = heapq.heappop
         while slots and slots[0] <= request_ns:
@@ -232,18 +234,22 @@ class WriteQueue:
         else:
             accept_ns = slots[0]
             self.total_accept_wait_ns += accept_ns - request_ns
+        ids = self._entry_ids
+        entry_id = ids.next_id
+        ids.next_id = entry_id + 1
         entry = WriteQueueEntry(
-            entry_id=self._entry_ids.allocate(),
-            address=address,
-            payload=payload,
-            is_counter=is_counter,
-            encrypted_with=encrypted_with,
-            counter_values=counter_values,
-            accept_ns=accept_ns,
-            ready_ns=float("inf"),
-            drain_ns=float("inf"),
-            counter_atomic=counter_atomic,
+            entry_id,
+            address,
+            payload,
+            is_counter,
+            encrypted_with,
+            counter_values,
+            accept_ns,
+            _INF,
+            _INF,
         )
+        if counter_atomic:
+            entry.counter_atomic = True
         self._live_by_address[address] = entry
         self.history.append(entry)
         self.accepted += 1

@@ -11,10 +11,14 @@ The map also provides the line/bank arithmetic the controller needs.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 from ..config import CACHE_LINE_SIZE, COUNTERS_PER_LINE
 from ..errors import AddressError
 from ..utils.bitops import align_down, is_power_of_two
+
+_LINE_MASK = ~(CACHE_LINE_SIZE - 1)
+_LINE_SHIFT = CACHE_LINE_SIZE.bit_length() - 1
 
 
 @dataclass(frozen=True)
@@ -34,7 +38,7 @@ class AddressMap:
         if not is_power_of_two(self.num_banks):
             raise AddressError("bank count must be a power of two")
 
-    @property
+    @cached_property
     def counter_region_base(self) -> int:
         """First byte of the counter region (data region ends here).
 
@@ -70,15 +74,15 @@ class AddressMap:
     @staticmethod
     def line_base(address: int) -> int:
         """Base address of the 64 B line containing ``address``."""
-        return align_down(address, CACHE_LINE_SIZE)
+        return address & _LINE_MASK
 
     @staticmethod
     def line_index(address: int) -> int:
-        return address // CACHE_LINE_SIZE
+        return address >> _LINE_SHIFT
 
     def bank_of(self, address: int) -> int:
         """Bank servicing this line (line-interleaved across banks)."""
-        return self.line_index(address) % self.num_banks
+        return (address >> _LINE_SHIFT) & (self.num_banks - 1)
 
     def row_of(self, address: int, lines_per_row: int = 64) -> int:
         """Row-buffer row of this line within its bank.
@@ -87,7 +91,7 @@ class AddressMap:
         and land in the same per-bank row, so streaming accesses enjoy
         row-buffer hits.
         """
-        return (self.line_index(address) // self.num_banks) // lines_per_row
+        return ((address >> _LINE_SHIFT) // self.num_banks) // lines_per_row
 
     # -- data <-> counter mapping -----------------------------------------------
 

@@ -19,14 +19,14 @@ from typing import Dict, Iterator, Optional
 
 from ..config import CACHE_LINE_SIZE
 from ..errors import AddressError
-from ..utils.bitops import align_down
 from .address import AddressMap
 from .wear import WearTracker
 
 _ZERO_LINE = bytes(CACHE_LINE_SIZE)
+_LINE_MASK = ~(CACHE_LINE_SIZE - 1)
 
 
-@dataclass
+@dataclass(slots=True)
 class PersistedLine:
     """One line as stored in NVM: payload plus encryption ground truth."""
 
@@ -39,6 +39,12 @@ class PersistedLine:
             raise AddressError("persisted lines are exactly %d bytes" % CACHE_LINE_SIZE)
 
 
+#: Shared image of an unwritten line: payload is immutable and callers
+#: never mutate PersistedLine in place (persists replace the object), so
+#: one instance can serve every cold read.
+_ZERO_PERSISTED = PersistedLine(payload=_ZERO_LINE, encrypted_with=0)
+
+
 class NVMDevice:
     """Sparse line-granular persistent store with wear accounting."""
 
@@ -48,6 +54,11 @@ class NVMDevice:
         self.wear: Optional[WearTracker] = WearTracker() if track_wear else None
         self.line_writes = 0
         self.line_reads = 0
+        #: Cleared when the controller runs with crash bookkeeping off
+        #: (timing-only figure sweeps): persists still count traffic but
+        #: skip the line image and wear map, so crash reconstruction and
+        #: lifetime reports are unavailable.
+        self.crash_bookkeeping = True
 
     # -- persistence -----------------------------------------------------------
 
@@ -60,28 +71,32 @@ class NVMDevice:
         counted for traffic/wear statistics and the counter ground
         truth is still recorded so atomicity checks work.
         """
-        line = align_down(address, CACHE_LINE_SIZE)
+        line = address & _LINE_MASK
         if line < 0 or line >= self.address_map.memory_size_bytes:
             raise AddressError("address 0x%x outside the device" % address)
+        self.line_writes += 1
+        if not self.crash_bookkeeping:
+            return
         data = payload if payload is not None else _ZERO_LINE
         self._lines[line] = PersistedLine(payload=data, encrypted_with=encrypted_with)
-        self.line_writes += 1
-        if self.wear is not None:
-            self.wear.record_write(line)
+        wear = self.wear
+        if wear is not None:
+            wear._writes[line] = wear._writes.get(line, 0) + 1
+            wear.total_writes += 1
 
     def read_line(self, address: int) -> PersistedLine:
         """Fetch one line; unwritten lines read as zeroes in the clear."""
-        line = align_down(address, CACHE_LINE_SIZE)
+        line = address & _LINE_MASK
         if line < 0 or line >= self.address_map.memory_size_bytes:
             raise AddressError("address 0x%x outside the device" % address)
         self.line_reads += 1
         stored = self._lines.get(line)
         if stored is None:
-            return PersistedLine(payload=_ZERO_LINE, encrypted_with=0)
+            return _ZERO_PERSISTED
         return stored
 
     def contains_line(self, address: int) -> bool:
-        return align_down(address, CACHE_LINE_SIZE) in self._lines
+        return (address & _LINE_MASK) in self._lines
 
     def touched_lines(self) -> Iterator[int]:
         return iter(sorted(self._lines))

@@ -19,7 +19,7 @@ from typing import List
 from ..config import CACHE_LINE_SIZE, NVMTimingConfig
 
 
-@dataclass
+@dataclass(slots=True)
 class BankAccess:
     """Outcome of scheduling one array access on a bank."""
 
@@ -50,6 +50,12 @@ class BankTimingModel:
 
     def __init__(self, timing: NVMTimingConfig) -> None:
         self.timing = timing
+        # Config is frozen, so the derived latencies are hoisted out of
+        # the per-access path (they were property lookups per call).
+        self._read_access_ns = timing.read_access_ns
+        self._row_hit_ns = timing.t_cl_ns * timing.read_latency_scale
+        self._write_access_ns = timing.write_access_ns
+        self._t_wtr_ns = timing.t_wtr_ns
         self._read_free: List[float] = [0.0] * timing.num_banks
         self._write_free: List[float] = [0.0] * timing.num_banks
         self._open_row: List[Optional[int]] = [None] * timing.num_banks
@@ -74,10 +80,10 @@ class BankTimingModel:
         start = max(request_ns, self._read_free[bank])
         self.total_read_wait_ns += start - request_ns
         if row is not None and self._open_row[bank] == row:
-            access_ns = self.timing.t_cl_ns * self.timing.read_latency_scale
+            access_ns = self._row_hit_ns
             self.row_hits += 1
         else:
-            access_ns = self.timing.read_access_ns
+            access_ns = self._read_access_ns
             self._open_row[bank] = row
         complete = start + access_ns
         self._read_free[bank] = complete
@@ -97,8 +103,8 @@ class BankTimingModel:
         """
         start = max(request_ns, self._write_free[bank], self._read_free[bank])
         self.total_write_wait_ns += start - request_ns
-        complete = start + self.timing.write_access_ns
-        self._write_free[bank] = complete + self.timing.t_wtr_ns
+        complete = start + self._write_access_ns
+        self._write_free[bank] = complete + self._t_wtr_ns
         self._open_row[bank] = None
         self.writes += 1
         return BankAccess(
@@ -156,6 +162,8 @@ class BusModel:
     def __init__(self, timing: NVMTimingConfig) -> None:
         self.timing = timing
         self._free_ns = 0.0
+        #: burst_ns memoized per payload size (only a handful occur).
+        self._burst_cache: dict = {}
         self.transfers = 0
         self.bytes_moved = 0
         self.busy_ns = 0.0
@@ -163,7 +171,10 @@ class BusModel:
     def schedule_transfer(self, request_ns: float, payload_bytes: int = CACHE_LINE_SIZE) -> float:
         """Reserve the bus; returns the transfer completion time."""
         start = max(request_ns, self._free_ns)
-        duration = self.timing.burst_ns(payload_bytes)
+        duration = self._burst_cache.get(payload_bytes)
+        if duration is None:
+            duration = self.timing.burst_ns(payload_bytes)
+            self._burst_cache[payload_bytes] = duration
         self._free_ns = start + duration
         self.transfers += 1
         self.bytes_moved += payload_bytes

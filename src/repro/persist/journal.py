@@ -36,7 +36,7 @@ class JournalKind(enum.Enum):
     COUNTER = "counter"
 
 
-@dataclass
+@dataclass(slots=True)
 class _Amendment:
     effective_ns: float
     payload: Optional[bytes]
@@ -45,7 +45,7 @@ class _Amendment:
     counters: Optional[Tuple[int, ...]] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class JournalRecord:
     """One durable write and its amendment history."""
 
@@ -96,6 +96,10 @@ class PersistJournal:
         self.records: List[JournalRecord] = []
         self._by_entry_id: Dict[int, JournalRecord] = {}
         self._auto_id = -1  # negative ids for records without queue entries
+        #: Cleared when ``crash_bookkeeping`` is off (timing-only figure
+        #: sweeps): record/amend become no-ops and reconstruction is
+        #: unavailable.
+        self.enabled = True
 
     def _next_auto_id(self) -> int:
         self._auto_id -= 1
@@ -113,7 +117,9 @@ class PersistJournal:
         ready_ns: float,
         drain_ns: float,
         partner_id: Optional[int] = None,
-    ) -> JournalRecord:
+    ) -> Optional[JournalRecord]:
+        if not self.enabled:
+            return None
         record = JournalRecord(
             kind=JournalKind.DATA,
             entry_id=entry_id,
@@ -139,7 +145,9 @@ class PersistJournal:
         drain_ns: float,
         entry_id: Optional[int] = None,
         single_slot: bool = False,
-    ) -> JournalRecord:
+    ) -> Optional[JournalRecord]:
+        if not self.enabled:
+            return None
         record = JournalRecord(
             kind=JournalKind.COUNTER,
             entry_id=entry_id if entry_id is not None else self._next_auto_id(),
@@ -164,6 +172,8 @@ class PersistJournal:
         encrypted_with: int,
         effective_ns: float,
     ) -> None:
+        if not self.enabled:
+            return
         record = self._by_entry_id.get(entry_id)
         if record is None or record.kind is not JournalKind.DATA:
             raise SimulationError("amending unknown data journal record %d" % entry_id)
@@ -182,6 +192,8 @@ class PersistJournal:
         counters: Tuple[int, ...],
         effective_ns: float,
     ) -> None:
+        if not self.enabled:
+            return
         record = self._by_entry_id.get(entry_id)
         if record is None or record.kind is not JournalKind.COUNTER:
             raise SimulationError("amending unknown counter journal record %d" % entry_id)

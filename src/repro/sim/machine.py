@@ -61,6 +61,21 @@ class _CoreState:
         return self.index >= len(self.trace.ops)
 
 
+#: Integer dispatch codes for the inlined fast loop
+#: (:meth:`Machine._run_single`), cached per trace as ``trace._op_codes``.
+_OP_CODE = {
+    OpKind.LOAD: 0,
+    OpKind.STORE: 1,
+    OpKind.CLWB: 2,
+    OpKind.CCWB: 3,
+    OpKind.SFENCE: 4,
+    OpKind.COMPUTE: 5,
+    OpKind.TXN_BEGIN: 6,
+    OpKind.TXN_END: 7,
+    OpKind.LABEL: 8,
+}
+
+
 class Machine:
     """A complete simulated system under one design point."""
 
@@ -115,9 +130,157 @@ class Machine:
     def run(self, traces: Sequence[Trace]) -> SimulationResult:
         """Replay one trace per core to completion."""
         self.begin(traces)
-        while self.step():
-            pass
+        self.fast_forward()
         return self.finish()
+
+    def fast_forward(self) -> None:
+        """Drain all remaining events as fast as possible.
+
+        Equivalent to ``while self.step(): pass`` — same stats, same
+        timing, same errors — but whenever exactly one core remains
+        pending the inlined single-core loop (:meth:`_run_single`)
+        takes over and skips the per-event scheduling, dispatch and
+        wrapper allocations.  Multi-core phases fall back to
+        :meth:`step` for the conservative global-time ordering.
+        """
+        if self._cores is None:
+            raise SimulationError("fast_forward() called before begin()")
+        while self._pending:
+            if len(self._pending) == 1:
+                self._run_single(self._pending[0])
+            else:
+                self.step()
+
+    def run_events(self, budget: int) -> bool:
+        """Execute up to ``budget`` events; True while more remain.
+
+        The chunked counterpart of :meth:`step` for checkpointing
+        harnesses: a chunk lands on exactly the same event boundary as
+        ``budget`` individual ``step()`` calls, with single-core chunks
+        taking the fast loop.
+        """
+        while budget > 0:
+            pending = self._pending
+            if not pending:
+                return False
+            if len(pending) == 1:
+                budget -= self._run_single(pending[0], budget)
+            else:
+                self.step()
+                budget -= 1
+        return bool(self._pending)
+
+    def _run_single(self, core: _CoreState, budget: Optional[int] = None) -> int:
+        """Inlined event loop for a lone pending core; returns events run.
+
+        Bit-identical to repeated :meth:`step` calls on a one-core
+        machine: the handlers are unrolled into one dispatch on
+        precomputed op codes, per-op counters accumulate in locals, and
+        L1-resident loads/stores take the hierarchy's ``*_complete``
+        fast paths.  All bookkeeping is written back in a ``finally``
+        so a mid-loop simulation error leaves the same state as the
+        stepped path.
+        """
+        trace = core.trace
+        ops = trace.ops
+        codes = getattr(trace, "_op_codes", None)
+        if codes is None:
+            op_code = _OP_CODE
+            codes = [op_code[op.kind] for op in ops]
+            trace._op_codes = codes
+        start = index = core.index
+        end = len(ops)
+        if budget is not None and index + budget < end:
+            end = index + budget
+        clock = core.clock_ns
+        overhead = self.config.core.op_overhead_ns
+        l1_hit = self.config.l1.hit_latency_ns
+        core_id = core.core_id
+        hierarchy = self.hierarchy
+        load_complete = hierarchy.load_complete
+        store_complete = hierarchy.store_complete
+        clwb = hierarchy.clwb
+        ccwb = self.controller.counter_cache_writeback
+        tracker = core.tracker
+        note_writeback = tracker.note_writeback
+        fence = tracker.fence
+        txn_ends = self._txn_end_times[core_id]
+        stats = core.stats
+        loads = stats.loads
+        stores = stats.stores
+        ca_stores = stats.ca_stores
+        clwbs = stats.clwbs
+        ccwbs = stats.ccwbs
+        fences = stats.fences
+        transactions = stats.transactions
+        load_stall = stats.load_stall_ns
+        fence_stall = stats.fence_stall_ns
+        completed = 0
+        try:
+            while index < end:
+                op = ops[index]
+                code = codes[index]
+                index += 1
+                now = clock + overhead
+                if code == 0:  # LOAD
+                    loads += 1
+                    complete = load_complete(core_id, op.address, op.length, now)
+                    load_stall += complete - now
+                    clock = complete
+                elif code == 1:  # STORE
+                    stores += 1
+                    if op.counter_atomic:
+                        ca_stores += 1
+                    clock = store_complete(
+                        core_id, op.address, op.data, op.length, now, op.counter_atomic
+                    )
+                elif code == 5:  # COMPUTE
+                    clock = now + op.duration_ns
+                elif code == 2:  # CLWB
+                    clwbs += 1
+                    accept = clwb(core_id, op.address, now)
+                    if accept is not None:
+                        note_writeback(accept)
+                    clock = now + l1_hit
+                elif code == 4:  # SFENCE
+                    fences += 1
+                    release = fence(now)
+                    fence_stall += release - now
+                    clock = release
+                elif code == 7:  # TXN_END
+                    transactions += 1
+                    txn_ends.append(now)
+                    clock = now
+                elif code == 3:  # CCWB
+                    ccwbs += 1
+                    ticket = ccwb(op.address, now)
+                    if ticket is not None:
+                        note_writeback(ticket.accept_ns)
+                    clock = now + l1_hit
+                else:  # TXN_BEGIN, LABEL
+                    clock = now
+                completed += 1
+        finally:
+            core.index = index
+            core.clock_ns = clock
+            stats.loads = loads
+            stats.stores = stores
+            stats.ca_stores = ca_stores
+            stats.clwbs = clwbs
+            stats.ccwbs = ccwbs
+            stats.fences = fences
+            stats.transactions = transactions
+            stats.load_stall_ns = load_stall
+            stats.fence_stall_ns = fence_stall
+            # Mirrors the stepped path under errors: the failing op is
+            # counted as executed (index advanced before the handler)
+            # but not as a completed event.
+            stats.ops_executed += index - start
+            self.events_executed += completed
+        if index >= len(ops):
+            stats.finish_ns = clock
+            self._pending = [c for c in self._cores if not c.done]
+        return completed
 
     def _step(self, core: _CoreState) -> None:
         op = core.trace.ops[core.index]

@@ -1,0 +1,33 @@
+"""Optional numpy accelerator loader.
+
+The simulator is pure Python by contract — every vectorized kernel has
+a scalar fallback that is the bit-for-bit oracle — but when numpy is
+importable the crypto batch paths (:mod:`repro.crypto.aes`,
+:mod:`repro.crypto.otp`) use it for order-of-magnitude throughput.
+
+Set ``REPRO_DISABLE_NUMPY=1`` to force the pure-Python paths even when
+numpy is installed; CI runs the tier-1 suite both ways.  The decision
+is taken once at import so hot paths can branch on a plain module
+attribute instead of re-checking the environment.
+"""
+
+from __future__ import annotations
+
+import os
+
+np = None
+if os.environ.get("REPRO_DISABLE_NUMPY", "") not in ("", "0"):
+    NUMPY_DISABLED = True
+else:
+    NUMPY_DISABLED = False
+    try:  # pragma: no cover - exercised via REPRO_DISABLE_NUMPY CI leg
+        import numpy as np  # type: ignore[no-redef]
+    except ImportError:
+        np = None
+
+HAVE_NUMPY = np is not None
+
+
+def numpy_or_none():
+    """The loaded numpy module, or None (absent or disabled)."""
+    return np

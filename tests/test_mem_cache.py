@@ -90,10 +90,18 @@ class TestEviction:
     def test_lru_victim_selected(self, cache):
         addresses = self._colliding(cache, cache.ways + 1)
         for address in addresses[:-1]:
-            cache.fill(address, LINE)
+            cache.fill(address, LINE, dirty=True)
         cache.read(addresses[0], 8)  # refresh way 0
         victim = cache.fill(addresses[-1], LINE)
         assert victim.address == addresses[1]
+
+    def test_clean_victim_dropped_but_counted(self, cache):
+        addresses = self._colliding(cache, cache.ways + 1)
+        for address in addresses[:-1]:
+            cache.fill(address, LINE)
+        assert cache.fill(addresses[-1], LINE) is None
+        assert cache.stats.evictions == 1
+        assert cache.stats.dirty_evictions == 0
 
     def test_dirty_victim_carries_payload_and_flag(self, cache):
         addresses = self._colliding(cache, cache.ways + 1)

@@ -1,0 +1,97 @@
+"""Pluggable execution backends for :class:`~repro.bench.parallel.SweepExecutor`.
+
+Three implementations share one contract (:class:`ExecutionBackend`):
+
+``inline``
+    In-process, serial, deterministic — the oracle every other backend
+    is measured against, and the bottom of the fallback ladder.
+``pool``
+    The hardened local ``multiprocessing.Pool`` engine (timeouts,
+    retries with backoff, heartbeat stall watchdog, in-process
+    last-chance attempt).
+``workqueue``
+    A file-based queue under a shared directory: lease files with
+    owner/deadline, atomic claim-via-rename, heartbeat renewal,
+    lease-expiry reclamation, idempotent result publication keyed by
+    the job cache key, and poison-job quarantine.
+
+:func:`make_backend` resolves a requested backend down the fallback
+ladder (``workqueue -> pool -> inline``) when a rung is unavailable on
+this host, counting each hop in ``counters.backend_fallbacks`` so
+degradation is visible in executor stats, never silent.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Dict, Optional, Type
+
+from .base import (
+    BackendSpec,
+    BackendUnavailable,
+    ExecutionBackend,
+    ExecutorCounters,
+    ResultCallback,
+)
+from .inline import InlineBackend
+from .pool import PoolBackend
+from .workqueue import WorkQueueBackend
+
+__all__ = [
+    "BACKENDS",
+    "BackendSpec",
+    "BackendUnavailable",
+    "ExecutionBackend",
+    "ExecutorCounters",
+    "FALLBACK_LADDER",
+    "InlineBackend",
+    "PoolBackend",
+    "ResultCallback",
+    "WorkQueueBackend",
+    "make_backend",
+]
+
+logger = logging.getLogger(__name__)
+
+BACKENDS: Dict[str, Type[ExecutionBackend]] = {
+    InlineBackend.name: InlineBackend,
+    PoolBackend.name: PoolBackend,
+    WorkQueueBackend.name: WorkQueueBackend,
+}
+
+#: Each backend degrades to the next rung down when it cannot run here.
+FALLBACK_LADDER: Dict[str, Optional[str]] = {
+    WorkQueueBackend.name: PoolBackend.name,
+    PoolBackend.name: InlineBackend.name,
+    InlineBackend.name: None,
+}
+
+
+def make_backend(name: str, spec: BackendSpec) -> ExecutionBackend:
+    """Instantiate ``name``, degrading down the fallback ladder.
+
+    Every fallback hop is counted in ``spec.counters.backend_fallbacks``
+    and logged.  ``inline`` can always be constructed, so this never
+    raises :class:`BackendUnavailable`; an unknown name raises
+    ``ValueError`` before any ladder walking happens.
+    """
+    if name not in BACKENDS:
+        raise ValueError(
+            "unknown execution backend %r; available: %s"
+            % (name, ", ".join(sorted(BACKENDS)))
+        )
+    current: Optional[str] = name
+    while current is not None:
+        try:
+            return BACKENDS[current](spec)
+        except BackendUnavailable as exc:
+            fallback = FALLBACK_LADDER[current]
+            spec.counters.backend_fallbacks += 1
+            logger.warning(
+                "execution backend %r unavailable (%s); falling back to %r",
+                current,
+                exc,
+                fallback,
+            )
+            current = fallback
+    raise AssertionError("inline backend must always be constructible")

@@ -1,0 +1,135 @@
+"""The execution-backend contract shared by inline, pool and workqueue.
+
+A backend is *how* a batch of independent jobs runs — in this process,
+over a local process pool, or through a shared file-based work queue —
+behind one interface, so :class:`~repro.bench.parallel.SweepExecutor`
+(and everything built on it: figure sweeps, crash campaigns, the perf
+harness) never cares which one it got.
+
+The contract mirrors the exactly-once discipline the simulated memory
+controller promises under selective counter-atomicity: every job's
+result lands exactly once in the output slot it belongs to, no matter
+how many workers die, stall, or lie along the way.  Backends account
+for everything they absorb (retries, expired leases, duplicate
+publications, quarantined payloads) in a shared
+:class:`ExecutorCounters` so nothing is silently swallowed.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field, fields
+from typing import Callable, Dict, List, Optional, Sequence
+
+__all__ = [
+    "BackendSpec",
+    "BackendUnavailable",
+    "ExecutionBackend",
+    "ExecutorCounters",
+    "ResultCallback",
+]
+
+#: A finished job result is delivered through this callback as soon as
+#: it is available: ``on_result(index, value)``.
+ResultCallback = Callable[[int, object], None]
+
+
+class BackendUnavailable(Exception):
+    """A backend cannot run here (no pool, unwritable queue dir, ...).
+
+    Raised at construction/validation time only; the executor's
+    fallback ladder catches it and degrades to the next backend down.
+    Never raised mid-run — a backend that started owns its jobs.
+    """
+
+
+@dataclass
+class ExecutorCounters:
+    """Mutable health counters shared by an executor and its backend.
+
+    One instance is owned by the :class:`SweepExecutor` and handed to
+    whichever backend ends up running, so stats survive the fallback
+    ladder (a workqueue that degraded to a pool still reports the
+    fallback *and* the pool's retries in one place).
+    """
+
+    # Shared across backends
+    retries: int = 0
+    timeouts: int = 0
+    stalls: int = 0
+    pool_fallbacks: int = 0
+    backend_fallbacks: int = 0
+    backoff_slept_s: float = 0.0
+    # Workqueue lease protocol
+    leases_claimed: int = 0
+    leases_expired: int = 0
+    leases_reclaimed: int = 0
+    results_published: int = 0
+    results_reused: int = 0
+    duplicate_results: int = 0
+    corrupt_results: int = 0
+    poison_jobs: int = 0
+    worker_respawns: int = 0
+    jobs_lost: int = 0
+
+    def as_dict(self) -> Dict[str, float]:
+        document: Dict[str, float] = {}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            document[spec.name] = round(value, 4) if isinstance(value, float) else value
+        return document
+
+
+@dataclass
+class BackendSpec:
+    """Everything a backend may need, bundled so the fallback ladder
+    can hand the same spec to whichever implementation sticks."""
+
+    workers: int = 1
+    job_timeout_s: Optional[float] = None
+    max_retries: int = 2
+    retry_backoff_s: float = 0.1
+    heartbeat_timeout_s: Optional[float] = None
+    # Workqueue-only knobs (ignored by inline/pool):
+    queue_dir: Optional[str] = None
+    lease_timeout_s: float = 30.0
+    max_lease_failures: int = 3
+    #: A :class:`repro.bench.chaos.ChaosPlan` (or a plain
+    #: ``{job_index: [fault, ...]}`` mapping) injected into workqueue
+    #: workers; None outside chaos runs.
+    chaos_plan: Optional[object] = None
+    counters: ExecutorCounters = field(default_factory=ExecutorCounters)
+
+
+class ExecutionBackend(abc.ABC):
+    """One way of running a batch of independent jobs exactly once.
+
+    ``run`` fills ``results`` in place (``results[i] = fn(items[i])``)
+    and fires ``on_result(index, value)`` as each result becomes final.
+    ``heartbeats`` optionally names a per-item beacon file the job
+    refreshes while it runs (see :mod:`repro.bench.resilience`);
+    backends with a watchdog use it to tell *stalled* from *slow*.
+    """
+
+    #: Registry name; also what ``stats()['backend']``-style reporting
+    #: and the CLI ``--backend`` flag use.
+    name = "abstract"
+
+    def __init__(self, spec: BackendSpec) -> None:
+        self.spec = spec
+        self.counters = spec.counters
+
+    @abc.abstractmethod
+    def run(
+        self,
+        fn: Callable,
+        items: List[object],
+        results: List[object],
+        on_result: Optional[ResultCallback] = None,
+        heartbeats: Optional[Sequence[Optional[str]]] = None,
+        job_ids: Optional[Sequence[str]] = None,
+    ) -> None:
+        """Execute every item; must resolve all of ``results``."""
+
+    def close(self) -> None:
+        """Release any held resources (pools, worker processes)."""

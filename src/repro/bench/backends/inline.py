@@ -1,0 +1,34 @@
+"""The in-process backend: serial, deterministic, dependency-free.
+
+This is the bottom rung of the fallback ladder and the oracle every
+other backend is measured against — chaos harness runs compare their
+triage counts bit-for-bit against an inline run of the same jobs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from .base import ExecutionBackend, ResultCallback
+
+__all__ = ["InlineBackend"]
+
+
+class InlineBackend(ExecutionBackend):
+    """Run every job in this process, in index order."""
+
+    name = "inline"
+
+    def run(
+        self,
+        fn: Callable,
+        items: List[object],
+        results: List[object],
+        on_result: Optional[ResultCallback] = None,
+        heartbeats: Optional[Sequence[Optional[str]]] = None,
+        job_ids: Optional[Sequence[str]] = None,
+    ) -> None:
+        for index, item in enumerate(items):
+            results[index] = fn(item)
+            if on_result is not None:
+                on_result(index, results[index])

@@ -1,0 +1,290 @@
+"""The hardened local process-pool backend.
+
+This is the ``multiprocessing.Pool`` execution engine that used to
+live inside :class:`~repro.bench.parallel.SweepExecutor`, refactored
+behind the :class:`~repro.bench.backends.base.ExecutionBackend`
+contract so sweeps can swap it for the inline oracle or the
+file-based work queue without touching callers.
+
+Hardening (unchanged semantics from the pre-backend executor):
+
+* ``job_timeout_s`` bounds every job; a hung worker is detected, the
+  pool (and the hung process with it) is torn down and rebuilt, and
+  the job is retried.
+* Failures and timeouts are retried up to ``max_retries`` times with
+  exponential backoff (``retry_backoff_s`` base).  Backoff is slept
+  *between* rounds only — never after the final retry round, so a
+  permanently failing job costs no dead wall-clock — and every slept
+  second is accounted in ``counters.backoff_slept_s``.
+* A job that exhausts pool retries on *errors* gets one final
+  in-process attempt (a broken pool degrades to serial execution); a
+  job that exhausts retries on *timeouts* raises
+  :class:`~repro.errors.JobExecutionError` instead (running it
+  in-process would hang the sweep).
+* With ``heartbeat_timeout_s`` set, jobs that publish a heartbeat file
+  (see :mod:`repro.bench.resilience`) are watched while they run: a
+  stale heartbeat declares the worker stalled well before the job
+  timeout.  A job that never writes its heartbeat file is *not*
+  stalled — the job timeout alone covers workers that die before
+  their first beat.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import time
+from typing import Callable, List, Optional, Sequence
+
+from ...errors import JobExecutionError
+from .base import BackendSpec, ExecutionBackend, ResultCallback
+
+__all__ = ["PoolBackend", "WorkerStalledError"]
+
+logger = logging.getLogger(__name__)
+
+
+class WorkerStalledError(Exception):
+    """A worker's heartbeat went stale: hung or killed mid-job."""
+
+
+class PoolBackend(ExecutionBackend):
+    """Fan jobs out over a local ``multiprocessing.Pool``.
+
+    Never raises :class:`BackendUnavailable`: a host where no pool can
+    be created degrades *internally* to in-process execution (counted
+    in ``counters.pool_fallbacks``), preserving the long-standing
+    executor behaviour that a broken pool cannot sink a sweep.
+    """
+
+    name = "pool"
+
+    def __init__(self, spec: BackendSpec) -> None:
+        super().__init__(spec)
+        self.workers = max(1, int(spec.workers))
+
+    # -- public entry ------------------------------------------------------
+
+    def run(
+        self,
+        fn: Callable,
+        items: List[object],
+        results: List[object],
+        on_result: Optional[ResultCallback] = None,
+        heartbeats: Optional[Sequence[Optional[str]]] = None,
+        job_ids: Optional[Sequence[str]] = None,
+    ) -> None:
+        import multiprocessing
+
+        pool = self._make_pool(min(self.workers, len(items)))
+        if pool is None:
+            self._run_inline(fn, items, results, list(range(len(items))), on_result)
+            return
+        spec = self.spec
+        remaining = list(range(len(items)))
+        attempts = [0] * len(items)
+        timed_out = [False] * len(items)
+        try:
+            while remaining:
+                handles = []
+                pool_broken = False
+                for index in remaining:
+                    self._clear_heartbeat(heartbeats, index)
+                    try:
+                        handles.append((index, pool.apply_async(fn, (items[index],))))
+                    except Exception:
+                        handles.append((index, None))
+                        pool_broken = True
+                failed: List[int] = []
+                for index, handle in handles:
+                    if handle is None:
+                        failed.append(index)
+                        attempts[index] += 1
+                        continue
+                    heartbeat = heartbeats[index] if heartbeats is not None else None
+                    try:
+                        value = self._collect(handle, heartbeat)
+                    except multiprocessing.TimeoutError:
+                        self.counters.timeouts += 1
+                        timed_out[index] = True
+                        attempts[index] += 1
+                        failed.append(index)
+                        # The worker is still wedged on this job; the
+                        # pool must be rebuilt to free the slot.
+                        pool_broken = True
+                        logger.warning(
+                            "job %d timed out after %.1f s (attempt %d/%d)",
+                            index,
+                            spec.job_timeout_s or 0.0,
+                            attempts[index],
+                            spec.max_retries + 1,
+                        )
+                    except WorkerStalledError as exc:
+                        self.counters.stalls += 1
+                        timed_out[index] = True
+                        attempts[index] += 1
+                        failed.append(index)
+                        pool_broken = True
+                        logger.warning(
+                            "job %d stalled (attempt %d/%d): %s",
+                            index,
+                            attempts[index],
+                            spec.max_retries + 1,
+                            exc,
+                        )
+                    except Exception as exc:
+                        timed_out[index] = False
+                        attempts[index] += 1
+                        failed.append(index)
+                        pool_broken = True
+                        logger.warning(
+                            "job %d failed in worker (attempt %d/%d): %s: %s",
+                            index,
+                            attempts[index],
+                            spec.max_retries + 1,
+                            type(exc).__name__,
+                            exc,
+                        )
+                    else:
+                        results[index] = value
+                        timed_out[index] = False
+                        if on_result is not None:
+                            on_result(index, value)
+                exhausted = [i for i in failed if attempts[i] > spec.max_retries]
+                remaining = [i for i in failed if attempts[i] <= spec.max_retries]
+                if exhausted:
+                    hung = [i for i in exhausted if timed_out[i]]
+                    if hung:
+                        raise JobExecutionError(
+                            "job(s) %s timed out on every attempt (%d tries each)"
+                            % (hung, spec.max_retries + 1)
+                        )
+                    # Persistent worker-side errors: degrade to one
+                    # in-process attempt so a broken pool cannot sink
+                    # the sweep; a genuine job bug reproduces here with
+                    # a real traceback.
+                    self.counters.pool_fallbacks += 1
+                    self._run_inline(fn, items, results, exhausted, on_result)
+                if remaining:
+                    # Backoff belongs *between* rounds: it is only slept
+                    # here, when another retry round will actually run —
+                    # never after the final attempt of a permanently
+                    # failing job.
+                    self.counters.retries += len(remaining)
+                    self._backoff(attempts, remaining)
+                    if pool_broken:
+                        pool = self._rebuild_pool(pool, min(self.workers, len(remaining)))
+                        if pool is None:
+                            self._run_inline(fn, items, results, remaining, on_result)
+                            remaining = []
+        finally:
+            if pool is not None:
+                pool.terminate()
+                pool.join()
+
+    # -- helpers -----------------------------------------------------------
+
+    def _run_inline(
+        self,
+        fn: Callable,
+        items: List[object],
+        results: List[object],
+        indexes: List[int],
+        on_result: Optional[ResultCallback],
+    ) -> None:
+        for index in indexes:
+            results[index] = fn(items[index])
+            if on_result is not None:
+                on_result(index, results[index])
+
+    def _backoff(self, attempts: List[int], remaining: List[int]) -> None:
+        if self.spec.retry_backoff_s <= 0:
+            return
+        # Exponential in the retry round: the round number is how many
+        # attempts the least-retried surviving job has already made.
+        round_number = min(attempts[i] for i in remaining)
+        delay = self.spec.retry_backoff_s * (2 ** (round_number - 1))
+        self.counters.backoff_slept_s += delay
+        time.sleep(delay)
+
+    # -- heartbeat watchdog ------------------------------------------------
+
+    @staticmethod
+    def _clear_heartbeat(
+        heartbeats: Optional[Sequence[Optional[str]]], index: int
+    ) -> None:
+        """Drop a stale heartbeat file before (re)dispatching its job."""
+        if heartbeats is None or heartbeats[index] is None:
+            return
+        try:
+            os.unlink(heartbeats[index])
+        except OSError:
+            pass
+
+    def _collect(self, handle, heartbeat: Optional[str]):
+        """Wait for one async result, watching the job's heartbeat.
+
+        Without a watchdog this is a plain ``handle.get(timeout)``.
+        With one, the wait is chopped into short polls; a heartbeat
+        file that exists but has not been touched for
+        ``heartbeat_timeout_s`` raises :class:`WorkerStalledError`.  A
+        *missing* file never stalls the job — the job timeout covers
+        workers that die before their first beat.
+        """
+        import multiprocessing
+
+        spec = self.spec
+        if spec.heartbeat_timeout_s is None or heartbeat is None:
+            return handle.get(spec.job_timeout_s)
+        poll = max(0.01, min(0.25, spec.heartbeat_timeout_s / 4.0))
+        deadline = (
+            time.monotonic() + spec.job_timeout_s
+            if spec.job_timeout_s is not None
+            else None
+        )
+        while True:
+            remaining = poll
+            if deadline is not None:
+                remaining = min(poll, deadline - time.monotonic())
+                if remaining <= 0:
+                    raise multiprocessing.TimeoutError()
+            try:
+                return handle.get(remaining)
+            except multiprocessing.TimeoutError:
+                if deadline is not None and time.monotonic() >= deadline:
+                    raise
+                try:
+                    age = time.time() - os.path.getmtime(heartbeat)
+                except OSError:
+                    continue  # no beat yet; only the job timeout applies
+                if age > spec.heartbeat_timeout_s:
+                    raise WorkerStalledError(
+                        "heartbeat %s is %.1f s stale (limit %.1f s)"
+                        % (heartbeat, age, spec.heartbeat_timeout_s)
+                    ) from None
+
+    def _rebuild_pool(self, pool, workers: int):
+        try:
+            pool.terminate()
+            pool.join()
+        except Exception:  # pragma: no cover - teardown best-effort
+            pass
+        return self._make_pool(workers)
+
+    def _make_pool(self, workers: int):
+        """A ``multiprocessing.Pool`` (it supports ``terminate``, which
+        is what lets a hung worker be reclaimed), or None."""
+        try:
+            import multiprocessing
+
+            methods = multiprocessing.get_all_start_methods()
+            if "fork" in methods:
+                # Fork shares the already-imported simulator with the
+                # workers; spawn works too, just with a slower start.
+                context = multiprocessing.get_context("fork")
+            else:  # pragma: no cover - platform without fork
+                context = multiprocessing.get_context()
+            return context.Pool(processes=workers)
+        except (ImportError, OSError, ValueError):
+            self.counters.pool_fallbacks += 1
+            return None

@@ -67,6 +67,40 @@ def build_parser() -> argparse.ArgumentParser:
         "(default 1 = in-process serial execution)",
     )
     parser.add_argument(
+        "--backend",
+        choices=("inline", "pool", "workqueue"),
+        default=None,
+        help="execution backend: 'inline' (serial in-process oracle), "
+        "'pool' (hardened local process pool), 'workqueue' (shared-"
+        "directory lease queue; see --queue-dir).  Default: pool when "
+        "--workers > 1, inline otherwise.  An unavailable backend "
+        "degrades down the ladder workqueue -> pool -> inline, counted "
+        "in executor stats",
+    )
+    parser.add_argument(
+        "--queue-dir",
+        metavar="DIR",
+        default=None,
+        help="shared directory for the workqueue backend (lease files, "
+        "idempotent results); default: a private temporary directory",
+    )
+    parser.add_argument(
+        "--lease-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="workqueue lease deadline: a job whose lease goes this stale "
+        "is reclaimed from its (dead or stalled) worker and re-queued",
+    )
+    parser.add_argument(
+        "--max-lease-failures",
+        type=int,
+        default=3,
+        metavar="N",
+        help="quarantine a job as poison after N failed leases "
+        "(expiries, worker errors, corrupt results)",
+    )
+    parser.add_argument(
         "--no-cache",
         action="store_true",
         help="disable the on-disk result cache (every design point reruns)",
@@ -199,6 +233,22 @@ def build_parser() -> argparse.ArgumentParser:
         "search; repaired points count as 'recovered-by-search'",
     )
     campaign.add_argument(
+        "--chaos",
+        action="store_true",
+        help="chaos smoke harness: run the campaign twice — serially "
+        "(the oracle) and on the workqueue backend with seeded worker "
+        "faults (kill/stall/corrupt/duplicate) — and fail unless triage "
+        "counts are bit-identical and every result was published "
+        "exactly once",
+    )
+    campaign.add_argument(
+        "--chaos-faults",
+        default=None,
+        metavar="A,B",
+        help="comma-separated chaos fault kinds to inject "
+        "(default: kill,stall,corrupt,duplicate)",
+    )
+    campaign.add_argument(
         "--integrity",
         action="store_true",
         help="run every encrypted design with its Bonsai-Merkle-tree "
@@ -226,7 +276,14 @@ def _make_executor(args: argparse.Namespace) -> SweepExecutor:
     cache: Optional[ResultCache] = None
     if not args.no_cache:
         cache = ResultCache(args.cache_dir)
-    return SweepExecutor(workers=args.workers, cache=cache)
+    return SweepExecutor(
+        workers=args.workers,
+        cache=cache,
+        backend=args.backend,
+        queue_dir=args.queue_dir,
+        lease_timeout_s=args.lease_timeout,
+        max_lease_failures=args.max_lease_failures,
+    )
 
 
 def _run_perf(args: argparse.Namespace) -> int:
@@ -259,6 +316,44 @@ def _run_perf(args: argparse.Namespace) -> int:
         if comparison["regressions"]:
             return 1
     return 0
+
+
+def _run_campaign_chaos(args: argparse.Namespace, spec) -> int:
+    import json
+
+    from .chaos import FAULT_KINDS, render_chaos_report, run_chaos_campaign
+
+    if args.chaos_faults:
+        kinds = tuple(
+            kind.strip() for kind in args.chaos_faults.split(",") if kind.strip()
+        )
+    else:
+        kinds = FAULT_KINDS
+    try:
+        document = run_chaos_campaign(
+            spec,
+            workers=max(2, args.workers),
+            queue_dir=args.queue_dir,
+            # Chaos recovery waits on lease expiry; the normal 30s
+            # default would make the smoke run crawl, so shorten it
+            # unless the user chose a lease timeout explicitly.
+            lease_timeout_s=2.0 if args.lease_timeout == 30.0 else args.lease_timeout,
+            chaos_seed=args.seed,
+            kinds=kinds,
+        )
+    except ValueError as exc:
+        print("repro-bench campaign: %s" % exc, file=sys.stderr)
+        return 2
+    print(render_chaos_report(document))
+    if args.json is not None:
+        payload = json.dumps(document, indent=2, sort_keys=True)
+        if args.json == "-":
+            print(payload)
+        else:
+            with open(args.json, "w", encoding="utf-8") as stream:
+                stream.write(payload + "\n")
+            print("wrote %s" % args.json)
+    return 0 if document["ok"] else 1
 
 
 def _run_campaign(args: argparse.Namespace) -> int:
@@ -333,11 +428,17 @@ def _run_campaign(args: argparse.Namespace) -> int:
     )
     if faults is not None:
         spec.faults = tuple(faults)
+    if args.chaos:
+        return _run_campaign_chaos(args, spec)
     executor = SweepExecutor(
         workers=args.workers,
         job_timeout_s=args.job_timeout,
         max_retries=args.retries,
         heartbeat_timeout_s=args.heartbeat_timeout,
+        backend=args.backend,
+        queue_dir=args.queue_dir,
+        lease_timeout_s=args.lease_timeout,
+        max_lease_failures=args.max_lease_failures,
     )
     runner = CampaignRunner(
         spec,
@@ -353,18 +454,35 @@ def _run_campaign(args: argparse.Namespace) -> int:
         return 2
     print(report.render())
     stats = executor.stats()
-    print(
-        "executor: %d job(s) run, %d retried, %d timed out, %d stalled, "
-        "%d pool fallback(s), %d corrupt cache entr(ies) quarantined"
+    line = (
+        "executor[%s]: %d job(s) run, %d retried, %d timed out, %d stalled, "
+        "%d pool fallback(s), %d backend fallback(s), %d corrupt cache "
+        "entr(ies) quarantined"
         % (
+            stats["backend"],
             stats["jobs_executed"],
             stats["retries"],
             stats["timeouts"],
             stats["stalls"],
             stats["pool_fallbacks"],
+            stats["backend_fallbacks"],
             stats["cache_corruption_events"],
         )
     )
+    if stats["backend"] == "workqueue":
+        line += (
+            "; workqueue: %d claim(s), %d expired lease(s), %d result(s) "
+            "published, %d reused, %d duplicate(s) dropped, %d poison"
+            % (
+                stats["leases_claimed"],
+                stats["leases_expired"],
+                stats["results_published"],
+                stats["results_reused"],
+                stats["duplicate_results"],
+                stats["poison_jobs"],
+            )
+        )
+    print(line)
     if args.json is not None:
         payload = json.dumps(report.as_dict(), indent=2, sort_keys=True)
         if args.json == "-":

@@ -427,9 +427,26 @@ def compare_documents(
     baseline_kernels = baseline.get("kernels", {}) or {}
     kernels: Dict[str, Dict[str, object]] = {}
     regressions: List[str] = []
+    warnings: List[str] = []
+
+    def _ns_per_op(entry: object, name: str, which: str) -> Optional[float]:
+        # Documents come from other machines and other PRs; a kernel
+        # that one side renamed or recorded badly should downgrade to
+        # a warning, not abort the whole comparison.
+        try:
+            value = float(entry["ns_per_op"])  # type: ignore[index,call-overload]
+        except (KeyError, TypeError, ValueError):
+            warnings.append(
+                "kernel %r skipped: %s entry has no numeric ns_per_op" % (name, which)
+            )
+            return None
+        return value
+
     for name in sorted(set(current_kernels) & set(baseline_kernels)):
-        now_ns = float(current_kernels[name]["ns_per_op"])
-        then_ns = float(baseline_kernels[name]["ns_per_op"])
+        now_ns = _ns_per_op(current_kernels[name], name, "current")
+        then_ns = _ns_per_op(baseline_kernels[name], name, "baseline")
+        if now_ns is None or then_ns is None:
+            continue
         ratio = now_ns / then_ns if then_ns > 0 else float("inf")
         entry: Dict[str, object] = {
             "ns_per_op": now_ns,
@@ -443,28 +460,41 @@ def compare_documents(
         kernels[name] = entry
     only_current = sorted(set(current_kernels) - set(baseline_kernels))
     only_baseline = sorted(set(baseline_kernels) - set(current_kernels))
+    for name in only_current:
+        warnings.append(
+            "kernel %r skipped: present only in the current document" % name
+        )
+    for name in only_baseline:
+        warnings.append(
+            "kernel %r skipped: present only in the baseline document" % name
+        )
     result: Dict[str, object] = {
         "regression_threshold": regression_threshold,
         "kernels": kernels,
         "regressions": regressions,
         "new_kernels": only_current,
         "removed_kernels": only_baseline,
+        "warnings": warnings,
     }
     current_sweep = current.get("sweep") or {}
     baseline_sweep = baseline.get("sweep") or {}
     if "serial_s" in current_sweep and "serial_s" in baseline_sweep:
-        now_s = float(current_sweep["serial_s"])
-        then_s = float(baseline_sweep["serial_s"])
-        ratio = now_s / then_s if then_s > 0 else float("inf")
-        result["sweep"] = {
-            "experiment": current_sweep.get("experiment"),
-            "serial_s": now_s,
-            "baseline_serial_s": then_s,
-            "ratio": round(ratio, 3),
-            "speedup_vs_baseline": round(then_s / now_s, 2) if now_s > 0 else 0.0,
-        }
-        if ratio > regression_threshold:
-            result["regressions"] = regressions + ["sweep.serial_s"]
+        try:
+            now_s = float(current_sweep["serial_s"])
+            then_s = float(baseline_sweep["serial_s"])
+        except (TypeError, ValueError):
+            warnings.append("sweep comparison skipped: non-numeric serial_s")
+        else:
+            ratio = now_s / then_s if then_s > 0 else float("inf")
+            result["sweep"] = {
+                "experiment": current_sweep.get("experiment"),
+                "serial_s": now_s,
+                "baseline_serial_s": then_s,
+                "ratio": round(ratio, 3),
+                "speedup_vs_baseline": round(then_s / now_s, 2) if now_s > 0 else 0.0,
+            }
+            if ratio > regression_threshold:
+                result["regressions"] = regressions + ["sweep.serial_s"]
     return result
 
 
@@ -501,6 +531,8 @@ def render_comparison(comparison: Dict[str, object]) -> str:
                 sweep["speedup_vs_baseline"],
             )
         )
+    for warning in comparison.get("warnings", []):
+        lines.append("  warning: %s" % warning)
     if comparison["regressions"]:
         lines.append("regressions: %s" % ", ".join(comparison["regressions"]))
     else:

@@ -373,8 +373,10 @@ class CampaignReport:
     spec: Dict[str, object]
     results: List[Dict[str, object]]
     resumed_jobs: int = 0
-    executor_stats: Dict[str, int] = field(default_factory=dict)
+    executor_stats: Dict[str, object] = field(default_factory=dict)
     resilience: Dict[str, int] = field(default_factory=dict)
+    #: Torn trailing journal lines moved aside during resume.
+    journal_quarantined: int = 0
 
     def total(self, outcome: Outcome) -> int:
         # .get: journal entries written before an outcome class existed
@@ -402,6 +404,7 @@ class CampaignReport:
             "points": self.points,
             "executor": dict(self.executor_stats),
             "resilience": dict(self.resilience),
+            "journal_quarantined": self.journal_quarantined,
         }
 
     def render(self) -> str:
@@ -449,6 +452,11 @@ class CampaignReport:
         )
         if self.resumed_jobs:
             lines.append("resumed: %d job(s) restored from the journal" % self.resumed_jobs)
+        if self.journal_quarantined:
+            lines.append(
+                "journal: %d torn line(s) quarantined; those jobs re-ran"
+                % self.journal_quarantined
+            )
         if any(self.resilience.values()):
             lines.append(
                 "checkpointing: %d snapshot(s) saved, %d run(s) restored, "
@@ -517,6 +525,7 @@ class CampaignRunner:
         )
         self.checkpoint_dir = checkpoint_dir
         self.checkpoint_every = checkpoint_every
+        self.journal_quarantined = 0
 
     # -- journal ----------------------------------------------------------
 
@@ -524,11 +533,12 @@ class CampaignRunner:
         if self.journal_path is None or not os.path.exists(self.journal_path):
             return {}
         completed: Dict[str, Dict[str, object]] = {}
-        skipped = 0
+        good_lines: List[str] = []
+        torn_lines: List[str] = []
         try:
             with open(self.journal_path, "r", encoding="utf-8") as stream:
-                for line in stream:
-                    line = line.strip()
+                for raw in stream:
+                    line = raw.strip()
                     if not line:
                         continue
                     try:
@@ -536,22 +546,63 @@ class CampaignRunner:
                         key = document["key"]
                         document["outcomes"]  # shape check
                     except (ValueError, KeyError, TypeError):
-                        # A line torn by a mid-write kill: that job
-                        # simply re-runs.
-                        skipped += 1
+                        # A line torn by a mid-write kill (typically the
+                        # trailing one): quarantine it and re-run that
+                        # job rather than failing the whole resume.
+                        torn_lines.append(line)
                         continue
                     completed[key] = document
+                    good_lines.append(line)
         except OSError as exc:
             raise CampaignJournalError(
                 "cannot read campaign journal %s: %s" % (self.journal_path, exc)
             ) from None
-        if skipped:
-            logger.warning(
-                "campaign journal %s: skipped %d malformed line(s)",
-                self.journal_path,
-                skipped,
-            )
+        if torn_lines:
+            self.journal_quarantined += len(torn_lines)
+            self._quarantine_journal_lines(good_lines, torn_lines)
         return completed
+
+    def _quarantine_journal_lines(
+        self, good_lines: List[str], torn_lines: List[str]
+    ) -> None:
+        """Move torn records to a side file; rewrite the journal clean.
+
+        Both writes are best-effort: a read-only journal directory
+        degrades to in-memory skipping (the historical behaviour), it
+        never turns a recoverable resume into a hard failure.
+        """
+        journal_path = self.journal_path
+        if journal_path is None:
+            return
+        quarantine_path = journal_path + ".quarantine"
+        try:
+            with open(quarantine_path, "a", encoding="utf-8") as stream:
+                for line in torn_lines:
+                    stream.write(line + "\n")
+                stream.flush()
+                os.fsync(stream.fileno())
+            tmp_path = "%s.tmp.%d" % (journal_path, os.getpid())
+            with open(tmp_path, "w", encoding="utf-8") as stream:
+                for line in good_lines:
+                    stream.write(line + "\n")
+                stream.flush()
+                os.fsync(stream.fileno())
+            os.replace(tmp_path, journal_path)
+        except OSError as exc:
+            logger.warning(
+                "campaign journal %s: could not quarantine %d torn line(s) (%s); "
+                "they will be skipped in memory instead",
+                self.journal_path,
+                len(torn_lines),
+                exc,
+            )
+            return
+        logger.warning(
+            "campaign journal %s: quarantined %d torn line(s) to %s",
+            self.journal_path,
+            len(torn_lines),
+            quarantine_path,
+        )
 
     def _append_journal(self, result: Dict[str, object]) -> None:
         if self.journal_path is None:
@@ -560,7 +611,11 @@ class CampaignRunner:
         try:
             with open(self.journal_path, "a", encoding="utf-8") as stream:
                 stream.write(json.dumps(result, sort_keys=True) + "\n")
+                # flush+fsync per record: a power cut or SIGKILL can
+                # tear at most the line being written, and that line is
+                # quarantined (not fatal) on the next resume.
                 stream.flush()
+                os.fsync(stream.fileno())
         except OSError as exc:
             raise CampaignJournalError(
                 "cannot append to campaign journal %s: %s" % (self.journal_path, exc)
@@ -613,6 +668,11 @@ class CampaignRunner:
                 prepared,
                 on_result=_journal_and_cleanup,
                 heartbeats=[job.heartbeat_path for job in prepared],
+                # The job key doubles as the workqueue backend's
+                # idempotent-publication key, giving distributed runs
+                # the same exactly-once resume the journal gives local
+                # ones.
+                job_ids=[keys[index] for index in pending],
             )
             for index, value in zip(pending, fresh):
                 results[index] = value
@@ -629,4 +689,5 @@ class CampaignRunner:
             resumed_jobs=resumed,
             executor_stats=self.executor.stats(),
             resilience=resilience,
+            journal_quarantined=self.journal_quarantined,
         )

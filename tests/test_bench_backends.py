@@ -1,0 +1,267 @@
+"""Pluggable execution backends: ladder, lease protocol, backoff."""
+
+import os
+import time
+
+import pytest
+
+from repro.bench.backends import (
+    BACKENDS,
+    BackendSpec,
+    BackendUnavailable,
+    ExecutorCounters,
+    FALLBACK_LADDER,
+    InlineBackend,
+    PoolBackend,
+    WorkQueueBackend,
+    make_backend,
+)
+from repro.bench.parallel import SweepExecutor
+from repro.errors import JobExecutionError
+
+
+# Worker functions must be module-level so child processes can resolve
+# them after fork/pickle.
+
+
+def double(item):
+    return item * 2
+
+
+def fail_always(item):
+    raise ValueError("permanent failure on %s" % item)
+
+
+def fail_unless_sentinel(item):
+    if item.startswith("fail:"):
+        sentinel = item[len("fail:"):]
+        if not os.path.exists(sentinel):
+            with open(sentinel, "w", encoding="utf-8") as stream:
+                stream.write("first attempt\n")
+            raise ValueError("transient worker failure")
+    return "done:%s" % item
+
+
+def _spec(**overrides):
+    spec = BackendSpec(workers=2, retry_backoff_s=0.0)
+    for name, value in overrides.items():
+        setattr(spec, name, value)
+    return spec
+
+
+def _run(backend, fn, items, **kwargs):
+    results = [None] * len(items)
+    try:
+        backend.run(fn, list(items), results, **kwargs)
+    finally:
+        backend.close()
+    return results
+
+
+class TestRegistryAndLadder:
+    def test_registry_names(self):
+        assert set(BACKENDS) == {"inline", "pool", "workqueue"}
+        assert FALLBACK_LADDER == {
+            "workqueue": "pool",
+            "pool": "inline",
+            "inline": None,
+        }
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ValueError, match="unknown execution backend"):
+            make_backend("carrier-pigeon", _spec())
+        with pytest.raises(ValueError, match="unknown execution backend"):
+            SweepExecutor(workers=2, backend="carrier-pigeon")
+
+    def test_unwritable_queue_dir_falls_back_to_pool(self, tmp_path):
+        # A file where the queue directory should be makes the
+        # workqueue rung unconstructible.
+        bogus = tmp_path / "not-a-dir"
+        bogus.write_text("occupied")
+        spec = _spec(queue_dir=str(bogus))
+        backend = make_backend("workqueue", spec)
+        try:
+            assert backend.name == "pool"
+            assert spec.counters.backend_fallbacks == 1
+        finally:
+            backend.close()
+
+    def test_fallback_counts_every_hop(self, tmp_path, monkeypatch):
+        from repro.bench import backends as backends_module
+
+        def refuse(spec):
+            raise BackendUnavailable("pool refused for the test")
+
+        monkeypatch.setitem(backends_module.BACKENDS, "pool", refuse)
+        bogus = tmp_path / "not-a-dir"
+        bogus.write_text("occupied")
+        spec = _spec(queue_dir=str(bogus))
+        backend = make_backend("workqueue", spec)
+        try:
+            assert backend.name == "inline"
+            assert spec.counters.backend_fallbacks == 2
+        finally:
+            backend.close()
+
+
+class TestBackendEquivalence:
+    @pytest.mark.parametrize("name", ["inline", "pool", "workqueue"])
+    def test_same_results_every_backend(self, name):
+        spec = _spec()
+        backend = make_backend(name, spec)
+        seen = []
+        results = _run(
+            backend,
+            double,
+            [1, 2, 3, 4, 5],
+            on_result=lambda index, value: seen.append((index, value)),
+        )
+        assert results == [2, 4, 6, 8, 10]
+        assert sorted(seen) == [(0, 2), (1, 4), (2, 6), (3, 8), (4, 10)]
+
+    def test_inline_is_serial_and_ordered(self):
+        backend = InlineBackend(_spec(workers=1))
+        order = []
+        _run(backend, double, [3, 1, 2], on_result=lambda i, v: order.append(i))
+        assert order == [0, 1, 2]
+
+
+class TestPoolBackoff:
+    def test_no_sleep_after_final_retry_round(self, caplog):
+        # fail_always exhausts max_retries + 1 attempts; backoff must be
+        # slept only *between* rounds (2 sleeps for max_retries=2),
+        # never after the last attempt, and the total is exposed.
+        spec = _spec(max_retries=2, retry_backoff_s=0.05)
+        backend = PoolBackend(spec)
+        with pytest.raises(ValueError, match="permanent failure"):
+            _run(backend, fail_always, ["x"])
+        expected = 0.05 * (2 ** 0) + 0.05 * (2 ** 1)
+        assert spec.counters.backoff_slept_s == pytest.approx(expected)
+        assert spec.counters.retries == 2
+        assert spec.counters.pool_fallbacks == 1
+
+    def test_no_backoff_when_first_attempt_succeeds(self):
+        spec = _spec(max_retries=2, retry_backoff_s=5.0)
+        backend = PoolBackend(spec)
+        start = time.monotonic()
+        assert _run(backend, double, [7]) == [14]
+        assert time.monotonic() - start < 4.0
+        assert spec.counters.backoff_slept_s == 0.0
+
+    def test_transient_failure_retries_then_succeeds(self, tmp_path):
+        sentinel = tmp_path / "sentinel"
+        spec = _spec(max_retries=2, retry_backoff_s=0.01)
+        backend = PoolBackend(spec)
+        results = _run(backend, fail_unless_sentinel, ["fail:%s" % sentinel])
+        assert results == ["done:fail:%s" % sentinel]
+        assert spec.counters.retries == 1
+        assert spec.counters.backoff_slept_s == pytest.approx(0.01)
+
+
+class TestWorkQueueProtocol:
+    def test_exactly_once_publication(self, tmp_path):
+        spec = _spec(queue_dir=str(tmp_path / "q"), lease_timeout_s=5.0)
+        backend = WorkQueueBackend(spec)
+        results = _run(backend, double, [10, 11, 12])
+        assert results == [20, 22, 24]
+        assert spec.counters.results_published == 3
+        assert spec.counters.results_reused == 0
+        assert spec.counters.jobs_lost == 0
+
+    def test_idempotent_reuse_across_runs(self, tmp_path):
+        queue_dir = str(tmp_path / "q")
+        first = _spec(queue_dir=queue_dir, lease_timeout_s=5.0)
+        _run(WorkQueueBackend(first), double, [10, 11, 12])
+        second = _spec(queue_dir=queue_dir, lease_timeout_s=5.0)
+        results = _run(WorkQueueBackend(second), double, [10, 11, 12])
+        assert results == [20, 22, 24]
+        assert second.counters.results_published == 0
+        assert second.counters.results_reused == 3
+
+    def test_duplicate_items_share_one_job(self, tmp_path):
+        spec = _spec(queue_dir=str(tmp_path / "q"), lease_timeout_s=5.0)
+        results = _run(WorkQueueBackend(spec), double, [9, 9, 9])
+        assert results == [18, 18, 18]
+        assert spec.counters.results_published == 1
+
+    def test_killed_worker_lease_expires_and_job_reruns(self, tmp_path):
+        spec = _spec(
+            queue_dir=str(tmp_path / "q"),
+            lease_timeout_s=0.5,
+            chaos_plan={0: ("kill",)},
+        )
+        results = _run(WorkQueueBackend(spec), double, [5, 6])
+        assert results == [10, 12]
+        assert spec.counters.leases_expired >= 1
+        assert spec.counters.leases_reclaimed >= 1
+        assert spec.counters.worker_respawns >= 1
+        assert spec.counters.jobs_lost == 0
+
+    def test_corrupt_result_is_quarantined_and_rerun(self, tmp_path):
+        queue_dir = tmp_path / "q"
+        spec = _spec(
+            queue_dir=str(queue_dir),
+            lease_timeout_s=0.5,
+            chaos_plan={0: ("corrupt",)},
+        )
+        results = _run(WorkQueueBackend(spec), double, [5, 6])
+        assert results == [10, 12]
+        assert spec.counters.corrupt_results == 1
+        assert list((queue_dir / "quarantine").iterdir())
+
+    def test_duplicate_claim_fault_keeps_exactly_once(self, tmp_path):
+        # The worker publishes, then hands the job back as if never
+        # run.  Whether or not a second claimant gets to it before
+        # shutdown, the result must land exactly once.
+        spec = _spec(
+            queue_dir=str(tmp_path / "q"),
+            lease_timeout_s=0.5,
+            chaos_plan={1: ("duplicate",)},
+        )
+        results = _run(WorkQueueBackend(spec), double, [5, 6])
+        assert results == [10, 12]
+        assert spec.counters.results_published == 2
+        assert spec.counters.jobs_lost == 0
+
+    def test_second_publication_is_dropped(self, tmp_path):
+        # The primitive behind the duplicate defence: publication is
+        # hardlink-if-absent, so a second publish never overwrites.
+        from repro.bench.backends.workqueue import _frame, _publish, _read_frame
+
+        queue_dir = tmp_path / "q"
+        for sub in ("results", "events"):
+            (queue_dir / sub).mkdir(parents=True)
+        assert _publish(str(queue_dir), "job1", _frame(b"first")) is True
+        assert _publish(str(queue_dir), "job1", _frame(b"second")) is False
+        assert _read_frame(str(queue_dir / "results" / "job1.res")) == b"first"
+        dup_events = [
+            name
+            for name in os.listdir(queue_dir / "events")
+            if name.startswith("job1.dup.")
+        ]
+        assert len(dup_events) == 1
+
+    def test_poison_job_quarantined_then_finished_inline(self, tmp_path):
+        spec = _spec(
+            queue_dir=str(tmp_path / "q"),
+            lease_timeout_s=5.0,
+            max_lease_failures=2,
+        )
+        # fail_always burns every lease with worker-side errors; after
+        # max_lease_failures the job is poisoned and the last-chance
+        # inline attempt reproduces the real exception.
+        backend = WorkQueueBackend(spec)
+        with pytest.raises(ValueError, match="permanent failure"):
+            _run(backend, fail_always, ["x"])
+        assert spec.counters.poison_jobs == 1
+
+    def test_executor_reports_workqueue_stats(self, tmp_path):
+        executor = SweepExecutor(
+            workers=2, backend="workqueue", queue_dir=str(tmp_path / "q")
+        )
+        assert executor.map(double, [1, 2, 3]) == [2, 4, 6]
+        stats = executor.stats()
+        assert stats["backend"] == "workqueue"
+        assert stats["results_published"] == 3
+        assert stats["jobs_lost"] == 0
+        assert stats["backend_fallbacks"] == 0

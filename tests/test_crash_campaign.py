@@ -119,6 +119,26 @@ class TestResume:
         assert executor.jobs_executed == 1
         assert report.resumed_jobs == 2
 
+    def test_torn_journal_line_is_quarantined(self, tmp_path):
+        directory = tmp_path / "campaign"
+        CampaignRunner(small_spec(), journal_dir=str(directory)).run()
+        journal = directory / CampaignRunner.JOURNAL_NAME
+        lines = journal.read_text().splitlines(True)
+        torn = lines[-1][: len(lines[-1]) // 2]
+        journal.write_text("".join(lines[:-1]) + torn)
+        report = CampaignRunner(small_spec(), journal_dir=str(directory)).run()
+        assert report.journal_quarantined == 1
+        assert "1 torn line(s) quarantined" in report.render()
+        assert report.as_dict()["journal_quarantined"] == 1
+        # The fragment moved to the quarantine side-file and the
+        # rewritten journal parses cleanly end to end.
+        quarantine = directory / (CampaignRunner.JOURNAL_NAME + ".quarantine")
+        assert torn.strip() in quarantine.read_text()
+        import json
+
+        for line in journal.read_text().splitlines():
+            json.loads(line)
+
     def test_seed_change_invalidates_journal(self, tmp_path):
         directory = str(tmp_path / "campaign")
         CampaignRunner(small_spec(), journal_dir=directory).run()
@@ -173,7 +193,7 @@ class TestCli:
         assert main(argv) == 0
         first = capsys.readouterr().out
         assert "crash campaign" in first
-        assert "executor:" in first
+        assert "executor[" in first
         assert (tmp_path / "out.json").exists()
         assert main(argv) == 0
         second = capsys.readouterr().out

@@ -1,0 +1,66 @@
+"""Perf document comparison: ratios, regressions, warn-and-skip."""
+
+from repro.bench.perf import compare_documents, render_comparison
+
+
+def _doc(kernels, sweep=None):
+    document = {"kernels": kernels}
+    if sweep is not None:
+        document["sweep"] = sweep
+    return document
+
+
+class TestCompareDocuments:
+    def test_ratio_and_regression_flag(self):
+        comparison = compare_documents(
+            _doc({"aes": {"ns_per_op": 40.0}, "xor": {"ns_per_op": 1.0}}),
+            _doc({"aes": {"ns_per_op": 10.0}, "xor": {"ns_per_op": 2.0}}),
+            regression_threshold=3.0,
+        )
+        assert comparison["kernels"]["aes"]["ratio"] == 4.0
+        assert comparison["kernels"]["aes"]["regression"] is True
+        assert comparison["kernels"]["xor"]["ratio"] == 0.5
+        assert "regression" not in comparison["kernels"]["xor"]
+        assert comparison["regressions"] == ["aes"]
+        assert comparison["warnings"] == []
+
+    def test_kernel_in_only_one_document_warns_and_skips(self):
+        comparison = compare_documents(
+            _doc({"shared": {"ns_per_op": 1.0}, "fresh": {"ns_per_op": 2.0}}),
+            _doc({"shared": {"ns_per_op": 1.0}, "retired": {"ns_per_op": 3.0}}),
+        )
+        assert list(comparison["kernels"]) == ["shared"]
+        assert comparison["new_kernels"] == ["fresh"]
+        assert comparison["removed_kernels"] == ["retired"]
+        warnings = comparison["warnings"]
+        assert any("'fresh'" in w and "current" in w for w in warnings)
+        assert any("'retired'" in w and "baseline" in w for w in warnings)
+
+    def test_malformed_kernel_entry_warns_instead_of_raising(self):
+        comparison = compare_documents(
+            _doc({"good": {"ns_per_op": 2.0}, "bad": {"ns_per_op": "NaN?"}}),
+            _doc({"good": {"ns_per_op": 1.0}, "bad": {}}),
+        )
+        assert list(comparison["kernels"]) == ["good"]
+        assert any("'bad'" in w for w in comparison["warnings"])
+
+    def test_non_numeric_sweep_warns_instead_of_raising(self):
+        comparison = compare_documents(
+            _doc({}, sweep={"serial_s": "torn"}),
+            _doc({}, sweep={"serial_s": 1.0}),
+        )
+        assert "sweep" not in comparison
+        assert any("serial_s" in w for w in comparison["warnings"])
+
+    def test_render_lists_warnings(self):
+        comparison = compare_documents(
+            _doc({"only-here": {"ns_per_op": 1.0}}), _doc({})
+        )
+        text = render_comparison(comparison)
+        assert "warning:" in text
+        assert "no regressions beyond threshold" in text
+
+    def test_render_tolerates_documents_without_warnings_key(self):
+        comparison = compare_documents(_doc({}), _doc({}))
+        comparison.pop("warnings")
+        assert "no regressions" in render_comparison(comparison)

@@ -164,17 +164,19 @@ def _event(queue_dir: str, job_id: str, kind: str, text: str = "") -> None:
 def _latch(queue_dir: str, job_id: str, fault: str) -> bool:
     """One-shot chaos latch: True only for the first caller ever.
 
-    ``O_EXCL`` makes the latch atomic across racing claimants, which
-    is what guarantees every injected fault fires exactly once and the
-    chaos campaign terminates.
+    Delegates to the shared :func:`repro.faults.oneshot.latch_once`
+    discipline (``O_EXCL`` marker files), which is what guarantees
+    every injected fault fires exactly once and the chaos campaign
+    terminates — the same one-shot contract recovery-phase fault plans
+    enforce in-process.
     """
+    from ...faults.oneshot import latch_once
+
     path = os.path.join(queue_dir, "events", "%s.chaos-%s" % (job_id, fault))
     try:
-        fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        return latch_once(path)
     except OSError:
         return False
-    os.close(fd)
-    return True
 
 
 def _release(queue_dir: str, job_id: str) -> None:

@@ -233,6 +233,31 @@ def build_parser() -> argparse.ArgumentParser:
         "search; repaired points count as 'recovered-by-search'",
     )
     campaign.add_argument(
+        "--nested-crash",
+        action="store_true",
+        help="sweep nested crashes: recover every crash point under "
+        "each schedule of the crash-point x recovery-step grid, "
+        "injecting a second power failure (or torn recovery write) "
+        "mid-recovery; the resumed recovery must converge "
+        "('recovered-after-nested-crash') or stay loud "
+        "('detected-after-nested-crash')",
+    )
+    campaign.add_argument(
+        "--nested-steps",
+        type=int,
+        default=2,
+        metavar="N",
+        help="recovery steps per phase covered by the nested-crash "
+        "grid (default: 2)",
+    )
+    campaign.add_argument(
+        "--retry-crashed",
+        action="store_true",
+        help="re-run journaled jobs that recorded recovery-crashed "
+        "cells instead of resuming them; the fresh record supersedes "
+        "the old one in the journal",
+    )
+    campaign.add_argument(
         "--chaos",
         action="store_true",
         help="chaos smoke harness: run the campaign twice — serially "
@@ -425,6 +450,8 @@ def _run_campaign(args: argparse.Namespace) -> int:
         seed=args.seed,
         operations=args.operations,
         with_counter_recovery=args.with_counter_recovery,
+        nested_crash=args.nested_crash,
+        nested_steps=args.nested_steps,
     )
     if faults is not None:
         spec.faults = tuple(faults)
@@ -446,6 +473,7 @@ def _run_campaign(args: argparse.Namespace) -> int:
         journal_dir=args.campaign_dir,
         checkpoint_dir=checkpoint_dir,
         checkpoint_every=args.checkpoint_every,
+        retry_crashed=args.retry_crashed,
     )
     try:
         report = runner.run()

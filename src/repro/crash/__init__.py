@@ -7,10 +7,17 @@ reboot; the checker validates decryptability (Eq. 4) and hands the
 recovered bytes to transaction-level recovery.
 """
 
-from .injector import CrashImage, CrashInjector
-from .recovery import RecoveredMemory, RecoveryManager
+from .injector import CrashImage, CrashInjector, nested_crash_image
+from .recovery import GarbageRead, RecoveredMemory, RecoveryManager
 from .checker import CrashConsistencyReport, sweep_crash_points
 from .counter_recovery import CounterRecoverer, CounterRecoveryReport, collect_tags
+from .session import (
+    RecoveryContext,
+    RecoveryLedger,
+    RecoverySession,
+    SessionResult,
+    error_digest,
+)
 from .campaign import (
     CampaignJob,
     CampaignReport,
@@ -24,6 +31,8 @@ from .campaign import (
 __all__ = [
     "CrashImage",
     "CrashInjector",
+    "nested_crash_image",
+    "GarbageRead",
     "RecoveredMemory",
     "RecoveryManager",
     "CrashConsistencyReport",
@@ -31,6 +40,11 @@ __all__ = [
     "CounterRecoverer",
     "CounterRecoveryReport",
     "collect_tags",
+    "RecoveryContext",
+    "RecoveryLedger",
+    "RecoverySession",
+    "SessionResult",
+    "error_digest",
     "CampaignJob",
     "CampaignReport",
     "CampaignRunner",

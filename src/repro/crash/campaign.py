@@ -21,6 +21,11 @@ the triage taxonomy:
 * ``recovery-crashed``   — the recovery procedure itself raised an
   unexpected exception on the corrupted image.
 
+The ``--nested-crash`` axis adds two more buckets: an injected second
+power failure *during* recovery after which the resumed recovery still
+converged (``recovered-after-nested-crash``) or at least stayed loud
+(``detected-after-nested-crash``).
+
 Campaigns are deterministic (same seed, same spec -> same outcome
 table) and resumable: every finished job is journaled to
 ``<dir>/journal.jsonl`` as it completes, and a rerun skips journaled
@@ -44,7 +49,6 @@ from ..errors import CampaignError, CampaignJournalError
 from ..faults import make_fault_model
 from ..faults.registry import DEFAULT_SUITE
 from .injector import CrashInjector, uniform_sample
-from .recovery import RecoveryManager
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle (bench -> txn -> crash)
     from ..bench.parallel import SweepExecutor
@@ -60,8 +64,14 @@ class Outcome(enum.Enum):
 
     RECOVERED = "recovered"
     RECOVERED_SEARCH = "recovered-by-search"
+    #: An injected mid-recovery power failure, after which the resumed
+    #: recovery still reached a provably consistent state.
+    RECOVERED_NESTED = "recovered-after-nested-crash"
     DETECTED = "detected"
     DETECTED_TREE = "detected-by-tree"
+    #: A nested crash after which the state stayed bad but every
+    #: detection channel still fired — never silent.
+    DETECTED_NESTED = "detected-after-nested-crash"
     SILENT = "silent-corruption"
     CRASHED = "recovery-crashed"
 
@@ -82,6 +92,12 @@ class CampaignJob:
     #: Retry detected failures with the Osiris-style counter search;
     #: part of the job's identity (it changes the outcome table).
     with_counter_recovery: bool = False
+    #: Sweep the nested-crash axis: every crash point is additionally
+    #: recovered under each schedule of the crash-point x recovery-step
+    #: grid (:func:`repro.faults.recovery.nested_point_grid`).
+    nested_crash: bool = False
+    #: Recovery steps per phase the nested grid covers.
+    nested_steps: int = 2
     #: Execution-only plumbing, deliberately NOT part of ``document()``
     #: (and therefore not of the job key): where this job checkpoints
     #: its simulation, how often, and where it beats its heartbeat.
@@ -101,6 +117,8 @@ class CampaignJob:
             "operations": self.operations,
             "footprint_bytes": self.footprint_bytes,
             "with_counter_recovery": self.with_counter_recovery,
+            "nested_crash": self.nested_crash,
+            "nested_steps": self.nested_steps,
         }
 
 
@@ -118,12 +136,50 @@ def job_key(job: CampaignJob) -> str:
     return hashlib.sha256(blob.encode()).hexdigest()[:24]
 
 
+def _classify_session(result, nested_swept: bool) -> Tuple[Outcome, str]:
+    """Map one :class:`SessionResult` into the triage taxonomy.
+
+    When nested crashes actually fired, the nested buckets take over:
+    they are the sweep's observable — did the *resumed* recovery still
+    converge (``recovered-after-nested-crash``) or at least stay loud
+    (``detected-after-nested-crash``)?  Silent and crashed keep their
+    identity regardless: a nested crash never excuses either.
+    """
+    nested = nested_swept and result.nested_injected > 0
+    if result.status == "consistent":
+        if nested:
+            return Outcome.RECOVERED_NESTED, result.detail
+        if result.via_search:
+            return Outcome.RECOVERED_SEARCH, result.detail
+        return Outcome.RECOVERED, result.detail
+    if result.status in ("detected", "detected-tree"):
+        if nested:
+            return Outcome.DETECTED_NESTED, result.detail
+        if result.status == "detected-tree":
+            return Outcome.DETECTED_TREE, result.detail
+        return Outcome.DETECTED, result.detail
+    if result.status == "silent":
+        return Outcome.SILENT, result.detail
+    return Outcome.CRASHED, result.detail
+
+
+#: Outcomes that are successes — excluded from the triage examples.
+_CLEAN_OUTCOMES = (Outcome.RECOVERED, Outcome.RECOVERED_SEARCH, Outcome.RECOVERED_NESTED)
+
+
 def run_campaign_job(job: CampaignJob) -> Dict[str, object]:
     """Execute one campaign cell; the (picklable) worker entry point.
 
     Returns a JSON-ready result document: outcome tallies over every
     swept crash point, fault-event count, example failures, and the
     job's checkpoint/restore accounting.
+
+    Every crash point is recovered through a
+    :class:`~repro.crash.session.RecoverySession` (the bounded
+    escalation ladder).  With ``job.nested_crash`` set, each crash
+    point is additionally recovered under every schedule of the
+    crash-point x recovery-step grid, injecting a second power failure
+    mid-recovery and requiring the resumed recovery to converge.
 
     The simulation phase checkpoints to ``job.checkpoint_dir`` (when
     set) and resumes from the newest valid snapshot there, so a worker
@@ -132,7 +188,9 @@ def run_campaign_job(job: CampaignJob) -> Dict[str, object]:
     crash point, feeding the executor's stall watchdog.
     """
     from ..bench.resilience import Heartbeat, run_workload_resilient
+    from ..faults.recovery import RecoveryFaultPlan, nested_point_grid
     from ..workloads.base import WorkloadParams
+    from .session import RecoverySession, error_digest
 
     params = WorkloadParams(
         operations=job.operations,
@@ -149,6 +207,7 @@ def run_campaign_job(job: CampaignJob) -> Dict[str, object]:
         every_events=job.checkpoint_every,
         heartbeat=heartbeat,
     )
+    config = outcome.result.config
     injector = CrashInjector(outcome.result)
     per_kind = max(2, job.crash_points // 2)
     times = sorted(
@@ -157,98 +216,95 @@ def run_campaign_job(job: CampaignJob) -> Dict[str, object]:
     )
     times = uniform_sample(times, job.crash_points)
     validator = outcome.validator(0)
-    manager = RecoveryManager(outcome.result.config.encryption)
     encrypted = outcome.result.policy.encrypts
     model = make_fault_model(job.fault, **dict(job.fault_params))
     recoverer = None
     if job.with_counter_recovery and encrypted:
         from .counter_recovery import CounterRecoverer
 
-        recoverer = CounterRecoverer(outcome.result.config.encryption)
+        recoverer = CounterRecoverer(config.encryption)
     tree_checked = outcome.result.policy.integrity_tree
-    if tree_checked:
-        from ..integrity.verifier import repair_image, verify_image
+    # The nested sweep: a no-injection baseline cell plus one cell per
+    # fault-point schedule.  Phases a design cannot enter (no search,
+    # no tree) are not swept — those points could never fire.
+    schedules: List[Optional[Tuple]] = [None]
+    if job.nested_crash:
+        schedules.extend(
+            nested_point_grid(
+                job.nested_steps,
+                counter_search=recoverer is not None,
+                tree_repair=tree_checked and recoverer is not None,
+            )
+        )
+
+    def classify(recovered, context):
+        return validator.classify(recovered, context=context)
+
     tallies: Dict[str, int] = {o.value: 0 for o in Outcome}
     examples: List[Dict[str, object]] = []
     fault_events = 0
+    nested_injected = 0
+    cells = 0
     for crash_ns in times:
         if heartbeat is not None:
             heartbeat.beat()
-        image, events = injector.crash_with_faults(crash_ns, [model], seed=job.seed)
-        fault_events += len(events)
-        recovered = manager.recover(image, encrypted=encrypted)
-        try:
-            verdict = validator.classify(recovered)
-        except Exception as exc:  # recovery crashed: a finding, not a bug here
-            classified = Outcome.CRASHED
-            detail = "%s: %s" % (type(exc).__name__, exc)
-        else:
-            if verdict.consistent:
-                classified = Outcome.RECOVERED
-                detail = ""
-            elif verdict.detected:
-                classified = Outcome.DETECTED
-                detail = verdict.detected[0]
+        for schedule in schedules:
+            image, events = injector.crash_with_faults(
+                crash_ns, [model], seed=job.seed
+            )
+            fault_events += len(events)
+            plan = (
+                RecoveryFaultPlan(schedule, seed=job.seed)
+                if schedule is not None
+                else None
+            )
+            session = RecoverySession(
+                config,
+                encrypted=encrypted,
+                plan=plan,
+                recoverer=recoverer,
+                tree_checked=tree_checked,
+            )
+            session_error = None
+            try:
+                result = session.run(image, classify)
+            except Exception as exc:  # ladder non-convergence: a finding
+                session_error = error_digest(exc)
+                classified = Outcome.CRASHED
+                detail = "%s: %s" % (session_error["type"], session_error["message"])
+                ladder = None
             else:
-                classified = Outcome.SILENT
-                detail = verdict.silent[0]
-        if classified is Outcome.SILENT and tree_checked:
-            # The recovery path accepted a state the oracle rejects.  A
-            # +bmt design gets one more line of defence: replay the
-            # root-register walk and the ECC-lane tag sweep that real
-            # integrity-verified hardware performs on the first fetch
-            # after restart.  Anything it flags stops being *silent*.
-            tree_report = verify_image(image, outcome.result.config)
-            if not tree_report.clean:
-                classified = Outcome.DETECTED_TREE
-                detail = tree_report.describe()
-        if classified is Outcome.DETECTED_TREE and recoverer is not None:
-            # Phoenix-style repair: re-run the Osiris counter search
-            # with the tree as oracle, reseal the root, and see whether
-            # the recovered state now satisfies both the tree and the
-            # workload validator.  Failure must not mask the detection.
-            try:
-                retry_image, _retry_events = injector.crash_with_faults(
-                    crash_ns, [model], seed=job.seed
-                )
-                _search, after = repair_image(retry_image, outcome.result.config)
-                retried = manager.recover(retry_image, encrypted=encrypted)
-                if after.clean and validator.classify(retried).consistent:
-                    classified = Outcome.RECOVERED_SEARCH
-                    detail = "consistent after tree-guided counter search"
-            except Exception:
-                pass  # stays DETECTED_TREE
-        if classified is Outcome.DETECTED and recoverer is not None:
-            # Optional triage stage: rebuild the same crash image and
-            # let the Osiris-style counter search try to repair it.  A
-            # search that itself fails must not mask the detection.
-            try:
-                retry_image, _retry_events = injector.crash_with_faults(
-                    crash_ns, [model], seed=job.seed
-                )
-                recoverer.recover_image(retry_image)
-                retried = manager.recover(retry_image, encrypted=encrypted)
-                if validator.classify(retried).consistent:
-                    classified = Outcome.RECOVERED_SEARCH
-                    detail = "consistent after counter search"
-            except Exception:
-                pass  # stays DETECTED
-        tallies[classified.value] += 1
-        if classified is not Outcome.RECOVERED and len(examples) < EXAMPLES_PER_JOB:
-            examples.append(
-                {
+                classified, detail = _classify_session(result, schedule is not None)
+                session_error = result.error
+                nested_injected += result.nested_injected
+                ladder = result.ledger.as_dict()
+            tallies[classified.value] += 1
+            cells += 1
+            if classified not in _CLEAN_OUTCOMES and len(examples) < EXAMPLES_PER_JOB:
+                example: Dict[str, object] = {
                     "crash_ns": crash_ns,
                     "outcome": classified.value,
                     "detail": detail,
                     "fault_events": [event.as_dict() for event in events],
                 }
-            )
+                if schedule is not None:
+                    example["nested_plan"] = [point.as_dict() for point in schedule]
+                if ladder is not None:
+                    example["ladder"] = ladder
+                if session_error is not None:
+                    # Triage for recovery-crashed cells: exception type,
+                    # message and a short stack digest for grouping.
+                    example["error"] = session_error
+                examples.append(example)
     if heartbeat is not None:
         heartbeat.clear()
     return {
         "key": job_key(job),
         "job": job.document(),
-        "points": len(times),
+        "points": cells,
+        "crash_times": len(times),
+        "nested_schedules": len(schedules) - 1,
+        "nested_injected": nested_injected,
         "fault_events": fault_events,
         "outcomes": tallies,
         "examples": examples,
@@ -273,6 +329,12 @@ class CampaignSpec:
     operations: int = 8
     footprint_bytes: int = 8 * KB
     with_counter_recovery: bool = False
+    #: Sweep the nested-crash axis: every crash point is additionally
+    #: recovered under each schedule of the crash-point x recovery-step
+    #: grid (a second power failure mid-recovery).
+    nested_crash: bool = False
+    #: How many recovery steps the nested grid covers per phase.
+    nested_steps: int = 2
 
     def _fault_fields(self) -> List[Tuple[str, Tuple[Tuple[str, object], ...]]]:
         normalized = []
@@ -299,6 +361,8 @@ class CampaignSpec:
 
         if self.crash_points < 1:
             raise CampaignError("a campaign needs at least one crash point")
+        if self.nested_crash and self.nested_steps < 1:
+            raise CampaignError("a nested-crash campaign needs nested_steps >= 1")
         if not (self.workloads and self.designs and self.mechanisms and self.faults):
             raise CampaignError("empty campaign axis (workloads/designs/mechanisms/faults)")
         known_workloads = set(list_workloads(include_extra=True))
@@ -346,6 +410,8 @@ class CampaignSpec:
                                 operations=self.operations,
                                 footprint_bytes=self.footprint_bytes,
                                 with_counter_recovery=self.with_counter_recovery,
+                                nested_crash=self.nested_crash,
+                                nested_steps=self.nested_steps,
                             )
                         )
         return jobs
@@ -363,6 +429,8 @@ class CampaignSpec:
             "operations": self.operations,
             "footprint_bytes": self.footprint_bytes,
             "with_counter_recovery": self.with_counter_recovery,
+            "nested_crash": self.nested_crash,
+            "nested_steps": self.nested_steps,
         }
 
 
@@ -377,6 +445,9 @@ class CampaignReport:
     resilience: Dict[str, int] = field(default_factory=dict)
     #: Torn trailing journal lines moved aside during resume.
     journal_quarantined: int = 0
+    #: Older duplicate journal records dropped during resume (a retried
+    #: job appends a second record; only the newest counts).
+    journal_superseded: int = 0
 
     def total(self, outcome: Outcome) -> int:
         # .get: journal entries written before an outcome class existed
@@ -405,6 +476,7 @@ class CampaignReport:
             "executor": dict(self.executor_stats),
             "resilience": dict(self.resilience),
             "journal_quarantined": self.journal_quarantined,
+            "journal_superseded": self.journal_superseded,
         }
 
     def render(self) -> str:
@@ -412,9 +484,10 @@ class CampaignReport:
         lines: List[str] = []
         lines.append("crash campaign — %d job(s), %d crash point(s)" % (
             len(self.results), self.points))
-        header = "%-10s %-13s %-13s %-18s %6s %6s %6s %6s %6s %6s %6s" % (
+        header = "%-10s %-13s %-13s %-18s %6s %6s %6s %6s %6s %6s %6s %6s %6s" % (
             "workload", "design", "mechanism", "fault",
-            "points", "recov", "search", "detect", "tree", "SILENT", "CRASH",
+            "points", "recov", "search", "nrecov", "detect", "tree", "ndet",
+            "SILENT", "CRASH",
         )
         lines.append(header)
         lines.append("-" * len(header))
@@ -422,7 +495,7 @@ class CampaignReport:
             job = result["job"]
             outcomes = result["outcomes"]
             lines.append(
-                "%-10s %-13s %-13s %-18s %6d %6d %6d %6d %6d %6d %6d"
+                "%-10s %-13s %-13s %-18s %6d %6d %6d %6d %6d %6d %6d %6d %6d"
                 % (
                     job["workload"],
                     job["design"],
@@ -431,21 +504,27 @@ class CampaignReport:
                     result["points"],
                     outcomes.get(Outcome.RECOVERED.value, 0),
                     outcomes.get(Outcome.RECOVERED_SEARCH.value, 0),
+                    outcomes.get(Outcome.RECOVERED_NESTED.value, 0),
                     outcomes.get(Outcome.DETECTED.value, 0),
                     outcomes.get(Outcome.DETECTED_TREE.value, 0),
+                    outcomes.get(Outcome.DETECTED_NESTED.value, 0),
                     outcomes.get(Outcome.SILENT.value, 0),
                     outcomes.get(Outcome.CRASHED.value, 0),
                 )
             )
         lines.append("-" * len(header))
         lines.append(
-            "totals: %d recovered, %d recovered-by-search, %d detected, "
-            "%d detected-by-tree, %d silent-corruption, %d recovery-crashed"
+            "totals: %d recovered, %d recovered-by-search, "
+            "%d recovered-after-nested-crash, %d detected, %d detected-by-tree, "
+            "%d detected-after-nested-crash, %d silent-corruption, "
+            "%d recovery-crashed"
             % (
                 self.total(Outcome.RECOVERED),
                 self.total(Outcome.RECOVERED_SEARCH),
+                self.total(Outcome.RECOVERED_NESTED),
                 self.total(Outcome.DETECTED),
                 self.total(Outcome.DETECTED_TREE),
+                self.total(Outcome.DETECTED_NESTED),
                 self.silent,
                 self.crashed,
             )
@@ -456,6 +535,11 @@ class CampaignReport:
             lines.append(
                 "journal: %d torn line(s) quarantined; those jobs re-ran"
                 % self.journal_quarantined
+            )
+        if self.journal_superseded:
+            lines.append(
+                "journal: %d superseded record(s) deduped (retried jobs count once)"
+                % self.journal_superseded
             )
         if any(self.resilience.values()):
             lines.append(
@@ -512,6 +596,7 @@ class CampaignRunner:
         journal_dir: Optional[str] = None,
         checkpoint_dir: Optional[str] = None,
         checkpoint_every: Optional[int] = None,
+        retry_crashed: bool = False,
     ) -> None:
         from ..bench.parallel import SweepExecutor
 
@@ -525,7 +610,12 @@ class CampaignRunner:
         )
         self.checkpoint_dir = checkpoint_dir
         self.checkpoint_every = checkpoint_every
+        #: Re-run journaled jobs whose record shows recovery-crashed
+        #: cells instead of resuming them (their retry record supersedes
+        #: the old one in the journal).
+        self.retry_crashed = retry_crashed
         self.journal_quarantined = 0
+        self.journal_superseded = 0
 
     # -- journal ----------------------------------------------------------
 
@@ -533,8 +623,16 @@ class CampaignRunner:
         if self.journal_path is None or not os.path.exists(self.journal_path):
             return {}
         completed: Dict[str, Dict[str, object]] = {}
-        good_lines: List[str] = []
+        # Dedupe by job key, last record wins.  A retried job (e.g. a
+        # worker killed after journaling, a ``retry_crashed`` re-run, or
+        # an at-least-once workqueue delivery) appends a *second* record
+        # for the same key; keeping both would double-count its points
+        # in any journal-derived tally, so older records are superseded
+        # and dropped from the rewritten journal.
+        line_by_key: Dict[str, str] = {}
+        order: List[str] = []
         torn_lines: List[str] = []
+        superseded = 0
         try:
             with open(self.journal_path, "r", encoding="utf-8") as stream:
                 for raw in stream:
@@ -551,16 +649,46 @@ class CampaignRunner:
                         # job rather than failing the whole resume.
                         torn_lines.append(line)
                         continue
+                    if key in completed:
+                        superseded += 1
+                    else:
+                        order.append(key)
                     completed[key] = document
-                    good_lines.append(line)
+                    line_by_key[key] = line
         except OSError as exc:
             raise CampaignJournalError(
                 "cannot read campaign journal %s: %s" % (self.journal_path, exc)
             ) from None
+        good_lines = [line_by_key[key] for key in order]
+        self.journal_superseded += superseded
         if torn_lines:
             self.journal_quarantined += len(torn_lines)
             self._quarantine_journal_lines(good_lines, torn_lines)
+        elif superseded:
+            self._rewrite_journal(good_lines)
         return completed
+
+    def _rewrite_journal(self, good_lines: List[str]) -> None:
+        """Atomically rewrite the journal with only the surviving lines."""
+        journal_path = self.journal_path
+        if journal_path is None:
+            return
+        try:
+            tmp_path = "%s.tmp.%d" % (journal_path, os.getpid())
+            with open(tmp_path, "w", encoding="utf-8") as stream:
+                for line in good_lines:
+                    stream.write(line + "\n")
+                stream.flush()
+                os.fsync(stream.fileno())
+            os.replace(tmp_path, journal_path)
+        except OSError as exc:
+            # Best-effort: a read-only journal degrades to in-memory
+            # deduplication, never to a failed resume.
+            logger.warning(
+                "campaign journal %s: could not rewrite deduped journal (%s)",
+                journal_path,
+                exc,
+            )
 
     def _quarantine_journal_lines(
         self, good_lines: List[str], torn_lines: List[str]
@@ -645,6 +773,22 @@ class CampaignRunner:
         """Run (or resume) the campaign and return the triage report."""
         jobs = self.spec.jobs()
         completed = self._load_journal()
+        if self.retry_crashed:
+            # Treat journaled jobs with recovery-crashed cells as
+            # pending again; their fresh record supersedes the old one
+            # at the next resume (last-record-wins dedupe above).
+            retried = [
+                key
+                for key, record in completed.items()
+                if record["outcomes"].get(Outcome.CRASHED.value, 0)
+            ]
+            for key in retried:
+                del completed[key]
+            if retried:
+                logger.info(
+                    "campaign retry: re-running %d job(s) with crashed cells",
+                    len(retried),
+                )
         keys = [job_key(job) for job in jobs]
         results: List[Optional[Dict[str, object]]] = [
             completed.get(key) for key in keys
@@ -690,4 +834,5 @@ class CampaignRunner:
             executor_stats=self.executor.stats(),
             resilience=resilience,
             journal_quarantined=self.journal_quarantined,
+            journal_superseded=self.journal_superseded,
         )

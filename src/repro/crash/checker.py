@@ -29,6 +29,9 @@ class CrashOutcome:
     consistent: bool
     problems: List[str] = field(default_factory=list)
     undecryptable_lines: int = 0
+    #: Non-strict reads that returned :class:`GarbageRead` data during
+    #: recovery + validation — garbage a real system would consume.
+    garbage_reads: int = 0
 
 
 @dataclass
@@ -57,6 +60,11 @@ class CrashConsistencyReport:
     @property
     def undecryptable_crashes(self) -> int:
         return sum(1 for o in self.outcomes if o.undecryptable_lines > 0)
+
+    @property
+    def garbage_reads(self) -> int:
+        """Total garbage-tainted non-strict reads across the sweep."""
+        return sum(o.garbage_reads for o in self.outcomes)
 
     def first_failure(self) -> Optional[CrashOutcome]:
         for outcome in self.outcomes:
@@ -99,6 +107,7 @@ def sweep_crash_points(
                 consistent=not problems,
                 problems=problems,
                 undecryptable_lines=len(recovered.garbage_lines),
+                garbage_reads=recovered.garbage_reads,
             )
         )
     return CrashConsistencyReport(design=result.policy.name, outcomes=outcomes)

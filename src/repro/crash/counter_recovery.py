@@ -19,12 +19,15 @@ counter lag matters.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from ..config import CACHE_LINE_SIZE, EncryptionConfig
 from ..crypto.integrity import IntegrityEngine, TaggedLine
 from ..crypto.otp import OTPCipher, make_block_cipher
 from .injector import CrashImage
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (session imports us)
+    from .session import RecoveryContext
 
 
 @dataclass
@@ -81,6 +84,7 @@ class CounterRecoverer:
         self,
         image: CrashImage,
         tags: Optional[Dict[int, bytes]] = None,
+        context: Optional["RecoveryContext"] = None,
     ) -> CounterRecoveryReport:
         """Run counter recovery over every tagged data line of an image.
 
@@ -89,7 +93,19 @@ class CounterRecoverer:
         materialized from the image itself via :func:`collect_tags` —
         modeling a design whose tags ride in the ECC lanes and are
         therefore inherently atomic with each data write.
+
+        Each line of the sweep is one restartable
+        :meth:`~repro.crash.session.RecoveryContext.step`: recovered
+        counters are written into ``image.counter_store`` (an 8-byte
+        crash-atomic write) before the step completes, so a nested
+        crash mid-sweep loses nothing — retrying the sweep finds every
+        already-repaired line consistent and skips it.
         """
+        if context is None:
+            from .session import RecoveryContext
+
+            context = RecoveryContext()
+        context.enter_phase("counter-search")
         if tags is None:
             tags = collect_tags(image, self)
         report = CounterRecoveryReport()
@@ -102,6 +118,7 @@ class CounterRecoverer:
             report.lines_checked += 1
             if architectural == stored.encrypted_with:
                 report.already_consistent += 1
+                context.step()
                 continue
             found = self.recover_line(line, architectural)
             report.candidates_tried += (
@@ -115,6 +132,7 @@ class CounterRecoverer:
                 image.counter_store.write(address, found)
             else:
                 report.unrecoverable += 1
+            context.step()
         return report
 
 

@@ -17,11 +17,12 @@ durable state can change.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-from ..config import CACHE_LINE_SIZE
+from ..config import CACHE_LINE_SIZE, SystemConfig
 from ..crypto.counters import CounterStore
 from ..crypto.integrity import IntegrityEngine
+from ..crypto.otp import OTPCipher, make_block_cipher
 from ..faults.base import FaultEvent, FaultModel, apply_fault_models
 from ..nvm.address import AddressMap
 from ..nvm.device import NVMDevice
@@ -201,6 +202,79 @@ class CrashInjector:
             (a + b) / 2.0 for a, b in zip(boundaries, boundaries[1:]) if b > a
         ]
         return uniform_sample(midpoints, limit)
+
+
+def nested_crash_image(
+    image: CrashImage,
+    persisted: Mapping[int, bytes],
+    config: SystemConfig,
+    encrypted: bool = True,
+) -> CrashImage:
+    """The durable state after a power failure *during* recovery.
+
+    ``persisted`` maps line address -> plaintext for every recovery-side
+    write that completed before the nested crash.  The controller
+    persists recovery writes exactly like foreground writes — bump the
+    line counter, re-encrypt under the new counter, refresh the ECC-lane
+    tag, fold the counter into the integrity tree — so the second image
+    is built the same way: base image plus the completed writes pushed
+    through the full encrypt path.  Torn recovery writes arrive here
+    already merged (new prefix + old tail) by the recovery context; the
+    merge persists under a *consistent* counter, so it decrypts cleanly
+    and only idempotent replay can fix it — detection machinery cannot.
+
+    Counter mutations recovery made in place (Osiris search, tree
+    repair) are carried over by snapshotting ``image.counter_store``,
+    so a nested crash after a repaired counter keeps the repair.
+    """
+    address_map = image.address_map
+    device = NVMDevice(address_map, track_wear=False)
+    for address in image.device.touched_lines():
+        stored = image.device.read_line(address)
+        device.persist_line(address, stored.payload, stored.encrypted_with)
+    device.line_writes = 0
+    store = CounterStore(
+        counter_region_base=address_map.counter_region_base,
+        memory_size_bytes=address_map.memory_size_bytes,
+    )
+    for address, value in image.counter_store.snapshot().items():
+        store.write(address, value)
+    cipher = OTPCipher(make_block_cipher(config.encryption)) if encrypted else None
+    tags: Optional[Dict[int, bytes]] = (
+        dict(image.line_tags) if image.line_tags is not None else None
+    )
+    tag_engine = IntegrityEngine(config.encryption) if tags is not None else None
+    for address in sorted(persisted):
+        plaintext = persisted[address]
+        if cipher is None:
+            device.persist_line(address, plaintext, 0)
+            if tags is not None and tag_engine is not None:
+                tags[address] = tag_engine.tag(address, 0, plaintext)
+            continue
+        counter = store.read(address) + 1
+        store.write(address, counter)
+        ciphertext = cipher.encrypt(address, counter, plaintext)
+        device.persist_line(address, ciphertext, counter)
+        if tags is not None and tag_engine is not None:
+            tags[address] = tag_engine.tag(address, counter, ciphertext)
+    secure_root = image.secure_root
+    if secure_root is not None:
+        # Deferred import: repro.integrity.verifier imports this module.
+        from ..integrity.tree import IntegrityTreeEngine
+
+        tree_engine = IntegrityTreeEngine(
+            config.encryption, address_map, arity=config.integrity.arity
+        )
+        secure_root = tree_engine.root_over(store.snapshot())
+    return CrashImage(
+        crash_ns=image.crash_ns,
+        device=device,
+        counter_store=store,
+        design=image.design,
+        adr_pending=image.adr_pending,
+        secure_root=secure_root,
+        line_tags=tags,
+    )
 
 
 def uniform_sample(ordered: List[float], limit: Optional[int]) -> List[float]:

@@ -12,6 +12,7 @@ recovery (:mod:`repro.txn`) runs on.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
@@ -19,10 +20,25 @@ from ..config import CACHE_LINE_SIZE, EncryptionConfig
 from ..core.invariants import AtomicityViolation, check_counter_atomicity
 from ..crypto.otp import OTPCipher, make_block_cipher
 from ..errors import DecryptionFailure
-from ..utils.bitops import align_down, bytes_to_u64
+from ..utils.bitops import align_down, bytes_to_u64, u64_to_bytes
 from .injector import CrashImage
 
 _ZERO_LINE = bytes(CACHE_LINE_SIZE)
+
+
+class GarbageRead(bytes):
+    """Bytes from a non-strict read that touched undecryptable lines.
+
+    A real controller cannot tell garbage from data: the read succeeds
+    and returns whatever the wrong pad produced.  The simulator returns
+    this ``bytes`` subtype instead of silently zero-filling or handing
+    back anonymous bytes, so callers — and the crash checker's
+    accounting — can distinguish decrypted garbage from a legitimately
+    zero untouched line without any behavioural change for code that
+    just wanted the bytes.
+    """
+
+    __slots__ = ()
 
 
 @dataclass
@@ -32,6 +48,8 @@ class RecoveredMemory:
     image: CrashImage
     plaintext_lines: Dict[int, bytes]
     garbage_lines: Set[int]
+    #: How many non-strict reads returned :class:`GarbageRead` data.
+    garbage_reads: int = 0
 
     def read(self, address: int, length: int, strict: bool = True) -> bytes:
         """Read recovered plaintext bytes.
@@ -39,21 +57,29 @@ class RecoveredMemory:
         ``strict=True`` raises :class:`DecryptionFailure` when the read
         touches a line whose counter was out of sync — recovery code
         that *depends* on such a line is broken.  ``strict=False``
-        returns the garbage, mirroring real hardware.
+        returns the garbage as a :class:`GarbageRead` (a ``bytes``
+        subtype), mirroring real hardware while keeping the taint
+        visible to callers that care.
         """
         result = bytearray()
         offset = address
         remaining = length
+        garbage_hit = False
         while remaining > 0:
             line = align_down(offset, CACHE_LINE_SIZE)
-            if strict and line in self.garbage_lines:
-                raise DecryptionFailure(line)
+            if line in self.garbage_lines:
+                if strict:
+                    raise DecryptionFailure(line)
+                garbage_hit = True
             payload = self.plaintext_lines.get(line, _ZERO_LINE)
             start = offset - line
             take = min(remaining, CACHE_LINE_SIZE - start)
             result.extend(payload[start : start + take])
             offset += take
             remaining -= take
+        if garbage_hit:
+            self.garbage_reads += 1
+            return GarbageRead(result)
         return bytes(result)
 
     def read_u64(self, address: int, strict: bool = True) -> int:
@@ -61,6 +87,23 @@ class RecoveredMemory:
 
     def is_garbage(self, address: int) -> bool:
         return align_down(address, CACHE_LINE_SIZE) in self.garbage_lines
+
+    def fingerprint(self) -> str:
+        """Content hash of the recovered state.
+
+        Covers the plaintext lines and the garbage set — everything
+        recovery and validation observe — so two recoveries are
+        bit-identical iff their fingerprints match.  Used by the
+        nested-crash determinism and resume-equivalence properties.
+        """
+        digest = hashlib.sha256()
+        for address in sorted(self.plaintext_lines):
+            digest.update(u64_to_bytes(address))
+            digest.update(self.plaintext_lines[address])
+        digest.update(b"|garbage|")
+        for address in sorted(self.garbage_lines):
+            digest.update(u64_to_bytes(address))
+        return digest.hexdigest()
 
 
 class RecoveryManager:

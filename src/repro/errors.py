@@ -79,6 +79,26 @@ class RecoveryError(ReproError):
     """Post-crash recovery could not restore a consistent state."""
 
 
+class NestedCrash(ReproError):
+    """A simulated power failure *during* recovery.
+
+    Raised by an armed recovery-phase fault plan when recovery reaches
+    the scheduled step.  Not an error in the library — the expected
+    experimental outcome of a nested-crash campaign: whatever recovery
+    persisted before this point is the durable state the *next*
+    recovery attempt starts from.
+    """
+
+    def __init__(self, phase: str, step: int, kind: str = "crash") -> None:
+        self.phase = phase
+        self.step = step
+        self.kind = kind
+        super().__init__(
+            "nested crash (%s) after recovery step %d of phase %r"
+            % (kind, step, phase)
+        )
+
+
 class TransactionError(ReproError):
     """Misuse of the transactional API (nesting, double-commit, ...)."""
 

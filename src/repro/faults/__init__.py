@@ -22,6 +22,13 @@ from .models import (
     TornCounterLineWrite,
     TornDataLineWrite,
 )
+from .oneshot import OneShotTrigger, latch_once
+from .recovery import (
+    RECOVERY_PHASES,
+    RecoveryFaultPlan,
+    RecoveryFaultPoint,
+    nested_point_grid,
+)
 from .registry import (
     DEFAULT_SUITE,
     default_fault_suite,
@@ -31,6 +38,12 @@ from .registry import (
 )
 
 __all__ = [
+    "OneShotTrigger",
+    "latch_once",
+    "RECOVERY_PHASES",
+    "RecoveryFaultPlan",
+    "RecoveryFaultPoint",
+    "nested_point_grid",
     "FaultEvent",
     "FaultModel",
     "apply_fault_models",

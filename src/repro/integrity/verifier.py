@@ -24,13 +24,16 @@ then rebuild the tree over the recovered counters and reseal the root.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from ..config import SystemConfig
 from ..crash.counter_recovery import CounterRecoverer, CounterRecoveryReport
 from ..crash.injector import CrashImage
 from ..crypto.integrity import IntegrityEngine, TaggedLine
 from .tree import IntegrityTreeEngine
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (session imports us)
+    from ..crash.session import RecoveryContext
 
 __all__ = ["TreeVerificationReport", "repair_image", "verify_image"]
 
@@ -140,6 +143,7 @@ def repair_image(
     image: CrashImage,
     config: SystemConfig,
     max_lag: Optional[int] = None,
+    context: Optional["RecoveryContext"] = None,
 ) -> Tuple[CounterRecoveryReport, TreeVerificationReport]:
     """Osiris counter search + Phoenix root reseal, in place.
 
@@ -151,11 +155,26 @@ def repair_image(
 
     Returns the recovery report and the post-repair verification
     (clean iff every tagged line now decrypts consistently).
+
+    Restartable in two phases: the counter sweep steps per line under
+    the ``counter-search`` phase (inside :meth:`recover_image`), then
+    the reseal is one ``tree-repair`` step.  Both mutate the image in
+    place with crash-atomic writes, so re-running after a nested crash
+    resumes from the repaired state; an interrupted reseal just
+    recomputes the same root.
     """
     if max_lag is None:
         max_lag = config.integrity.max_counter_lag
+    if context is None:
+        from ..crash.session import RecoveryContext
+
+        context = RecoveryContext()
+    context.enter_phase("tree-repair")
     recoverer = CounterRecoverer(config.encryption, max_lag=max_lag)
-    recovery = recoverer.recover_image(image, tags=image.line_tags)
+    recovery = recoverer.recover_image(image, tags=image.line_tags, context=context)
+    context.enter_phase("tree-repair")
+    context.step()
     engine = _tree_engine(image, config)
     image.secure_root = engine.root_over(image.counter_store.snapshot())
+    context.step()
     return recovery, verify_image(image, config)

@@ -44,6 +44,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..config import CACHE_LINE_SIZE
 from ..core.primitives import CounterAtomic, PersistentVar, Plain
 from ..crash.recovery import RecoveredMemory
+from ..crash.session import RecoveryContext
 from ..errors import TransactionError
 from ..sim.trace import TraceBuilder
 from ..utils.bitops import u64_to_bytes
@@ -188,7 +189,9 @@ class ChecksummedUndoLog:
 
 
 def recover_checksummed_undo(
-    recovered: RecoveredMemory, arena: CoreArena
+    recovered: RecoveredMemory,
+    arena: CoreArena,
+    context: Optional[RecoveryContext] = None,
 ) -> List[int]:
     """Post-crash recovery: restore the in-flight transaction, if any.
 
@@ -196,9 +199,16 @@ def recover_checksummed_undo(
     valid checksums and restores their pre-images.  Torn or
     undecryptable entries are skipped — by the prepare-barrier
     argument their targets cannot have been mutated.
+
+    Each restore is one :meth:`RecoveryContext.step`.  The procedure
+    never writes the record (``committed_seq`` is untouched by a crash
+    mid-scan), so an interrupted scan re-runs in full on the next boot
+    and every restore rewrites the same pre-image — idempotent.
     """
     from ..errors import DecryptionFailure
 
+    context = context or RecoveryContext()
+    context.enter_phase("txn-replay")
     committed_seq = recovered.read_u64(arena.txn_record + _COMMITTED_SEQ_OFFSET)
     in_flight = committed_seq + 1
     restored: List[int] = []
@@ -218,7 +228,8 @@ def recover_checksummed_undo(
             continue
         if entry_checksum(target, in_flight, pre_image) != checksum:
             continue
-        recovered.plaintext_lines[target] = pre_image
-        recovered.garbage_lines.discard(target)
+        context.write_line(recovered, target, pre_image)
         restored.append(target)
+        context.step()
+    context.step()
     return restored

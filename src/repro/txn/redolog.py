@@ -28,6 +28,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..config import CACHE_LINE_SIZE
 from ..core.primitives import CounterAtomic, PersistentVar, Plain
 from ..crash.recovery import RecoveredMemory
+from ..crash.session import RecoveryContext
 from ..errors import TransactionError
 from ..sim.trace import TraceBuilder
 from ..utils.bitops import u64_to_bytes
@@ -180,11 +181,23 @@ class RedoLogTransactions:
         self.commit()
 
 
-def recover_redo_log(recovered: RecoveredMemory, arena: CoreArena) -> List[int]:
-    """Post-crash redo recovery: replay the log if the record is armed."""
+def recover_redo_log(
+    recovered: RecoveredMemory,
+    arena: CoreArena,
+    context: Optional[RecoveryContext] = None,
+) -> List[int]:
+    """Post-crash redo recovery: replay the log if the record is armed.
+
+    Restartable at entry granularity (see :func:`recover_undo_log` for
+    the step discipline): an interrupted replay leaves the record
+    armed, and re-applying a logged new-value is idempotent.
+    """
+    context = context or RecoveryContext()
+    context.enter_phase("txn-replay")
     record = arena.txn_record
     valid = recovered.read_u64(record + _VALID_OFFSET)
     if valid == 0:
+        context.step()
         return []
     if valid != 1:
         raise TransactionError("corrupt transaction record: valid=%d" % valid)
@@ -203,8 +216,9 @@ def recover_redo_log(recovered: RecoveredMemory, arena: CoreArena) -> List[int]:
             raise TransactionError("log entry %d from a different transaction" % index)
         target = recovered.read_u64(header + 8)
         new_image = recovered.read(header + CACHE_LINE_SIZE, CACHE_LINE_SIZE)
-        recovered.plaintext_lines[target] = new_image
-        recovered.garbage_lines.discard(target)
+        context.write_line(recovered, target, new_image)
         applied.append(target)
-    recovered.plaintext_lines[record] = bytes(CACHE_LINE_SIZE)
+        context.step()
+    context.write_line(recovered, record, bytes(CACHE_LINE_SIZE))
+    context.step()
     return applied

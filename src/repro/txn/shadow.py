@@ -19,6 +19,7 @@ from typing import List, Optional, Sequence, Tuple
 from ..config import CACHE_LINE_SIZE
 from ..core.primitives import CounterAtomic, PersistentVar, Plain
 from ..crash.recovery import RecoveredMemory
+from ..crash.session import RecoveryContext
 from ..errors import TransactionError
 from ..sim.trace import TraceBuilder
 from .heap import CoreArena
@@ -115,7 +116,9 @@ class ShadowTransactions:
 
 
 def recover_shadow(
-    recovered: RecoveredMemory, region: ShadowRegion
+    recovered: RecoveredMemory,
+    region: ShadowRegion,
+    context: Optional[RecoveryContext] = None,
 ) -> Tuple[int, int]:
     """Post-crash shadow recovery.
 
@@ -123,8 +126,15 @@ def recover_shadow(
     counter-atomic, so the strict read must succeed; the active copy's
     lines were ccwb'd + barriered before every flip, so they are
     decryptable too.
+
+    Shadow recovery is read-only — one step, trivially idempotent: a
+    nested crash here loses nothing and the next boot re-reads the
+    same selector.
     """
+    context = context or RecoveryContext()
+    context.enter_phase("txn-replay")
     selector = recovered.read_u64(region.selector_line + _SELECTOR_OFFSET)
     if selector not in (0, 1):
         raise TransactionError("corrupt shadow selector: %d" % selector)
+    context.step()
     return int(selector), region.copy_base(int(selector))

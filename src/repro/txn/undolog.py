@@ -31,6 +31,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..config import CACHE_LINE_SIZE
 from ..core.primitives import CounterAtomic, PersistentVar, Plain
 from ..crash.recovery import RecoveredMemory
+from ..crash.session import RecoveryContext
 from ..errors import TransactionError
 from ..sim.trace import TraceBuilder
 from ..utils.bitops import u64_to_bytes
@@ -217,7 +218,9 @@ class UndoLogTransactions:
 
 
 def recover_undo_log(
-    recovered: RecoveredMemory, arena: CoreArena
+    recovered: RecoveredMemory,
+    arena: CoreArena,
+    context: Optional[RecoveryContext] = None,
 ) -> List[int]:
     """Post-crash undo recovery for one arena.
 
@@ -226,10 +229,20 @@ def recover_undo_log(
     addresses.  All reads are *strict*: the protocol guarantees the
     record and (when armed) the log are decryptable, so a decryption
     failure here is a genuine counter-atomicity violation and raises.
+
+    The procedure is restartable at entry granularity: each restore is
+    one :meth:`RecoveryContext.step`, and the record clear — the write
+    that retires the log — comes last.  A crash anywhere mid-replay
+    leaves ``valid = 1``, so the next boot replays from entry 0; every
+    restore rewrites its target with the same pre-image, making the
+    whole replay idempotent.
     """
+    context = context or RecoveryContext()
+    context.enter_phase("txn-replay")
     record = arena.txn_record
     valid = recovered.read_u64(record + _VALID_OFFSET)
     if valid == 0:
+        context.step()
         return []
     if valid != 1:
         raise TransactionError("corrupt transaction record: valid=%d" % valid)
@@ -252,9 +265,11 @@ def recover_undo_log(
             )
         target = recovered.read_u64(header + 8)
         pre_image = recovered.read(header + CACHE_LINE_SIZE, CACHE_LINE_SIZE)
-        recovered.plaintext_lines[target] = pre_image
-        recovered.garbage_lines.discard(target)
+        context.write_line(recovered, target, pre_image)
         restored.append(target)
-    # The restore re-encrypts with fresh counters; the record is cleared.
-    recovered.plaintext_lines[record] = bytes(CACHE_LINE_SIZE)
+        context.step()
+    # The restore re-encrypts with fresh counters; the record is cleared
+    # last, so an interrupted replay stays armed and re-runs in full.
+    context.write_line(recovered, record, bytes(CACHE_LINE_SIZE))
+    context.step()
     return restored

@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..config import CACHE_LINE_SIZE
 from ..crash.recovery import RecoveredMemory
+from ..crash.session import RecoveryContext
 from ..errors import DecryptionFailure, TransactionError, WorkloadError
 from ..sim.trace import TraceBuilder
 from ..txn.heap import CoreArena
@@ -276,24 +277,31 @@ class PrefixValidator:
     def __call__(self, recovered: RecoveredMemory) -> List[str]:
         return self.classify(recovered).problems
 
-    def classify(self, recovered: RecoveredMemory) -> ValidationVerdict:
+    def classify(
+        self,
+        recovered: RecoveredMemory,
+        context: Optional[RecoveryContext] = None,
+    ) -> ValidationVerdict:
         """Full verdict: detected vs silent problems, prefix bookkeeping.
 
         Exceptions other than the mechanism's own detection channels
         (:class:`DecryptionFailure`, :class:`TransactionError`)
         propagate to the caller — a recovery procedure that crashes on
-        a corrupt image is itself a finding, not a verdict.
+        a corrupt image is itself a finding, not a verdict.  That
+        includes :class:`~repro.errors.NestedCrash` from an armed
+        ``context``: an injected mid-recovery power failure is the
+        session's to handle, never a verdict.
         """
         run = self.run
         minimum = self._min_required_prefix(recovered.image.crash_ns)
         verdict = ValidationVerdict(consistent=False, required_prefix=minimum)
         try:
             if run.mechanism == "undo":
-                recover_undo_log(recovered, run.arena)
+                recover_undo_log(recovered, run.arena, context=context)
             elif run.mechanism == "redo":
-                recover_redo_log(recovered, run.arena)
+                recover_redo_log(recovered, run.arena, context=context)
             elif run.mechanism == "checksum-undo":
-                recover_checksummed_undo(recovered, run.arena)
+                recover_checksummed_undo(recovered, run.arena, context=context)
             else:
                 raise WorkloadError("unknown mechanism %r" % run.mechanism)
         except DecryptionFailure as failure:

@@ -1,125 +1,75 @@
 #!/usr/bin/env python3
-"""A crash-consistent key-value store on encrypted NVMM.
+"""A crash-consistent key-value service on encrypted NVMM.
 
-A small but complete application built on the library's public API: a
-persistent hash-table KV store whose puts run as undo-logged
-transactions with the paper's SCA primitives.  The example
+A thin demo over :mod:`repro.service` — the library's multi-tenant KV
+engine, seeded traffic generator and crash/recover/SLO scenario runner
+(the same machinery behind ``repro-bench serve``).  The example
 
-1. executes a batch of puts under every design point and compares
-   runtime and write traffic (a miniature Figure 12 / 14),
-2. crashes the SCA run at 200 instants and verifies the store always
-   recovers to a consistent prefix of the puts.
+1. replays one seeded traffic stream under several design points and
+   compares runtime and tail latency (a miniature Figure 12 / 14),
+2. cuts power mid-traffic on the SCA run, recovers, and checks the
+   durability triage: every *acknowledged* operation survived, every
+   tenant recovered to a linearizable prefix,
+3. repeats the crash on the ``unsafe`` design to show what the paper's
+   mechanisms are buying: without them, acknowledged writes vanish.
+
+An earlier revision of this example hand-rolled its hash table and
+leaked an open transaction when the store filled up (it raised after
+``begin()`` without aborting); the service engine's
+:class:`~repro.service.kv.TenantKV` aborts cleanly and splits buckets
+instead, so the store never fills.
 
 Run:  python examples/kv_store.py
 """
 
 from __future__ import annotations
 
-import random
+from repro.service import ServiceJob, TrafficSpec, run_service_job
 
-from repro import Machine, TraceBuilder, fast_config
-from repro.config import CACHE_LINE_SIZE
-from repro.crash.checker import sweep_crash_points
-from repro.sim.machine import SimulationResult
-from repro.txn.heap import MemoryLayout
-from repro.txn.undolog import UndoLogTransactions
-from repro.workloads.base import LineModel, PrefixValidator, TxnRecorder, WorkloadRun
-
-BUCKETS = 256
-PAIRS_PER_BUCKET = 4
-
-
-class PersistentKVStore:
-    """Open-addressing KV store generating transactional traces."""
-
-    def __init__(self, recorder: TxnRecorder, base: int) -> None:
-        self.recorder = recorder
-        self.base = base
-
-    def _bucket(self, key: int, probe: int) -> int:
-        mixed = (key * 0x9E3779B97F4A7C15) & ((1 << 64) - 1)
-        return self.base + (((mixed >> 16) + probe) % BUCKETS) * CACHE_LINE_SIZE
-
-    def put(self, key: int, value: int) -> None:
-        recorder = self.recorder
-        recorder.begin()
-        for probe in range(BUCKETS):
-            bucket = self._bucket(key, probe)
-            line = recorder.read_line(bucket)
-            for slot in range(PAIRS_PER_BUCKET):
-                offset = slot * 16
-                existing = int.from_bytes(line[offset : offset + 8], "little")
-                if existing in (0, key):
-                    recorder.write_u64(bucket + offset, key)
-                    recorder.write_u64(bucket + offset + 8, value)
-                    recorder.commit()
-                    return
-        raise RuntimeError("store full")
-
-    def get(self, key: int) -> int | None:
-        for probe in range(BUCKETS):
-            bucket = self._bucket(key, probe)
-            line = self.recorder.model.line(bucket)
-            for slot in range(PAIRS_PER_BUCKET):
-                offset = slot * 16
-                existing = int.from_bytes(line[offset : offset + 8], "little")
-                if existing == key:
-                    return int.from_bytes(line[offset + 8 : offset + 16], "little")
-                if existing == 0:
-                    return None
-        return None
-
-
-def run_store(design: str, puts) -> tuple[SimulationResult, WorkloadRun]:
-    config = fast_config()
-    layout = MemoryLayout.build(config, log_capacity=16)
-    arena = layout.arena(0)
-    builder = TraceBuilder("kv-%s" % design)
-    txns = UndoLogTransactions(builder, arena)
-    recorder = TxnRecorder(builder, txns, LineModel())
-    store = PersistentKVStore(recorder, arena.heap.alloc(BUCKETS * CACHE_LINE_SIZE))
-    for key, value in puts:
-        store.put(key, value)
-    assert all(store.get(k) == v for k, v in dict(puts).items())
-    result = Machine(config, design).run([builder.build()])
-    run = WorkloadRun(
-        name="kv",
-        arena=arena,
-        initial_image={},
-        history=recorder.history,
-        final_model=recorder.model,
-        mechanism="undo",
-        operations=len(puts),
-    )
-    return result, run
+DESIGNS = ("no-encryption", "ideal", "sca", "fca", "co-located-cc")
 
 
 def main() -> None:
-    rng = random.Random(7)
-    puts = [(rng.getrandbits(32) | 1, rng.getrandbits(32)) for _ in range(25)]
+    spec = TrafficSpec(tenants=3, operations=90, seed=7, keyspace=64)
 
-    print("25 puts into a crash-consistent KV store, per design point:")
-    print("  %-14s %12s %14s" % ("design", "runtime", "bytes to NVM"))
+    print("one seeded traffic stream (%d ops, %d tenants), per design point:"
+          % (spec.operations, spec.tenants))
+    print("  %-14s %12s %10s %10s" % ("design", "runtime", "p99", "ops/ms"))
     baseline = None
-    for design in ("no-encryption", "ideal", "sca", "fca", "co-located", "co-located-cc"):
-        result, _run = run_store(design, puts)
+    for design in DESIGNS:
+        report = run_service_job(ServiceJob(design=design, traffic=spec, crash=False))
+        runtime = report["runtime_ns"]
         if baseline is None:
-            baseline = result.stats.runtime_ns
-        print("  %-14s %9.0f ns %11d B   (%.2fx)" % (
+            baseline = runtime
+        totals = report["totals"]
+        print("  %-14s %9.0f ns %7.2f us %10.2f   (%.2fx)" % (
             design,
-            result.stats.runtime_ns,
-            result.stats.bytes_written,
-            result.stats.runtime_ns / baseline,
+            runtime,
+            totals["latency"]["p99_ns"] / 1e3,
+            totals["throughput_ops_per_ms"],
+            runtime / baseline,
         ))
 
-    print("\ncrash-sweeping the SCA run...")
-    result, run = run_store("sca", puts)
-    validator = PrefixValidator(run, txn_end_times=result.txn_end_times[0])
-    report = sweep_crash_points(result, validator, max_points=200)
-    print("  %d crash points -> %d consistent, %d inconsistent" % (
-        report.total, report.consistent, report.inconsistent))
-    assert report.all_consistent
-    print("  every crash recovered to a consistent prefix of the puts")
+    print("\ncutting power mid-traffic on the SCA run...")
+    report = run_service_job(ServiceJob(design="sca", traffic=spec, crash=True))
+    crash = report["crash"]
+    totals = report["totals"]
+    print("  crash @ %.0f ns -> %s" % (crash["crash_ns"], report["status"]))
+    for tenant in report["tenants"]:
+        durability = tenant["durability"]
+        print("  tenant %d: %d/%d acked, recovered prefix %s, %d acked-but-lost"
+              % (tenant["tenant"], tenant["acked"], tenant["ops"],
+                 durability["recovered_prefix"], durability["acked_lost"]))
+    assert report["consistent"], "SCA recovery must be consistent"
+    assert totals["acked_lost"] == 0, "SCA must not lose acknowledged writes"
+    print("  every acknowledged operation survived the crash")
+
+    print("\nsame crash without the paper's mechanisms (design 'unsafe'):")
+    report = run_service_job(ServiceJob(design="unsafe", traffic=spec, crash=True))
+    totals = report["totals"]
+    print("  verdict %s: %d acknowledged operation(s) lost" % (
+        report["status"], totals["acked_lost"]))
+    assert totals["acked_lost"] > 0 or not report["consistent"]
 
 
 if __name__ == "__main__":

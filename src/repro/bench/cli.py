@@ -36,7 +36,8 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="?",
         default="all",
         help="experiment name (%s), 'all', 'perf' (kernel/sweep regression "
-        "benchmarks), 'campaign' (fault-injection crash campaign), or "
+        "benchmarks), 'campaign' (fault-injection crash campaign), 'serve' "
+        "(multi-tenant KV service traffic with per-tenant SLO report), or "
         "'designs' (print the composed design matrix)"
         % ", ".join(EXPERIMENTS),
     )
@@ -290,6 +291,75 @@ def build_parser() -> argparse.ArgumentParser:
         "Freij-style), 'lazy' coalesces dirty nodes in the tree cache "
         "(Phoenix-style); default: each design's own default",
     )
+    serve = parser.add_argument_group(
+        "serve options (experiment = 'serve'; also honors --designs, "
+        "--seed, --mechanisms, --nested-crash, --with-counter-recovery, "
+        "--workers/--backend and --json)"
+    )
+    serve.add_argument(
+        "--tenants", type=int, default=4, metavar="N",
+        help="tenant namespaces, each with an isolated arena (default 4)",
+    )
+    serve.add_argument(
+        "--ops", type=int, default=200, metavar="N",
+        help="operations in the generated traffic stream (default 200)",
+    )
+    serve.add_argument(
+        "--crash-mid-traffic",
+        action="store_true",
+        help="cut power mid-traffic, recover every tenant arena, and add "
+        "the durability triage (acked-but-lost vs recovered) to the SLO "
+        "report; without it the report is the crash-free latency baseline",
+    )
+    serve.add_argument(
+        "--crash-fraction", type=float, default=0.5, metavar="F",
+        help="where in the run the crash lands, as a fraction of the "
+        "simulated runtime (default 0.5; snapped to the nearest "
+        "durability-interesting instant)",
+    )
+    serve.add_argument(
+        "--traffic-mode", choices=("open", "closed"), default="open",
+        help="open = rate-driven arrivals (internet-facing traffic); "
+        "closed = fixed client pool with think time",
+    )
+    serve.add_argument(
+        "--arrival", choices=("poisson", "bursty"), default="poisson",
+        help="open-loop arrival process (bursty = ON/OFF-modulated Poisson)",
+    )
+    serve.add_argument(
+        "--rate", type=float, default=0.25, metavar="OPS_PER_US",
+        help="open-loop mean arrival rate in ops per modeled microsecond",
+    )
+    serve.add_argument(
+        "--clients", type=int, default=8, metavar="N",
+        help="closed-loop concurrent clients (default 8)",
+    )
+    serve.add_argument(
+        "--think-ns", type=float, default=1500.0, metavar="NS",
+        help="closed-loop per-client think time (default 1500 ns)",
+    )
+    serve.add_argument(
+        "--zipf", type=float, default=0.9, metavar="ALPHA",
+        help="key-popularity skew (0 = uniform; default 0.9)",
+    )
+    serve.add_argument(
+        "--keyspace", type=int, default=256, metavar="N",
+        help="distinct keys per tenant namespace (default 256)",
+    )
+    serve.add_argument(
+        "--fault",
+        default=None,
+        metavar="MODEL",
+        help="also corrupt the crash image with this fault model "
+        "(see the campaign fault registry) before recovery",
+    )
+    serve.add_argument(
+        "--serve-dir",
+        metavar="DIR",
+        default=None,
+        help="journal directory; a rerun pointed here resumes finished "
+        "design reports instead of re-running them",
+    )
     return parser
 
 
@@ -534,6 +604,81 @@ def _run_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    """The KV service scenario: traffic -> (crash ->) recover -> SLO report."""
+    import json
+
+    from ..errors import ReproError
+    from ..service.scenario import ServiceJob, ServiceRunner
+    from ..service.traffic import TrafficSpec
+
+    try:
+        spec = TrafficSpec(
+            tenants=args.tenants,
+            operations=args.ops,
+            seed=args.seed,
+            mode=args.traffic_mode,
+            arrival=args.arrival,
+            rate_ops_per_us=args.rate,
+            clients=args.clients,
+            think_ns=args.think_ns,
+            zipf_alpha=args.zipf,
+            keyspace=args.keyspace,
+        )
+        jobs = [
+            ServiceJob(
+                design=design,
+                traffic=spec,
+                mechanism=args.mechanisms.split(",")[0],
+                crash=args.crash_mid_traffic,
+                crash_fraction=args.crash_fraction,
+                fault=args.fault,
+                nested_crash=args.nested_crash,
+                nested_steps=args.nested_steps,
+                with_counter_recovery=args.with_counter_recovery,
+            )
+            for design in args.designs.split(",")
+        ]
+        executor = SweepExecutor(
+            workers=args.workers,
+            job_timeout_s=args.job_timeout,
+            max_retries=args.retries,
+            backend=args.backend,
+            queue_dir=args.queue_dir,
+            lease_timeout_s=args.lease_timeout,
+            max_lease_failures=args.max_lease_failures,
+        )
+        runner = ServiceRunner(jobs, executor=executor, journal_dir=args.serve_dir)
+        report = runner.run()
+    except ReproError as exc:
+        print("repro-bench serve: %s" % exc, file=sys.stderr)
+        return 2
+    print(report.render())
+    if args.json is not None:
+        payload = json.dumps(report.as_dict(), indent=2, sort_keys=True)
+        if args.json == "-":
+            print(payload)
+        else:
+            with open(args.json, "w", encoding="utf-8") as stream:
+                stream.write(payload + "\n")
+            print("wrote %s" % args.json)
+    if report.crashed:
+        print(
+            "%d design(s): recovery itself crashed" % report.crashed,
+            file=sys.stderr,
+        )
+        return 1
+    violations = report.durability_violations
+    if violations:
+        print(
+            "%d crash-consistent design(s) violated the durability SLO "
+            "(acknowledged writes lost or silent corruption)" % violations,
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _run_designs(args: argparse.Namespace) -> int:
     """Print the composed design matrix (the valid ``--designs`` values).
 
@@ -601,19 +746,22 @@ def main(argv: Optional[List[str]] = None) -> int:
             print("%-8s %s" % (name, (cls.__doc__ or "").strip().splitlines()[0]))
         print("%-8s %s" % ("perf", "Kernel and sweep regression benchmarks (BENCH_*.json)"))
         print("%-8s %s" % ("campaign", "Fault-injection crash campaign with triage report"))
+        print("%-8s %s" % ("serve", "Multi-tenant KV service traffic with per-tenant SLO report"))
         print("%-8s %s" % ("designs", "Print the composed design matrix (valid --designs values)"))
         return 0
     if args.experiment == "perf":
         return _run_perf(args)
     if args.experiment == "campaign":
         return _run_campaign(args)
+    if args.experiment == "serve":
+        return _run_serve(args)
     if args.experiment == "designs":
         return _run_designs(args)
     executor = _make_executor(args)
     if args.experiment != "all" and args.experiment not in EXPERIMENTS:
         print(
             "repro-bench: unknown experiment %r; available: %s, all, perf, "
-            "campaign, designs" % (args.experiment, ", ".join(EXPERIMENTS)),
+            "campaign, serve, designs" % (args.experiment, ", ".join(EXPERIMENTS)),
             file=sys.stderr,
         )
         return 2

@@ -260,7 +260,61 @@ def bench_kernels(scale: str = "quick") -> Dict[str, Dict[str, float]]:
     fast_s = _best_of(lambda: cache.lookup_for_read_many(bulk_addresses))
     ref_s = _best_of(lambda: [cache.lookup_for_read(a) for a in bulk_addresses])
     results["counter_cache_bulk_lookup"] = _kernel(fast_s, bulk_n, ref_s, bulk_n)
+
+    # -- KV service put transaction: volatile index vs persistent probe --
+    results["kv_put_txn"] = _bench_kv_put(mult)
     return results
+
+
+def _bench_kv_put(mult: int) -> Dict[str, float]:
+    """Time one KV-service put transaction, indexed vs probe-only.
+
+    The service engine keeps a volatile key->slot index (rebuilt after
+    splits, never persisted) so a put's locate step is one timed line
+    read; the retained reference path (``use_index=False``) probes the
+    open-addressing chain through the recorder on every access, exactly
+    like the pre-index engine.  Keys are chosen to collide into one
+    home bucket — the adversarial chain an aged, tombstone-riddled
+    table develops — so the kernel measures the probe work the index
+    removes rather than a near-empty table's single-bucket best case.
+    """
+    from ..config import fast_config
+    from ..service.kv import ServiceWorkload, TenantKV
+
+    config = fast_config()
+    nbuckets = 64
+    chain_keys: List[int] = []
+    key = 1
+    while len(chain_keys) < 128:
+        if TenantKV._home_bucket(key, nbuckets) == 0:
+            chain_keys.append(key)
+        key += 1
+
+    def build(use_index: bool) -> TenantKV:
+        workload = ServiceWorkload(
+            config,
+            tenants=1,
+            initial_buckets=nbuckets,
+            use_index=use_index,
+            name="perf-kv-%s" % ("index" if use_index else "probe"),
+        )
+        store = workload.stores[0]
+        for position, chain_key in enumerate(chain_keys):
+            store.put(chain_key, position)
+        return store
+
+    indexed = build(use_index=True)
+    probing = build(use_index=False)
+    fast_n = 400 * mult
+    ref_n = 100 * mult
+
+    def run_puts(store: TenantKV, count: int) -> None:
+        for index in range(count):
+            store.put(chain_keys[index % len(chain_keys)], index)
+
+    fast_s = _best_of(lambda: run_puts(indexed, fast_n))
+    ref_s = _best_of(lambda: run_puts(probing, ref_n))
+    return _kernel(fast_s, fast_n, ref_s, ref_n)
 
 
 def _seed_block(address: int, counter: int, block_index: int) -> bytes:

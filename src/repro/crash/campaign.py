@@ -577,6 +577,166 @@ class CampaignReport:
         return "\n".join(lines)
 
 
+class JobJournal:
+    """Append-only, crash-safe jsonl journal of finished job documents.
+
+    Shared by every resumable runner (crash campaigns, the KV service
+    scenarios): each record is one JSON object carrying at least a
+    ``key`` plus whatever ``require`` fields the owner shape-checks.
+    Records are fsynced line-by-line, deduped last-record-wins on load,
+    and torn trailing lines (a mid-write kill) are quarantined to a
+    side file instead of failing the resume.
+    """
+
+    def __init__(
+        self,
+        journal_dir: Optional[str],
+        name: str = "journal.jsonl",
+        require: Sequence[str] = ("key",),
+    ) -> None:
+        self.journal_dir = journal_dir
+        self.path = (
+            os.path.join(journal_dir, name) if journal_dir is not None else None
+        )
+        self.require = tuple(require)
+        #: Torn lines moved aside by the last :meth:`load`.
+        self.quarantined = 0
+        #: Older duplicate records dropped by the last :meth:`load`.
+        self.superseded = 0
+
+    def load(self) -> Dict[str, Dict[str, object]]:
+        if self.path is None or not os.path.exists(self.path):
+            return {}
+        completed: Dict[str, Dict[str, object]] = {}
+        # Dedupe by job key, last record wins.  A retried job (e.g. a
+        # worker killed after journaling, a ``retry_crashed`` re-run, or
+        # an at-least-once workqueue delivery) appends a *second* record
+        # for the same key; keeping both would double-count its points
+        # in any journal-derived tally, so older records are superseded
+        # and dropped from the rewritten journal.
+        line_by_key: Dict[str, str] = {}
+        order: List[str] = []
+        torn_lines: List[str] = []
+        superseded = 0
+        try:
+            with open(self.path, "r", encoding="utf-8") as stream:
+                for raw in stream:
+                    line = raw.strip()
+                    if not line:
+                        continue
+                    try:
+                        document = json.loads(line)
+                        key = document["key"]
+                        for required in self.require:
+                            document[required]  # shape check
+                    except (ValueError, KeyError, TypeError):
+                        # A line torn by a mid-write kill (typically the
+                        # trailing one): quarantine it and re-run that
+                        # job rather than failing the whole resume.
+                        torn_lines.append(line)
+                        continue
+                    if key in completed:
+                        superseded += 1
+                    else:
+                        order.append(key)
+                    completed[key] = document
+                    line_by_key[key] = line
+        except OSError as exc:
+            raise CampaignJournalError(
+                "cannot read job journal %s: %s" % (self.path, exc)
+            ) from None
+        good_lines = [line_by_key[key] for key in order]
+        self.superseded += superseded
+        if torn_lines:
+            self.quarantined += len(torn_lines)
+            self._quarantine_lines(good_lines, torn_lines)
+        elif superseded:
+            self._rewrite(good_lines)
+        return completed
+
+    def _rewrite(self, good_lines: List[str]) -> None:
+        """Atomically rewrite the journal with only the surviving lines."""
+        path = self.path
+        if path is None:
+            return
+        try:
+            tmp_path = "%s.tmp.%d" % (path, os.getpid())
+            with open(tmp_path, "w", encoding="utf-8") as stream:
+                for line in good_lines:
+                    stream.write(line + "\n")
+                stream.flush()
+                os.fsync(stream.fileno())
+            os.replace(tmp_path, path)
+        except OSError as exc:
+            # Best-effort: a read-only journal degrades to in-memory
+            # deduplication, never to a failed resume.
+            logger.warning(
+                "job journal %s: could not rewrite deduped journal (%s)",
+                path,
+                exc,
+            )
+
+    def _quarantine_lines(
+        self, good_lines: List[str], torn_lines: List[str]
+    ) -> None:
+        """Move torn records to a side file; rewrite the journal clean.
+
+        Both writes are best-effort: a read-only journal directory
+        degrades to in-memory skipping (the historical behaviour), it
+        never turns a recoverable resume into a hard failure.
+        """
+        path = self.path
+        if path is None:
+            return
+        quarantine_path = path + ".quarantine"
+        try:
+            with open(quarantine_path, "a", encoding="utf-8") as stream:
+                for line in torn_lines:
+                    stream.write(line + "\n")
+                stream.flush()
+                os.fsync(stream.fileno())
+            tmp_path = "%s.tmp.%d" % (path, os.getpid())
+            with open(tmp_path, "w", encoding="utf-8") as stream:
+                for line in good_lines:
+                    stream.write(line + "\n")
+                stream.flush()
+                os.fsync(stream.fileno())
+            os.replace(tmp_path, path)
+        except OSError as exc:
+            logger.warning(
+                "job journal %s: could not quarantine %d torn line(s) (%s); "
+                "they will be skipped in memory instead",
+                path,
+                len(torn_lines),
+                exc,
+            )
+            return
+        logger.warning(
+            "job journal %s: quarantined %d torn line(s) to %s",
+            path,
+            len(torn_lines),
+            quarantine_path,
+        )
+
+    def append(self, result: Dict[str, object]) -> None:
+        if self.path is None:
+            return
+        assert self.journal_dir is not None
+        os.makedirs(self.journal_dir, exist_ok=True)
+        try:
+            with open(self.path, "a", encoding="utf-8") as stream:
+                stream.write(json.dumps(result, sort_keys=True) + "\n")
+                # flush+fsync per record: a power cut or SIGKILL can
+                # tear at most the line being written, and that line is
+                # quarantined (not fatal) on the next resume.
+                stream.flush()
+                os.fsync(stream.fileno())
+        except OSError as exc:
+            raise CampaignJournalError(
+                "cannot append to job journal %s: %s" % (self.path, exc)
+            ) from None
+
+
 class CampaignRunner:
     """Plans, executes, journals and resumes a campaign.
 
@@ -602,152 +762,25 @@ class CampaignRunner:
 
         self.spec = spec
         self.executor = executor if executor is not None else SweepExecutor()
-        self.journal_dir = journal_dir
-        self.journal_path = (
-            os.path.join(journal_dir, self.JOURNAL_NAME)
-            if journal_dir is not None
-            else None
+        self.journal = JobJournal(
+            journal_dir, name=self.JOURNAL_NAME, require=("key", "outcomes")
         )
+        self.journal_dir = journal_dir
+        self.journal_path = self.journal.path
         self.checkpoint_dir = checkpoint_dir
         self.checkpoint_every = checkpoint_every
         #: Re-run journaled jobs whose record shows recovery-crashed
         #: cells instead of resuming them (their retry record supersedes
         #: the old one in the journal).
         self.retry_crashed = retry_crashed
-        self.journal_quarantined = 0
-        self.journal_superseded = 0
 
-    # -- journal ----------------------------------------------------------
+    @property
+    def journal_quarantined(self) -> int:
+        return self.journal.quarantined
 
-    def _load_journal(self) -> Dict[str, Dict[str, object]]:
-        if self.journal_path is None or not os.path.exists(self.journal_path):
-            return {}
-        completed: Dict[str, Dict[str, object]] = {}
-        # Dedupe by job key, last record wins.  A retried job (e.g. a
-        # worker killed after journaling, a ``retry_crashed`` re-run, or
-        # an at-least-once workqueue delivery) appends a *second* record
-        # for the same key; keeping both would double-count its points
-        # in any journal-derived tally, so older records are superseded
-        # and dropped from the rewritten journal.
-        line_by_key: Dict[str, str] = {}
-        order: List[str] = []
-        torn_lines: List[str] = []
-        superseded = 0
-        try:
-            with open(self.journal_path, "r", encoding="utf-8") as stream:
-                for raw in stream:
-                    line = raw.strip()
-                    if not line:
-                        continue
-                    try:
-                        document = json.loads(line)
-                        key = document["key"]
-                        document["outcomes"]  # shape check
-                    except (ValueError, KeyError, TypeError):
-                        # A line torn by a mid-write kill (typically the
-                        # trailing one): quarantine it and re-run that
-                        # job rather than failing the whole resume.
-                        torn_lines.append(line)
-                        continue
-                    if key in completed:
-                        superseded += 1
-                    else:
-                        order.append(key)
-                    completed[key] = document
-                    line_by_key[key] = line
-        except OSError as exc:
-            raise CampaignJournalError(
-                "cannot read campaign journal %s: %s" % (self.journal_path, exc)
-            ) from None
-        good_lines = [line_by_key[key] for key in order]
-        self.journal_superseded += superseded
-        if torn_lines:
-            self.journal_quarantined += len(torn_lines)
-            self._quarantine_journal_lines(good_lines, torn_lines)
-        elif superseded:
-            self._rewrite_journal(good_lines)
-        return completed
-
-    def _rewrite_journal(self, good_lines: List[str]) -> None:
-        """Atomically rewrite the journal with only the surviving lines."""
-        journal_path = self.journal_path
-        if journal_path is None:
-            return
-        try:
-            tmp_path = "%s.tmp.%d" % (journal_path, os.getpid())
-            with open(tmp_path, "w", encoding="utf-8") as stream:
-                for line in good_lines:
-                    stream.write(line + "\n")
-                stream.flush()
-                os.fsync(stream.fileno())
-            os.replace(tmp_path, journal_path)
-        except OSError as exc:
-            # Best-effort: a read-only journal degrades to in-memory
-            # deduplication, never to a failed resume.
-            logger.warning(
-                "campaign journal %s: could not rewrite deduped journal (%s)",
-                journal_path,
-                exc,
-            )
-
-    def _quarantine_journal_lines(
-        self, good_lines: List[str], torn_lines: List[str]
-    ) -> None:
-        """Move torn records to a side file; rewrite the journal clean.
-
-        Both writes are best-effort: a read-only journal directory
-        degrades to in-memory skipping (the historical behaviour), it
-        never turns a recoverable resume into a hard failure.
-        """
-        journal_path = self.journal_path
-        if journal_path is None:
-            return
-        quarantine_path = journal_path + ".quarantine"
-        try:
-            with open(quarantine_path, "a", encoding="utf-8") as stream:
-                for line in torn_lines:
-                    stream.write(line + "\n")
-                stream.flush()
-                os.fsync(stream.fileno())
-            tmp_path = "%s.tmp.%d" % (journal_path, os.getpid())
-            with open(tmp_path, "w", encoding="utf-8") as stream:
-                for line in good_lines:
-                    stream.write(line + "\n")
-                stream.flush()
-                os.fsync(stream.fileno())
-            os.replace(tmp_path, journal_path)
-        except OSError as exc:
-            logger.warning(
-                "campaign journal %s: could not quarantine %d torn line(s) (%s); "
-                "they will be skipped in memory instead",
-                self.journal_path,
-                len(torn_lines),
-                exc,
-            )
-            return
-        logger.warning(
-            "campaign journal %s: quarantined %d torn line(s) to %s",
-            self.journal_path,
-            len(torn_lines),
-            quarantine_path,
-        )
-
-    def _append_journal(self, result: Dict[str, object]) -> None:
-        if self.journal_path is None:
-            return
-        os.makedirs(self.journal_dir, exist_ok=True)
-        try:
-            with open(self.journal_path, "a", encoding="utf-8") as stream:
-                stream.write(json.dumps(result, sort_keys=True) + "\n")
-                # flush+fsync per record: a power cut or SIGKILL can
-                # tear at most the line being written, and that line is
-                # quarantined (not fatal) on the next resume.
-                stream.flush()
-                os.fsync(stream.fileno())
-        except OSError as exc:
-            raise CampaignJournalError(
-                "cannot append to campaign journal %s: %s" % (self.journal_path, exc)
-            ) from None
+    @property
+    def journal_superseded(self) -> int:
+        return self.journal.superseded
 
     # -- execution --------------------------------------------------------
 
@@ -772,7 +805,7 @@ class CampaignRunner:
     def run(self) -> CampaignReport:
         """Run (or resume) the campaign and return the triage report."""
         jobs = self.spec.jobs()
-        completed = self._load_journal()
+        completed = self.journal.load()
         if self.retry_crashed:
             # Treat journaled jobs with recovery-crashed cells as
             # pending again; their fresh record supersedes the old one
@@ -804,7 +837,7 @@ class CampaignRunner:
             prepared = [self._prepare_job(jobs[index], keys[index]) for index in pending]
 
             def _journal_and_cleanup(_index: int, value: Dict[str, object]) -> None:
-                self._append_journal(value)
+                self.journal.append(value)
                 self._cleanup_job_state(value["key"])
 
             fresh = self.executor.map(

@@ -111,6 +111,15 @@ class WorkloadError(ReproError):
     """A workload was misconfigured or failed an internal self-check."""
 
 
+class ServiceError(ReproError):
+    """The KV service was misconfigured or an operation cannot proceed.
+
+    Raised for caller mistakes (unknown tenants, bad traffic specs) and
+    for capacity exhaustion (a tenant arena too full to split) — never
+    for simulated crash damage, which recovery and validation handle.
+    """
+
+
 class FaultInjectionError(ReproError):
     """A fault model is misconfigured or cannot apply to a crash image.
 

@@ -1,0 +1,292 @@
+"""Per-request latency attribution and streamed SLO percentiles.
+
+The simulator's timing model produces one commit-barrier completion
+time per transaction (``SimulationResult.txn_end_times``); the service
+trace is single-writer, so those times are a serial *service schedule*.
+This module turns that schedule into request-level metrics:
+
+* **Latency attribution** (:func:`attribute_latencies`) — each
+  operation's service demand is the simulated time between the previous
+  operation's acknowledgement and its own (its splits and probe reads
+  included).  The demand is replayed against the traffic model's
+  arrival process: open-loop requests queue behind the single writer
+  (latency = queueing + service), closed-loop requests are re-issued by
+  each client after a think time, so arrivals depend on completions.
+* **Streaming percentiles** (:class:`LatencyHistogram`) — a sparse
+  logarithmic-bucket histogram (~3% relative resolution) that streams
+  p50/p99/p999 without retaining per-request samples, merges across
+  shards, and is bit-deterministic for a fixed input order.
+* **SLO summaries** (:func:`summarize_tenants`) — per-tenant
+  percentiles, throughput and acknowledgement counts; the crash
+  scenario layer (:mod:`repro.service.scenario`) fills in the
+  durability triage (acknowledged-but-lost vs recovered) from the
+  post-crash validator verdict.
+
+All times are modeled nanoseconds; nothing here reads a wall clock, so
+reports are reproducible byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import ServiceError
+from .kv import ServiceRun
+from .traffic import TrafficSpec
+
+#: Histogram bucket growth: 2**(1/16) per bucket — 16 buckets per
+#: octave, ~4.4% worst-case relative error on a reported percentile.
+_BUCKETS_PER_OCTAVE = 16
+_GROWTH_LOG = math.log(2.0) / _BUCKETS_PER_OCTAVE
+
+
+class LatencyHistogram:
+    """Sparse log-bucket histogram for streamed latency percentiles.
+
+    Values are binned by ``floor(log2(value) * 16)``; each bucket spans
+    a fixed *ratio*, so resolution is relative (sub-5%) from
+    nanoseconds to seconds without preallocating arrays.  Recording,
+    merging and percentile extraction are all deterministic.
+    """
+
+    def __init__(self) -> None:
+        self._buckets: Dict[int, int] = {}
+        self.count = 0
+        self.sum_ns = 0.0
+        self.max_ns = 0.0
+
+    @staticmethod
+    def _bucket_of(value_ns: float) -> int:
+        if value_ns < 1.0:
+            return 0
+        return 1 + int(math.log(value_ns) / _GROWTH_LOG)
+
+    @staticmethod
+    def _bucket_upper(bucket: int) -> float:
+        if bucket == 0:
+            return 1.0
+        return math.exp(bucket * _GROWTH_LOG)
+
+    def record(self, value_ns: float) -> None:
+        if value_ns < 0:
+            raise ServiceError("latencies cannot be negative")
+        bucket = self._bucket_of(value_ns)
+        self._buckets[bucket] = self._buckets.get(bucket, 0) + 1
+        self.count += 1
+        self.sum_ns += value_ns
+        if value_ns > self.max_ns:
+            self.max_ns = value_ns
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        for bucket, count in other._buckets.items():
+            self._buckets[bucket] = self._buckets.get(bucket, 0) + count
+        self.count += other.count
+        self.sum_ns += other.sum_ns
+        if other.max_ns > self.max_ns:
+            self.max_ns = other.max_ns
+
+    def percentile(self, quantile: float) -> float:
+        """Upper edge of the bucket holding the ``quantile`` sample.
+
+        Returns 0.0 for an empty histogram.  The true max caps the
+        answer so p999 of a small population never exceeds it.
+        """
+        if not 0.0 < quantile <= 1.0:
+            raise ServiceError("quantile must be in (0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = math.ceil(quantile * self.count)
+        seen = 0
+        for bucket in sorted(self._buckets):
+            seen += self._buckets[bucket]
+            if seen >= rank:
+                return min(self._bucket_upper(bucket), self.max_ns)
+        return self.max_ns  # pragma: no cover - rank <= count always hits
+
+    @property
+    def mean_ns(self) -> float:
+        return self.sum_ns / self.count if self.count else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "count": self.count,
+            "mean_ns": round(self.mean_ns, 3),
+            "max_ns": round(self.max_ns, 3),
+            "p50_ns": round(self.percentile(0.50), 3),
+            "p99_ns": round(self.percentile(0.99), 3),
+            "p999_ns": round(self.percentile(0.999), 3),
+        }
+
+
+@dataclass(frozen=True)
+class RequestTiming:
+    """One operation's fully-attributed timeline.
+
+    ``ack_ns`` lives on the *simulated trace* clock (comparable with
+    crash times and ``txn_end_times``); the arrival/start/completion
+    triple lives on the *traffic replay* clock, where the arrival
+    process and queueing delays exist.
+    """
+
+    op_index: int
+    tenant: int
+    kind: str
+    client: Optional[int]
+    #: Commit-barrier completion of the op's last transaction (trace
+    #: clock) — the linearization + acknowledgement instant.
+    ack_ns: float
+    #: Simulated service demand (includes splits the op triggered).
+    service_ns: float
+    arrival_ns: float
+    start_ns: float
+    completion_ns: float
+
+    @property
+    def latency_ns(self) -> float:
+        return self.completion_ns - self.arrival_ns
+
+    @property
+    def queue_ns(self) -> float:
+        return self.start_ns - self.arrival_ns
+
+
+def attribute_latencies(
+    run: ServiceRun,
+    txn_end_times: Sequence[float],
+    spec: TrafficSpec,
+) -> List[RequestTiming]:
+    """Replay the traffic model over the simulated service schedule.
+
+    The single-writer service demand of operation *i* is the simulated
+    time between acknowledgement *i-1* and acknowledgement *i* (setup
+    transactions are charged to nobody).  Open-loop requests wait for
+    the server if it is busy; closed-loop requests are issued by
+    ``spec.clients`` clients that think ``spec.think_ns`` between
+    completions.
+    """
+    if len(txn_end_times) != len(run.commit_order):
+        raise ServiceError(
+            "timing model produced %d txn end times for %d committed "
+            "transactions" % (len(txn_end_times), len(run.commit_order))
+        )
+    spans = run.op_commit_spans()
+    timings: List[RequestTiming] = []
+    server_free = 0.0
+    client_ready = [0.0] * spec.clients
+    previous_ack = 0.0
+    if run.operations:
+        first_span = spans.get(run.operations[0].index)
+        if first_span is None:
+            raise ServiceError(
+                "operation %d committed no transaction" % run.operations[0].index
+            )
+        if first_span[0] > 0:
+            # Setup transactions precede the first operation; its
+            # service demand starts where they ended.
+            previous_ack = txn_end_times[first_span[0] - 1]
+    for op in run.operations:
+        span = spans.get(op.index)
+        if span is None:
+            raise ServiceError("operation %d committed no transaction" % op.index)
+        ack_ns = txn_end_times[span[1]]
+        service_ns = ack_ns - previous_ack
+        previous_ack = ack_ns
+        if spec.mode == "closed":
+            assert op.client is not None
+            arrival_ns = client_ready[op.client]
+        else:
+            assert op.arrival_ns is not None
+            arrival_ns = op.arrival_ns
+        start_ns = max(arrival_ns, server_free)
+        completion_ns = start_ns + service_ns
+        server_free = completion_ns
+        if spec.mode == "closed":
+            assert op.client is not None
+            client_ready[op.client] = completion_ns + spec.think_ns
+        timings.append(
+            RequestTiming(
+                op_index=op.index,
+                tenant=op.tenant,
+                kind=op.kind,
+                client=op.client,
+                ack_ns=ack_ns,
+                service_ns=service_ns,
+                arrival_ns=arrival_ns,
+                start_ns=start_ns,
+                completion_ns=completion_ns,
+            )
+        )
+    return timings
+
+
+@dataclass
+class TenantSLO:
+    """One tenant's service-level summary (JSON-ready via as_dict).
+
+    The latency fields cover *acknowledged* operations only: a request
+    in flight when the power failed has no latency, it has a durability
+    verdict.  The durability triage fields are filled by the scenario
+    layer after recovery + validation:
+
+    * ``acked_lost`` — operations the service acknowledged whose
+      effects the recovered state does not contain.  **The SLO violation
+      that matters**: must be 0 on every crash-consistent design.
+    * ``unacked_recovered`` — operations never acknowledged whose
+      effects survived anyway (allowed: the crash landed after the
+      commit's durability point but before its barrier completed).
+    """
+
+    tenant: int
+    ops: int = 0
+    acked: int = 0
+    histogram: LatencyHistogram = field(default_factory=LatencyHistogram)
+    acked_lost: int = 0
+    unacked_recovered: int = 0
+    recovered_prefix: Optional[int] = None
+    consistent: Optional[bool] = None
+
+    def throughput_ops_per_ms(self, horizon_ns: float) -> float:
+        """Acknowledged operations per modeled millisecond."""
+        if horizon_ns <= 0:
+            return 0.0
+        return self.acked / (horizon_ns / 1e6)
+
+    def as_dict(self, horizon_ns: float) -> Dict[str, object]:
+        document: Dict[str, object] = {
+            "tenant": self.tenant,
+            "ops": self.ops,
+            "acked": self.acked,
+            "throughput_ops_per_ms": round(self.throughput_ops_per_ms(horizon_ns), 3),
+            "latency": self.histogram.as_dict(),
+            "durability": {
+                "acked_lost": self.acked_lost,
+                "unacked_recovered": self.unacked_recovered,
+                "recovered_prefix": self.recovered_prefix,
+                "consistent": self.consistent,
+            },
+        }
+        return document
+
+
+def summarize_tenants(
+    spec: TrafficSpec,
+    timings: Sequence[RequestTiming],
+    crash_ns: Optional[float] = None,
+) -> List[TenantSLO]:
+    """Fold request timings into per-tenant SLO accumulators.
+
+    With ``crash_ns`` set, only operations acknowledged before the
+    crash (trace clock) contribute latency samples; later operations
+    count as issued-but-unacknowledged and await durability triage.
+    """
+    slos = [TenantSLO(tenant=tenant) for tenant in range(spec.tenants)]
+    for timing in timings:
+        slo = slos[timing.tenant]
+        slo.ops += 1
+        if crash_ns is not None and timing.ack_ns > crash_ns:
+            continue
+        slo.acked += 1
+        slo.histogram.record(timing.latency_ns)
+    return slos

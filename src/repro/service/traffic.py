@@ -1,0 +1,257 @@
+"""Seeded multi-tenant traffic generation for the KV service.
+
+A :class:`TrafficSpec` describes a reproducible stream of KV operations
+across tenants: who issues (tenant weights), what they issue (per-kind
+operation mix, Zipf key-popularity skew) and *when* they issue it:
+
+* **open-loop** — arrivals follow a rate process independent of
+  completions, the way internet-facing traffic behaves.  ``poisson``
+  draws exponential inter-arrivals at a fixed mean rate; ``bursty``
+  modulates the rate with a two-state (ON/OFF) process, producing the
+  arrival bursts that stress tail latency.
+* **closed-loop** — ``clients`` concurrent clients each issue, wait for
+  completion, think for ``think_ns``, and issue again, the way a fixed
+  worker pool behaves.  Arrival instants then *depend on completions*,
+  so they are computed during SLO replay (:mod:`repro.service.slo`),
+  not here; the stream carries the issuing client instead.
+
+Everything is derived from one ``random.Random(seed)`` stream, so the
+same spec produces a bit-identical operation stream on every run —
+the determinism the snapshot-resume and SLO-report tests rely on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..errors import ServiceError
+from ..workloads.base import zipf_index
+
+#: Operation kinds a traffic mix weights, in canonical order.
+OP_KINDS = ("put", "get", "delete", "scan")
+
+#: Arrival models for open-loop traffic.
+ARRIVAL_MODELS = ("poisson", "bursty")
+
+#: Traffic modes.
+MODES = ("open", "closed")
+
+
+@dataclass(frozen=True)
+class TrafficSpec:
+    """One reproducible traffic scenario (all times in modeled ns)."""
+
+    tenants: int = 4
+    operations: int = 200
+    seed: int = 42
+    #: "open" (rate-driven arrivals) or "closed" (client/think loop).
+    mode: str = "open"
+    #: Open-loop arrival process: "poisson" or "bursty".
+    arrival: str = "poisson"
+    #: Open-loop mean arrival rate in operations per microsecond of
+    #: modeled time (0.5 = one op every 2 µs on average).
+    rate_ops_per_us: float = 0.25
+    #: Bursty: ON-phase rate multiplier and stationary ON fraction.
+    #: ``burst_factor * burst_fraction`` must stay below 1 so the OFF
+    #: phase keeps a positive rate.
+    burst_factor: float = 3.0
+    burst_fraction: float = 0.25
+    #: Closed-loop: concurrent clients and per-op think time.
+    clients: int = 8
+    think_ns: float = 1500.0
+    #: Key-popularity skew (0 = uniform; ~1 = strong head).
+    zipf_alpha: float = 0.9
+    #: Distinct keys per tenant namespace.
+    keyspace: int = 256
+    #: Operation mix weights in :data:`OP_KINDS` order.
+    mix: Tuple[float, float, float, float] = (0.50, 0.42, 0.05, 0.03)
+    #: Per-tenant traffic shares (uniform when None).
+    tenant_weights: Optional[Tuple[float, ...]] = None
+    #: Keys spanned by one range scan.
+    scan_span: int = 16
+
+    def __post_init__(self) -> None:
+        if self.tenants < 1:
+            raise ServiceError("traffic needs at least one tenant")
+        if self.operations < 1:
+            raise ServiceError("traffic needs at least one operation")
+        if self.mode not in MODES:
+            raise ServiceError("traffic mode must be one of %s" % (MODES,))
+        if self.arrival not in ARRIVAL_MODELS:
+            raise ServiceError(
+                "arrival model must be one of %s" % (ARRIVAL_MODELS,)
+            )
+        if self.rate_ops_per_us <= 0:
+            raise ServiceError("arrival rate must be positive")
+        if not 0 < self.burst_fraction < 1:
+            raise ServiceError("burst_fraction must be in (0, 1)")
+        if self.burst_factor < 1:
+            raise ServiceError("burst_factor must be >= 1")
+        if self.burst_factor * self.burst_fraction >= 1:
+            raise ServiceError(
+                "burst_factor * burst_fraction must stay below 1 "
+                "(the OFF phase needs a positive rate)"
+            )
+        if self.clients < 1:
+            raise ServiceError("closed-loop traffic needs at least one client")
+        if self.think_ns < 0:
+            raise ServiceError("think time cannot be negative")
+        if self.zipf_alpha < 0:
+            raise ServiceError("zipf_alpha cannot be negative")
+        if self.keyspace < 2:
+            raise ServiceError("keyspace must hold at least two keys")
+        if len(self.mix) != len(OP_KINDS) or any(w < 0 for w in self.mix):
+            raise ServiceError(
+                "mix needs one non-negative weight per kind %s" % (OP_KINDS,)
+            )
+        if sum(self.mix) <= 0:
+            raise ServiceError("mix weights must sum to a positive value")
+        if self.tenant_weights is not None:
+            if len(self.tenant_weights) != self.tenants:
+                raise ServiceError("tenant_weights must have one entry per tenant")
+            if any(w < 0 for w in self.tenant_weights) or sum(self.tenant_weights) <= 0:
+                raise ServiceError("tenant_weights must be non-negative, sum > 0")
+        if self.scan_span < 1:
+            raise ServiceError("scan_span must be positive")
+
+    def as_dict(self) -> dict:
+        return {
+            "tenants": self.tenants,
+            "operations": self.operations,
+            "seed": self.seed,
+            "mode": self.mode,
+            "arrival": self.arrival,
+            "rate_ops_per_us": self.rate_ops_per_us,
+            "burst_factor": self.burst_factor,
+            "burst_fraction": self.burst_fraction,
+            "clients": self.clients,
+            "think_ns": self.think_ns,
+            "zipf_alpha": self.zipf_alpha,
+            "keyspace": self.keyspace,
+            "mix": list(self.mix),
+            "tenant_weights": (
+                list(self.tenant_weights) if self.tenant_weights is not None else None
+            ),
+            "scan_span": self.scan_span,
+        }
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One KV request in the generated stream."""
+
+    index: int
+    tenant: int
+    kind: str
+    key: int
+    value: int = 0
+    #: Scan upper bound (inclusive); 0 for non-scan kinds.
+    key_hi: int = 0
+    #: Open-loop modeled arrival instant; None in closed-loop mode.
+    arrival_ns: Optional[float] = None
+    #: Closed-loop issuing client; None in open-loop mode.
+    client: Optional[int] = None
+
+    def as_tuple(self) -> tuple:
+        return (
+            self.index,
+            self.tenant,
+            self.kind,
+            self.key,
+            self.value,
+            self.key_hi,
+            self.arrival_ns,
+            self.client,
+        )
+
+
+class _ArrivalProcess:
+    """Open-loop arrival clock: Poisson or ON/OFF-modulated Poisson."""
+
+    #: Per-arrival probability of leaving the ON phase; together with
+    #: the stationary ON fraction this sets the OFF->ON probability, so
+    #: bursts last a handful of arrivals on average.
+    _LEAVE_ON = 0.2
+
+    def __init__(self, spec: TrafficSpec, rng: random.Random) -> None:
+        self.spec = spec
+        self.rng = rng
+        self.now_ns = 0.0
+        base = spec.rate_ops_per_us / 1000.0  # ops per ns
+        if spec.arrival == "bursty":
+            self.rate_on = base * spec.burst_factor
+            self.rate_off = base * (
+                (1.0 - spec.burst_factor * spec.burst_fraction)
+                / (1.0 - spec.burst_fraction)
+            )
+            self.on = rng.random() < spec.burst_fraction
+            on_frac = spec.burst_fraction
+            self.p_on_off = self._LEAVE_ON
+            self.p_off_on = self._LEAVE_ON * on_frac / (1.0 - on_frac)
+        else:
+            self.rate_on = self.rate_off = base
+            self.on = True
+            self.p_on_off = self.p_off_on = 0.0
+
+    def next_arrival(self) -> float:
+        rate = self.rate_on if self.on else self.rate_off
+        self.now_ns += self.rng.expovariate(rate)
+        if self.spec.arrival == "bursty":
+            flip = self.p_on_off if self.on else self.p_off_on
+            if self.rng.random() < flip:
+                self.on = not self.on
+        return self.now_ns
+
+
+def generate_operations(spec: TrafficSpec) -> List[Operation]:
+    """The deterministic operation stream for ``spec``.
+
+    Open-loop streams are emitted in arrival order with precomputed
+    arrival instants; closed-loop streams are emitted in issue order
+    with round-robin-seeded client assignment (arrivals are derived
+    from completions during SLO replay).
+    """
+    rng = random.Random(spec.seed)
+    weights = (
+        list(spec.tenant_weights)
+        if spec.tenant_weights is not None
+        else [1.0] * spec.tenants
+    )
+    kinds = list(OP_KINDS)
+    mix = list(spec.mix)
+    arrivals = _ArrivalProcess(spec, rng) if spec.mode == "open" else None
+    operations: List[Operation] = []
+    for index in range(spec.operations):
+        tenant = rng.choices(range(spec.tenants), weights=weights)[0]
+        kind = rng.choices(kinds, weights=mix)[0]
+        key = 1 + zipf_index(rng, spec.keyspace, spec.zipf_alpha)
+        value = rng.getrandbits(32) | 1
+        key_hi = 0
+        if kind == "scan":
+            key_hi = min(key + spec.scan_span - 1, spec.keyspace)
+        arrival_ns = arrivals.next_arrival() if arrivals is not None else None
+        client = index % spec.clients if spec.mode == "closed" else None
+        operations.append(
+            Operation(
+                index=index,
+                tenant=tenant,
+                kind=kind,
+                key=key,
+                value=value,
+                key_hi=key_hi,
+                arrival_ns=arrival_ns,
+                client=client,
+            )
+        )
+    return operations
+
+
+def stream_fingerprint(operations: List[Operation]) -> str:
+    """Content hash of a generated stream (determinism checks)."""
+    digest = hashlib.sha256()
+    for op in operations:
+        digest.update(repr(op.as_tuple()).encode())
+    return digest.hexdigest()

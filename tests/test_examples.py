@@ -1,9 +1,9 @@
 """Smoke tests: the shipped examples run cleanly end to end.
 
-``design_space_sweep.py`` and ``kv_store.py`` are excluded here for
-runtime (they are exercised by the bench harness paths they share);
-the remaining examples complete in seconds and assert their own
-invariants internally.
+``design_space_sweep.py`` is excluded here for runtime (it is
+exercised by the bench harness paths it shares); the remaining
+examples complete in seconds and assert their own invariants
+internally.
 """
 
 import os
@@ -20,6 +20,7 @@ FAST_EXAMPLES = [
     "linked_list_crash.py",
     "counter_recovery.py",
     "record_and_replay.py",
+    "kv_store.py",
 ]
 
 

@@ -1,0 +1,115 @@
+"""Property-based durability testing of the KV service across designs.
+
+For every design in the axis registry (including the ``+bmt`` tree
+variants), a power failure at any instant of generated traffic must
+leave each tenant recoverable to a *linearizable prefix of its
+acknowledged operations*: the recovered state equals some prefix of the
+tenant's committed transactions, that prefix covers every transaction
+whose commit barrier completed (acknowledged) before the crash, no
+tenant's writes land in another tenant's arena, and any
+acknowledged-write loss is surfaced as a detected/silent failure —
+never reported as success.  ``unsafe`` (separate counters, no pairing)
+is the registered counterexample: it is allowed to lose acknowledged
+writes, but the loss must still be *reported*.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.designs import get_design, list_designs
+from repro.service import ServiceJob, TrafficSpec, run_service_job
+
+ALL_DESIGNS = list_designs(include_unsafe=True, include_integrity=True)
+
+#: Small but split-capable traffic: two tenants, tight keyspace.
+def make_spec(seed, mode):
+    return TrafficSpec(
+        tenants=2,
+        operations=24,
+        seed=seed,
+        mode=mode,
+        keyspace=16,
+        scan_span=4,
+    )
+
+
+def assert_durability_contract(document, design):
+    """The PR's core property, shared by both test entry points."""
+    policy = get_design(design)
+    totals = document["totals"]
+    crash = document["crash"]
+    assert document["status"] != "crashed", crash["detail"]
+    if policy.crash_consistent:
+        # Linearizable-prefix recovery with no acknowledged-write loss
+        # and nothing silently wrong.
+        assert document["status"] in ("consistent", "detected-tree"), crash
+        assert document["consistent"] is True
+        assert totals["acked_lost"] == 0
+        assert crash["silent"] == []
+        for tenant in document["tenants"]:
+            durability = tenant["durability"]
+            assert durability["consistent"] is True
+            prefix = durability["recovered_prefix"]
+            assert prefix is not None and prefix >= 0
+    else:
+        # The unsafe design may lose acknowledged writes, but the run
+        # must never claim success while doing so.
+        if totals["acked_lost"] > 0:
+            assert document["consistent"] is False
+            assert document["status"] in ("detected", "silent")
+
+
+@pytest.mark.parametrize("design", ALL_DESIGNS)
+def test_every_design_mid_traffic_crash(design):
+    """Fixed-seed sweep: every registry design, one mid-traffic crash."""
+    document = run_service_job(
+        ServiceJob(design=design, traffic=make_spec(seed=77, mode="open"))
+    )
+    assert_durability_contract(document, design)
+
+
+@given(data=st.data())
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_any_crash_point_recovers_acknowledged_prefix(data):
+    """Randomized: any design, any crash instant, any load shape."""
+    design = data.draw(st.sampled_from(ALL_DESIGNS), label="design")
+    seed = data.draw(st.integers(min_value=0, max_value=999), label="seed")
+    mode = data.draw(st.sampled_from(("open", "closed")), label="mode")
+    fraction = data.draw(
+        st.floats(min_value=0.05, max_value=0.95), label="crash_fraction"
+    )
+    document = run_service_job(
+        ServiceJob(
+            design=design,
+            traffic=make_spec(seed=seed, mode=mode),
+            crash_fraction=fraction,
+        )
+    )
+    assert_durability_contract(document, design)
+
+
+@given(seed=st.integers(min_value=0, max_value=999))
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_acked_ops_never_exceed_recovered_prefix_requirement(seed):
+    """Cross-check the triage arithmetic itself on SCA: every tenant's
+    recovered prefix must cover its acknowledged transactions, and the
+    unacked-recovered count stays within the in-flight window."""
+    document = run_service_job(
+        ServiceJob(design="sca", traffic=make_spec(seed=seed, mode="open"))
+    )
+    totals = document["totals"]
+    assert totals["acked_lost"] == 0
+    assert totals["acked"] + totals["unacked_recovered"] <= totals["ops"]
+    for tenant in document["tenants"]:
+        durability = tenant["durability"]
+        assert durability["unacked_recovered"] >= 0
+        assert tenant["acked"] <= tenant["ops"]

@@ -53,6 +53,17 @@ class TestKernelSpeedups:
         """
         assert kernels["kv_put_txn"]["speedup_vs_reference"] >= 1.2
 
+    def test_shard_dispatch_batch_beats_per_line_loop(self, kernels):
+        """ShardMap.dispatch_batch (shift/mask bucketing) vs per-line
+        to_local calls.
+
+        Measured ~1.7x: both paths pay the same tuple+append cost, the
+        win is the hoisted bounds check and branch-free translation.
+        The 1.3 floor catches the batch path falling back to the
+        per-line loop while tolerating runner noise.
+        """
+        assert kernels["shard_dispatch_batch"]["speedup_vs_reference"] >= 1.3
+
     def test_bulk_counter_lookup_not_slower(self, kernels):
         # The per-call loop is itself already mask-inlined, so the bulk
         # win is modest (~1.15x measured); 0.8 tolerates runner noise

@@ -17,7 +17,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import List, Optional
+from typing import List, Mapping, Optional
 
 from .experiments import EXPERIMENTS, get_experiment
 from .parallel import ResultCache, SweepExecutor, default_cache_dir
@@ -250,6 +250,16 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="recovery steps per phase covered by the nested-crash "
         "grid (default: 2)",
+    )
+    campaign.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help="memory-controller shards per simulated machine; above 1 "
+        "each job also sweeps shard-subset ADR failures and reconciles "
+        "the cross-shard commit log (--strict then also fails on any "
+        "lost durable commit)",
     )
     campaign.add_argument(
         "--retry-crashed",
@@ -522,6 +532,7 @@ def _run_campaign(args: argparse.Namespace) -> int:
         with_counter_recovery=args.with_counter_recovery,
         nested_crash=args.nested_crash,
         nested_steps=args.nested_steps,
+        shards=args.shards,
     )
     if faults is not None:
         spec.faults = tuple(faults)
@@ -601,6 +612,20 @@ def _run_campaign(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
+    if args.strict:
+        acked_lost = sum(
+            int(section.get("acked_commit_lost", 0))  # type: ignore[call-overload]
+            for result in report.results
+            for section in (result.get("shard_failures"),)
+            if isinstance(section, Mapping)
+        )
+        if acked_lost:
+            print(
+                "%d shard-subset failure(s) lost a durable commit (--strict)"
+                % acked_lost,
+                file=sys.stderr,
+            )
+            return 1
     return 0
 
 

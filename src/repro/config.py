@@ -299,6 +299,14 @@ class SystemConfig:
     #: When True the simulator moves and encrypts real bytes; when False
     #: it tracks only addresses and timing (for large sweeps).
     functional: bool = True
+    #: Memory controllers the physical address space is interleaved
+    #: across (:class:`repro.nvm.address.ShardMap`).  1 keeps the
+    #: singleton-controller pipeline bit-identical to the pre-sharding
+    #: simulator; N > 1 builds one controller per shard, each with its
+    #: own event bus, write queues, counter cache and BMT subtree, tied
+    #: together by the cross-shard persist barrier
+    #: (:mod:`repro.mem.sharded`, ``docs/sharding.md``).
+    shards: int = 1
 
     def __post_init__(self) -> None:
         _require(self.num_cores >= 1, "need at least one core")
@@ -306,6 +314,16 @@ class SystemConfig:
         _require(
             self.memory_size_bytes % CACHE_LINE_SIZE == 0,
             "memory size must be line-aligned",
+        )
+        _require(self.shards >= 1, "need at least one memory-controller shard")
+        _require(
+            self.memory_size_bytes % (self.shards * CACHE_LINE_SIZE) == 0,
+            "memory size must divide evenly across shards",
+        )
+        _require(
+            self.memory_size_bytes // self.shards
+            >= CACHE_LINE_SIZE * (COUNTERS_PER_LINE + 1) * COUNTERS_PER_LINE,
+            "per-shard memory too small to host data and counter regions",
         )
 
     def scaled(self, **overrides: Any) -> "SystemConfig":
@@ -357,7 +375,9 @@ def default_config(num_cores: int = 1, **overrides: Any) -> SystemConfig:
     return SystemConfig(num_cores=num_cores, **overrides)
 
 
-def fast_config(num_cores: int = 1, functional: bool = True) -> SystemConfig:
+def fast_config(
+    num_cores: int = 1, functional: bool = True, shards: int = 1
+) -> SystemConfig:
     """A scaled-down configuration for unit tests.
 
     Small caches make eviction paths reachable with tiny footprints; the
@@ -370,10 +390,13 @@ def fast_config(num_cores: int = 1, functional: bool = True) -> SystemConfig:
         counter_cache=CounterCacheConfig(size_bytes=4 * KB, ways=4),
         memory_size_bytes=64 * MB,
         functional=functional,
+        shards=shards,
     )
 
 
-def bench_config(num_cores: int = 1, functional: bool = True) -> SystemConfig:
+def bench_config(
+    num_cores: int = 1, functional: bool = True, shards: int = 1
+) -> SystemConfig:
     """The benchmark configuration used to regenerate the figures.
 
     The absolute sizes are scaled down from Table 2 so that pure-Python
@@ -398,6 +421,7 @@ def bench_config(num_cores: int = 1, functional: bool = True) -> SystemConfig:
         counter_cache=CounterCacheConfig(size_bytes=8 * KB * num_cores, ways=8),
         memory_size_bytes=128 * MB,
         functional=functional,
+        shards=shards,
     )
 
 

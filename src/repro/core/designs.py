@@ -149,6 +149,20 @@ def design_name(
     return name
 
 
+def sharded_design_name(name: str, shards: int) -> str:
+    """Reported name of a design run on an N-shard memory system.
+
+    Sharding is a machine-level deployment parameter, not a design
+    axis: ``fca+bmt`` on four controllers reports as ``fca+bmt x4``
+    without adding a registry entry.  ``shards == 1`` returns the name
+    unchanged, keeping every unsharded artifact (fixtures, figures,
+    campaign reports) byte-stable.
+    """
+    if shards <= 1:
+        return name
+    return "%s x%d" % (name, shards)
+
+
 @dataclass(frozen=True)
 class DesignPolicy:
     """One design point: a layout, an atomicity discipline, a tree mode.

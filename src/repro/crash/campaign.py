@@ -89,6 +89,11 @@ class CampaignJob:
     seed: int = 42
     operations: int = 8
     footprint_bytes: int = 8 * KB
+    #: Memory-controller shards the simulated machine runs
+    #: (:mod:`repro.mem.sharded`).  Above 1 the job also sweeps
+    #: shard-subset ADR failures and reconciles the cross-shard commit
+    #: log (``shard_failures`` in the result document).
+    shards: int = 1
     #: Retry detected failures with the Osiris-style counter search;
     #: part of the job's identity (it changes the outcome table).
     with_counter_recovery: bool = False
@@ -116,6 +121,7 @@ class CampaignJob:
             "seed": self.seed,
             "operations": self.operations,
             "footprint_bytes": self.footprint_bytes,
+            "shards": self.shards,
             "with_counter_recovery": self.with_counter_recovery,
             "nested_crash": self.nested_crash,
             "nested_steps": self.nested_steps,
@@ -188,6 +194,7 @@ def run_campaign_job(job: CampaignJob) -> Dict[str, object]:
     crash point, feeding the executor's stall watchdog.
     """
     from ..bench.resilience import Heartbeat, run_workload_resilient
+    from ..config import fast_config
     from ..faults.recovery import RecoveryFaultPlan, nested_point_grid
     from ..workloads.base import WorkloadParams
     from .session import RecoverySession, error_digest
@@ -201,6 +208,7 @@ def run_campaign_job(job: CampaignJob) -> Dict[str, object]:
     outcome, resilience = run_workload_resilient(
         job.design,
         job.workload,
+        config=fast_config(shards=job.shards),
         mechanism=job.mechanism,
         params=params,
         checkpoint_dir=job.checkpoint_dir,
@@ -298,7 +306,7 @@ def run_campaign_job(job: CampaignJob) -> Dict[str, object]:
                 examples.append(example)
     if heartbeat is not None:
         heartbeat.clear()
-    return {
+    document: Dict[str, object] = {
         "key": job_key(job),
         "job": job.document(),
         "points": cells,
@@ -310,6 +318,27 @@ def run_campaign_job(job: CampaignJob) -> Dict[str, object]:
         "examples": examples,
         "resilience": resilience,
     }
+    if job.shards > 1:
+        # Shard-subset ADR failures + cross-shard reconciliation
+        # (docs/sharding.md).  Tearing an *uncommitted* transaction is
+        # expected physics of a mid-drain reserve loss; losing a commit
+        # the barrier proved durable is the contract violation
+        # ``--strict`` fails on.
+        from .sharded import sweep_shard_failures
+
+        shard_report = sweep_shard_failures(
+            outcome.result,
+            outcome.runs[0],
+            max_points=max(2, job.crash_points // 4),
+        )
+        document["shard_failures"] = {
+            "points": shard_report.total,
+            "consistent": shard_report.consistent,
+            "detected": shard_report.detected,
+            "torn_uncommitted": len(shard_report.silent_failures),
+            "acked_commit_lost": len(shard_report.acked_losses),
+        }
+    return document
 
 
 @dataclass
@@ -335,6 +364,10 @@ class CampaignSpec:
     nested_crash: bool = False
     #: How many recovery steps the nested grid covers per phase.
     nested_steps: int = 2
+    #: Memory-controller shards every job's machine runs with; above 1
+    #: each job also sweeps shard-subset ADR failures and reconciles
+    #: the cross-shard commit log.
+    shards: int = 1
 
     def _fault_fields(self) -> List[Tuple[str, Tuple[Tuple[str, object], ...]]]:
         normalized = []
@@ -363,6 +396,8 @@ class CampaignSpec:
             raise CampaignError("a campaign needs at least one crash point")
         if self.nested_crash and self.nested_steps < 1:
             raise CampaignError("a nested-crash campaign needs nested_steps >= 1")
+        if self.shards < 1:
+            raise CampaignError("a campaign needs at least one shard")
         if not (self.workloads and self.designs and self.mechanisms and self.faults):
             raise CampaignError("empty campaign axis (workloads/designs/mechanisms/faults)")
         known_workloads = set(list_workloads(include_extra=True))
@@ -412,6 +447,7 @@ class CampaignSpec:
                                 with_counter_recovery=self.with_counter_recovery,
                                 nested_crash=self.nested_crash,
                                 nested_steps=self.nested_steps,
+                                shards=self.shards,
                             )
                         )
         return jobs
@@ -431,6 +467,7 @@ class CampaignSpec:
             "with_counter_recovery": self.with_counter_recovery,
             "nested_crash": self.nested_crash,
             "nested_steps": self.nested_steps,
+            "shards": self.shards,
         }
 
 

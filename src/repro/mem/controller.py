@@ -383,6 +383,20 @@ class MemoryController:
     # Introspection
     # ------------------------------------------------------------------
 
+    def peek_line(self, line_address: int) -> bytes:
+        """Functional peek at one line's current plaintext (no timing).
+
+        Used by debug/checker paths (``CacheHierarchy.read_current``):
+        reads the stored line image and decrypts it with its ground-truth
+        counter when the design encrypts.
+        """
+        stored = self.device.read_line(line_address)
+        if self.engine is not None and self._functional:
+            return self.engine.cipher.decrypt(
+                line_address, stored.encrypted_with, stored.payload
+            )
+        return stored.payload
+
     @property
     def counter_cache_stats(self) -> Optional["CounterCacheStats"]:
         if self.engine is None:

@@ -15,12 +15,14 @@ with the line so the controller can pair the writeback).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from ..config import CACHE_LINE_SIZE, SystemConfig
 from ..errors import AddressError, SimulationError
 from .cache import Cache, EvictedLine
-from .controller import MemoryController
+
+if TYPE_CHECKING:
+    from ..sim.machine import MemorySystem
 
 _LINE_MASK = ~(CACHE_LINE_SIZE - 1)
 _LINE_SHIFT = CACHE_LINE_SIZE.bit_length() - 1
@@ -44,7 +46,7 @@ class HierarchyAccess:
 class CacheHierarchy:
     """Per-core L1 caches over one shared L2, in front of one controller."""
 
-    def __init__(self, config: SystemConfig, controller: MemoryController) -> None:
+    def __init__(self, config: SystemConfig, controller: "MemorySystem") -> None:
         self.config = config
         self.controller = controller
         functional = config.functional
@@ -338,13 +340,8 @@ class CacheHierarchy:
         l2_line = self.l2.peek(address)
         if l2_line is not None:
             return l2_line.read_bytes(offset, length)
-        stored = self.controller.device.read_line(line_address)
-        if self.controller.engine is not None and self.config.functional:
-            plaintext = self.controller.engine.cipher.decrypt(
-                line_address, stored.encrypted_with, stored.payload
-            )
-            return plaintext[offset : offset + length]
-        return stored.payload[offset : offset + length]
+        stored = self.controller.peek_line(line_address)
+        return stored[offset : offset + length]
 
     def invalidate_all(self) -> None:
         """Drop all cached state (power failure)."""

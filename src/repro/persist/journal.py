@@ -89,6 +89,29 @@ class JournalRecord:
         return chosen
 
 
+@dataclass(slots=True)
+class CommitRecord:
+    """One cross-shard transaction commit barrier (sharded runs only).
+
+    Written by the two-phase persist barrier
+    (:class:`repro.txn.manager.CrossShardBarrier`): phase one captures
+    the queue-acceptance watermark of every shard the transaction
+    touched, phase two appends this record once all of them are known.
+    The record is durable at ``commit_ns`` — the barrier's drain point,
+    i.e. the latest touched-shard watermark — and recovery replays the
+    commit log as a prefix: the first commit whose touched shards did
+    not all persist their watermark ends the acked prefix
+    (:func:`repro.crash.sharded.durable_commit_prefix`).
+    """
+
+    sequence: int
+    core: int
+    commit_ns: float
+    #: shard id -> acceptance watermark that must be durable on that
+    #: shard for this commit to count.
+    shard_watermarks: Dict[int, float]
+
+
 class PersistJournal:
     """Ordered log of all writes with crash-time reconstruction."""
 
@@ -96,6 +119,11 @@ class PersistJournal:
         self.records: List[JournalRecord] = []
         self._by_entry_id: Dict[int, JournalRecord] = {}
         self._auto_id = -1  # negative ids for records without queue entries
+        #: Cross-shard commit barriers, in commit order.  Always empty
+        #: for singleton-controller runs (the list is populated only by
+        #: the sharded coordinator), so unsharded snapshots and golden
+        #: fixtures never see the field.
+        self.commits: List[CommitRecord] = []
         #: Cleared when ``crash_bookkeeping`` is off (timing-only figure
         #: sweeps): record/amend become no-ops and reconstruction is
         #: unavailable.
@@ -161,6 +189,21 @@ class PersistJournal:
         )
         self.records.append(record)
         self._by_entry_id[record.entry_id] = record
+        return record
+
+    def record_commit(
+        self, core: int, commit_ns: float, shard_watermarks: Dict[int, float]
+    ) -> Optional[CommitRecord]:
+        """Append one cross-shard commit barrier (sharded runs only)."""
+        if not self.enabled:
+            return None
+        record = CommitRecord(
+            sequence=len(self.commits),
+            core=core,
+            commit_ns=commit_ns,
+            shard_watermarks=dict(shard_watermarks),
+        )
+        self.commits.append(record)
         return record
 
     # -- amendments (write-queue coalescing) -----------------------------------
@@ -326,13 +369,33 @@ class PersistJournal:
         )
 
     def get_state(self) -> Dict[str, object]:
-        """Checkpoint state: every record with its amendment history."""
-        return {
+        """Checkpoint state: every record with its amendment history.
+
+        The commit log is emitted only when non-empty so unsharded
+        snapshots (and the committed golden-equivalence fixtures) keep
+        the exact pre-sharding state shape.
+        """
+        state: Dict[str, object] = {
             "auto_id": self._auto_id,
             "records": [self._record_state(record) for record in self.records],
         }
+        if self.commits:
+            state["commits"] = [
+                (c.sequence, c.core, c.commit_ns, dict(c.shard_watermarks))
+                for c in self.commits
+            ]
+        return state
 
     def set_state(self, state: Dict[str, object]) -> None:
         self._auto_id = state["auto_id"]
         self.records = [self._record_from_state(record) for record in state["records"]]
         self._by_entry_id = {record.entry_id: record for record in self.records}
+        self.commits = [
+            CommitRecord(
+                sequence=sequence,
+                core=core,
+                commit_ns=commit_ns,
+                shard_watermarks=dict(watermarks),
+            )
+            for sequence, core, commit_ns, watermarks in state.get("commits", ())
+        ]

@@ -21,6 +21,7 @@ from .kv import (
 from .scenario import ServiceJob, ServiceReport, ServiceRunner, run_service_job
 from .slo import LatencyHistogram, RequestTiming, attribute_latencies, summarize_tenants
 from .traffic import (
+    LoadShape,
     Operation,
     TrafficSpec,
     generate_operations,
@@ -29,6 +30,7 @@ from .traffic import (
 
 __all__ = [
     "LatencyHistogram",
+    "LoadShape",
     "Operation",
     "RequestTiming",
     "ServiceJob",

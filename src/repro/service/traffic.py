@@ -15,6 +15,10 @@ operation mix, Zipf key-popularity skew) and *when* they issue it:
   so they are computed during SLO replay (:mod:`repro.service.slo`),
   not here; the stream carries the issuing client instead.
 
+Open-loop arrivals can additionally be modulated by a
+:class:`LoadShape` — a Locust-style rate envelope (ramp, spike, step)
+multiplied onto the arrival model's instantaneous rate.
+
 Everything is derived from one ``random.Random(seed)`` stream, so the
 same spec produces a bit-identical operation stream on every run —
 the determinism the snapshot-resume and SLO-report tests rely on.
@@ -38,6 +42,90 @@ ARRIVAL_MODELS = ("poisson", "bursty")
 
 #: Traffic modes.
 MODES = ("open", "closed")
+
+#: Load-shape kinds an open-loop stream can be modulated with.
+SHAPE_KINDS = ("constant", "ramp", "spike", "step")
+
+
+@dataclass(frozen=True)
+class LoadShape:
+    """A deterministic rate envelope over the arrival process.
+
+    Locust-style load shaping: the instantaneous arrival rate is the
+    spec's base rate (Poisson or bursty) multiplied by this shape's
+    ``factor(now)``.  Shapes compose *over* the arrival model rather
+    than replacing it — a ``spike`` over ``bursty`` arrivals spikes the
+    modulated rate, ON and OFF phases alike.
+
+    * ``constant`` — ``start_factor`` throughout (the default 1.0 is a
+      no-op envelope).
+    * ``ramp`` — linear from ``start_factor`` to ``end_factor`` across
+      ``duration_us``, holding ``end_factor`` afterwards.
+    * ``spike`` — ``start_factor`` baseline, jumping to ``peak_factor``
+      inside the ``[spike_start_us, spike_start_us + spike_width_us)``
+      window.
+    * ``step`` — a staircase of ``steps`` equal plateaus from
+      ``start_factor`` to ``end_factor`` across ``duration_us``,
+      holding the final plateau afterwards.
+    """
+
+    kind: str = "constant"
+    start_factor: float = 1.0
+    end_factor: float = 1.0
+    #: Horizon of the ramp/step transition, in modeled microseconds.
+    duration_us: float = 100.0
+    #: Spike window and height (``spike`` only).
+    peak_factor: float = 4.0
+    spike_start_us: float = 25.0
+    spike_width_us: float = 10.0
+    #: Plateaus in a ``step`` staircase (including both endpoints).
+    steps: int = 4
+
+    def __post_init__(self) -> None:
+        if self.kind not in SHAPE_KINDS:
+            raise ServiceError("load shape must be one of %s" % (SHAPE_KINDS,))
+        if self.start_factor <= 0 or self.end_factor <= 0 or self.peak_factor <= 0:
+            raise ServiceError("load-shape factors must be positive")
+        if self.duration_us <= 0:
+            raise ServiceError("load-shape duration must be positive")
+        if self.spike_start_us < 0 or self.spike_width_us <= 0:
+            raise ServiceError("spike window must be non-negative and non-empty")
+        if self.steps < 2:
+            raise ServiceError("a step shape needs at least two plateaus")
+
+    def factor(self, now_us: float) -> float:
+        """Rate multiplier at modeled instant ``now_us``."""
+        if self.kind == "ramp":
+            if now_us >= self.duration_us:
+                return self.end_factor
+            frac = max(now_us, 0.0) / self.duration_us
+            return self.start_factor + (self.end_factor - self.start_factor) * frac
+        if self.kind == "spike":
+            start, width = self.spike_start_us, self.spike_width_us
+            if start <= now_us < start + width:
+                return self.peak_factor
+            return self.start_factor
+        if self.kind == "step":
+            if now_us >= self.duration_us:
+                return self.end_factor
+            plateau = int(max(now_us, 0.0) / self.duration_us * self.steps)
+            frac = plateau / (self.steps - 1)
+            return self.start_factor + (self.end_factor - self.start_factor) * min(
+                frac, 1.0
+            )
+        return self.start_factor
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "start_factor": self.start_factor,
+            "end_factor": self.end_factor,
+            "duration_us": self.duration_us,
+            "peak_factor": self.peak_factor,
+            "spike_start_us": self.spike_start_us,
+            "spike_width_us": self.spike_width_us,
+            "steps": self.steps,
+        }
 
 
 @dataclass(frozen=True)
@@ -72,6 +160,10 @@ class TrafficSpec:
     tenant_weights: Optional[Tuple[float, ...]] = None
     #: Keys spanned by one range scan.
     scan_span: int = 16
+    #: Open-loop rate envelope (None = flat).  Composes over the
+    #: arrival model: the instantaneous rate is the base (or ON/OFF)
+    #: rate times ``shape.factor(now)``.
+    shape: Optional[LoadShape] = None
 
     def __post_init__(self) -> None:
         if self.tenants < 1:
@@ -116,6 +208,11 @@ class TrafficSpec:
                 raise ServiceError("tenant_weights must be non-negative, sum > 0")
         if self.scan_span < 1:
             raise ServiceError("scan_span must be positive")
+        if self.shape is not None and self.mode != "open":
+            raise ServiceError(
+                "load shapes modulate open-loop arrivals; closed-loop "
+                "pacing comes from clients/think_ns"
+            )
 
     def as_dict(self) -> dict:
         return {
@@ -136,6 +233,7 @@ class TrafficSpec:
                 list(self.tenant_weights) if self.tenant_weights is not None else None
             ),
             "scan_span": self.scan_span,
+            "shape": self.shape.as_dict() if self.shape is not None else None,
         }
 
 
@@ -198,6 +296,9 @@ class _ArrivalProcess:
 
     def next_arrival(self) -> float:
         rate = self.rate_on if self.on else self.rate_off
+        shape = self.spec.shape
+        if shape is not None:
+            rate *= shape.factor(self.now_ns / 1000.0)
         self.now_ns += self.rng.expovariate(rate)
         if self.spec.arrival == "bursty":
             flip = self.p_on_off if self.on else self.p_off_on

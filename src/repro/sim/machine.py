@@ -15,14 +15,22 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from typing import Union
+
 from ..config import SystemConfig
-from ..core.designs import DesignPolicy, get_design
+from ..core.designs import DesignPolicy, get_design, sharded_design_name
 from ..errors import SimulationError, TraceError
 from ..mem.controller import MemoryController
 from ..mem.hierarchy import CacheHierarchy
+from ..mem.sharded import ShardedMemorySystem
 from ..persist.model import PersistencyTracker
 from .stats import CoreStats, MachineStats
 from .trace import Op, OpKind, Trace
+
+#: What the machine drives: the singleton controller (``shards == 1``,
+#: the exact pre-sharding fast path) or the N-way sharded coordinator
+#: presenting the same surface (:mod:`repro.mem.sharded`).
+MemorySystem = Union[MemoryController, ShardedMemorySystem]
 
 
 @dataclass
@@ -30,7 +38,7 @@ class SimulationResult:
     """Everything a finished run exposes to experiments and checkers."""
 
     stats: MachineStats
-    controller: MemoryController
+    controller: MemorySystem
     hierarchy: CacheHierarchy
     config: SystemConfig
     policy: DesignPolicy
@@ -82,7 +90,13 @@ class Machine:
     def __init__(self, config: SystemConfig, design: str | DesignPolicy) -> None:
         self.config = config
         self.policy = get_design(design) if isinstance(design, str) else design
-        self.controller = MemoryController(config, self.policy)
+        # shards == 1 keeps the exact singleton-controller path — the
+        # sharded coordinator only exists when there is real fan-out.
+        self.controller: MemorySystem
+        if config.shards == 1:
+            self.controller = MemoryController(config, self.policy)
+        else:
+            self.controller = ShardedMemorySystem(config, self.policy)
         self.hierarchy = CacheHierarchy(config, self.controller)
         self._txn_end_times: List[List[float]] = []
         self._cores: Optional[List[_CoreState]] = None
@@ -201,6 +215,8 @@ class Machine:
         store_complete = hierarchy.store_complete
         clwb = hierarchy.clwb
         ccwb = self.controller.counter_cache_writeback
+        # Cross-shard commit barrier (None on the singleton controller).
+        note_commit = getattr(self.controller, "note_txn_commit", None)
         tracker = core.tracker
         note_writeback = tracker.note_writeback
         fence = tracker.fence
@@ -250,6 +266,8 @@ class Machine:
                 elif code == 7:  # TXN_END
                     transactions += 1
                     txn_ends.append(now)
+                    if note_commit is not None:
+                        note_commit(core_id, now)
                     clock = now
                 elif code == 3:  # CCWB
                     ccwbs += 1
@@ -341,6 +359,9 @@ class Machine:
     def _op_txn_end(self, core: _CoreState, op: Op, now: float) -> float:
         core.stats.transactions += 1
         self._txn_end_times[core.core_id].append(now)
+        note_commit = getattr(self.controller, "note_txn_commit", None)
+        if note_commit is not None:
+            note_commit(core.core_id, now)
         return now
 
     def _op_label(self, core: _CoreState, op: Op, now: float) -> float:
@@ -363,27 +384,30 @@ class Machine:
     def _finish(self, cores: List[_CoreState]) -> SimulationResult:
         runtime = max((c.clock_ns for c in cores), default=0.0)
         cc_stats = self.controller.counter_cache_stats
+        # One folded snapshot — on a sharded system every ``.stats``
+        # access re-merges the per-shard counters.
+        cstats = self.controller.stats
         stats = MachineStats(
-            design=self.policy.name,
+            design=sharded_design_name(self.policy.name, self.config.shards),
             num_cores=self.config.num_cores,
             runtime_ns=runtime,
             per_core=[c.stats for c in cores],
-            bytes_written=self.controller.stats.bytes_written,
-            bytes_read=self.controller.stats.bytes_read,
+            bytes_written=cstats.bytes_written,
+            bytes_read=cstats.bytes_read,
             transactions=sum(c.stats.transactions for c in cores),
             counter_cache_miss_rate=cc_stats.miss_rate if cc_stats else None,
             data_wq_peak=self.controller.data_queue.peak_occupancy,
             counter_wq_peak=self.controller.counter_queue.peak_occupancy,
-            coalesced_data_writes=self.controller.stats.coalesced_data_writes,
-            coalesced_counter_writes=self.controller.stats.coalesced_counter_writes,
-            paired_writes=self.controller.stats.paired_writes,
-            mean_read_latency_ns=self.controller.stats.mean_read_latency_ns,
-            tree_node_writes=self.controller.stats.tree_node_writes,
-            coalesced_tree_writes=self.controller.stats.coalesced_tree_writes,
-            tree_verifications=self.controller.stats.tree_verifications,
-            tree_node_fills=self.controller.stats.tree_node_fills,
-            root_updates=self.controller.stats.root_updates,
-            ccwb_tree_flushes=self.controller.stats.ccwb_tree_flushes,
+            coalesced_data_writes=cstats.coalesced_data_writes,
+            coalesced_counter_writes=cstats.coalesced_counter_writes,
+            paired_writes=cstats.paired_writes,
+            mean_read_latency_ns=cstats.mean_read_latency_ns,
+            tree_node_writes=cstats.tree_node_writes,
+            coalesced_tree_writes=cstats.coalesced_tree_writes,
+            tree_verifications=cstats.tree_verifications,
+            tree_node_fills=cstats.tree_node_fills,
+            root_updates=cstats.root_updates,
+            ccwb_tree_flushes=cstats.ccwb_tree_flushes,
             tree_wq_peak=(
                 self.controller.tree_queue.peak_occupancy
                 if self.controller.tree_queue is not None

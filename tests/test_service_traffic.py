@@ -5,7 +5,12 @@ import dataclasses
 import pytest
 
 from repro.errors import ServiceError
-from repro.service import TrafficSpec, generate_operations, stream_fingerprint
+from repro.service import (
+    LoadShape,
+    TrafficSpec,
+    generate_operations,
+    stream_fingerprint,
+)
 from repro.service.traffic import OP_KINDS
 
 
@@ -150,3 +155,111 @@ class TestLoadShapes:
     def test_kinds_are_canonical(self):
         operations = generate_operations(TrafficSpec(operations=200, seed=12))
         assert {op.kind for op in operations} <= set(OP_KINDS)
+
+
+class TestShapedLoad:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"kind": "sawtooth"},
+            {"start_factor": 0.0},
+            {"end_factor": -1.0},
+            {"peak_factor": 0.0},
+            {"duration_us": 0.0},
+            {"spike_width_us": 0.0},
+            {"spike_start_us": -1.0},
+            {"kind": "step", "steps": 1},
+        ],
+    )
+    def test_bad_shapes_are_rejected(self, kwargs):
+        with pytest.raises(ServiceError):
+            LoadShape(**kwargs)
+
+    def test_shapes_are_open_loop_only(self):
+        with pytest.raises(ServiceError):
+            TrafficSpec(mode="closed", shape=LoadShape(kind="ramp"))
+
+    def test_step_factor_staircase(self):
+        shape = LoadShape(
+            kind="step", start_factor=1.0, end_factor=4.0, duration_us=90.0, steps=4
+        )
+        assert shape.factor(0.0) == 1.0
+        assert shape.factor(30.0) == 2.0
+        assert shape.factor(60.0) == 3.0
+        assert shape.factor(89.0) == 4.0
+        assert shape.factor(500.0) == 4.0
+
+    def test_ramp_factor_is_linear_then_holds(self):
+        shape = LoadShape(
+            kind="ramp", start_factor=1.0, end_factor=5.0, duration_us=100.0
+        )
+        assert shape.factor(0.0) == 1.0
+        assert shape.factor(50.0) == pytest.approx(3.0)
+        assert shape.factor(100.0) == 5.0
+        assert shape.factor(1000.0) == 5.0
+
+    def test_spike_factor_only_inside_window(self):
+        shape = LoadShape(
+            kind="spike", peak_factor=6.0, spike_start_us=10.0, spike_width_us=5.0
+        )
+        assert shape.factor(9.9) == 1.0
+        assert shape.factor(10.0) == 6.0
+        assert shape.factor(14.9) == 6.0
+        assert shape.factor(15.0) == 1.0
+
+    def test_unit_constant_shape_is_a_noop_envelope(self):
+        base = TrafficSpec(operations=150, seed=7)
+        shaped = dataclasses.replace(base, shape=LoadShape())
+        assert stream_fingerprint(generate_operations(base)) == stream_fingerprint(
+            generate_operations(shaped)
+        )
+
+    def test_shape_changes_the_fingerprint(self):
+        base = TrafficSpec(operations=150, seed=7)
+        shaped = dataclasses.replace(
+            base, shape=LoadShape(kind="ramp", end_factor=8.0)
+        )
+        assert stream_fingerprint(generate_operations(base)) != stream_fingerprint(
+            generate_operations(shaped)
+        )
+
+    def test_ramp_compresses_late_arrival_gaps(self):
+        spec = TrafficSpec(
+            operations=400,
+            seed=13,
+            shape=LoadShape(
+                kind="ramp", start_factor=1.0, end_factor=8.0, duration_us=2000.0
+            ),
+        )
+        operations = generate_operations(spec)
+        gaps = [
+            b.arrival_ns - a.arrival_ns
+            for a, b in zip(operations, operations[1:])
+        ]
+        quarter = len(gaps) // 4
+        early = sum(gaps[:quarter]) / quarter
+        late = sum(gaps[-quarter:]) / quarter
+        # An 8x ramp-up makes late arrivals markedly denser; seeded.
+        assert late < 0.7 * early
+
+    def test_spike_composes_over_bursty_arrivals(self):
+        spec = TrafficSpec(
+            operations=400,
+            seed=17,
+            arrival="bursty",
+            shape=LoadShape(
+                kind="spike",
+                peak_factor=10.0,
+                spike_start_us=5.0,
+                spike_width_us=20.0,
+            ),
+        )
+        operations = generate_operations(spec)
+        window = [
+            op
+            for op in operations
+            if 5_000.0 <= op.arrival_ns < 25_000.0
+        ]
+        total_span_us = operations[-1].arrival_ns / 1000.0
+        # The 20 us spike window holds far more than its share of time.
+        assert len(window) > 2 * len(operations) * (20.0 / total_span_us)
